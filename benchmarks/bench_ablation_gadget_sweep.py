@@ -1,0 +1,78 @@
+"""Ablation — amplification-gadget sensitivity.
+
+Sweeps the two design parameters DESIGN.md calls out:
+
+* memory (miss) latency — the gadget's timing gap must track it, since
+  the non-silent store pays exactly one extra memory round trip;
+* store-queue size — head-of-line blocking needs the SQ to fill; the
+  gap persists across sizes because the end-of-program drain (fence)
+  already serializes on the store, with backpressure adding on top.
+"""
+
+from conftest import emit
+
+from repro.attacks.amplification import (
+    GadgetLayout, build_timing_probe, plant_flush_pointer,
+)
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy, MemoryLatencies
+from repro.optimizations.silent_stores import SilentStorePlugin
+from repro.pipeline.config import CPUConfig
+from repro.pipeline.cpu import CPU
+
+
+def measure(matches, mem_latency=120, sq_size=5):
+    memory = FlatMemory(1 << 20)
+    memory.write(0x8000, 0x1234, 2)
+    l1 = Cache(num_sets=64, ways=4)
+    hierarchy = MemoryHierarchy(
+        memory, l1=l1, latencies=MemoryLatencies(memory=mem_latency))
+    layout = GadgetLayout(target_addr=0x8000, delay_ptr_addr=0x4_0000,
+                          flush_area_base=0x5_0000)
+    plant_flush_pointer(memory, layout, l1)
+    program = build_timing_probe(layout, l1,
+                                 0x1234 if matches else 0x4321)
+    cpu = CPU(program, hierarchy,
+              config=CPUConfig(store_queue_size=sq_size),
+              plugins=[SilentStorePlugin()])
+    cpu.run()
+    return cpu.stats.cycles
+
+
+def run_sweeps():
+    latency_sweep = {}
+    for latency in (60, 120, 240, 480):
+        gap = measure(False, mem_latency=latency) - \
+            measure(True, mem_latency=latency)
+        latency_sweep[latency] = gap
+    sq_sweep = {}
+    for sq_size in (2, 5, 8, 16):
+        gap = measure(False, sq_size=sq_size) - \
+            measure(True, sq_size=sq_size)
+        sq_sweep[sq_size] = gap
+    return latency_sweep, sq_sweep
+
+
+def test_ablation_gadget_sweep(once):
+    latency_sweep, sq_sweep = once(run_sweeps)
+    lines = ["memory latency sweep (SQ=5):",
+             f"  {'latency':>8s} {'gap':>6s}"]
+    for latency, gap in latency_sweep.items():
+        lines.append(f"  {latency:8d} {gap:6d}")
+    lines += ["", "store-queue size sweep (latency=120):",
+              f"  {'SQ size':>8s} {'gap':>6s}"]
+    for sq_size, gap in sq_sweep.items():
+        lines.append(f"  {sq_size:8d} {gap:6d}")
+    emit("ablation_gadget_sweep", "\n".join(lines))
+
+    # The gap tracks the miss latency ~1:1.
+    gaps = list(latency_sweep.values())
+    latencies = list(latency_sweep.keys())
+    for (l1_, g1), (l2_, g2) in zip(latency_sweep.items(),
+                                    list(latency_sweep.items())[1:]):
+        assert g2 > g1                       # monotone
+        assert abs((g2 - g1) - (l2_ - l1_)) <= 16  # ~unit slope
+    # The gap exceeds 100 cycles at every SQ size (paper's figure
+    # used 5 entries).
+    assert all(gap > 100 for gap in sq_sweep.values())

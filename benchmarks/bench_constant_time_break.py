@@ -1,0 +1,123 @@
+"""Section III's headline — "all optimizations we study break current
+constant-time programming" — demonstrated on real primitives.
+
+Three textbook constant-time building blocks, each verified
+input-independent on the Baseline core, each broken by a studied
+optimization: the trivial-op simplifier leaks how far a ct-memcmp's
+inputs agree, the zero-skip multiplier leaks a ct-select's condition,
+and Sv computation reuse leaks whether a ct-lookup's index repeated.
+"""
+
+from conftest import emit
+
+from repro.crypto.ct_primitives import (
+    A_BASE, TABLE_BASE, build_ct_compare, build_ct_lookup,
+    build_ct_select,
+)
+from repro.isa.opcodes import Op
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.optimizations.computation_reuse import ComputationReusePlugin
+from repro.optimizations.computation_simplification import (
+    ComputationSimplificationPlugin,
+)
+from repro.pipeline.config import CPUConfig
+from repro.pipeline.cpu import CPU
+
+
+def run(program, memory_writes, plugins=(), config=None):
+    memory = FlatMemory(1 << 16)
+    for addr, value, width in memory_writes:
+        memory.write(addr, value, width)
+    cpu = CPU(program, MemoryHierarchy(memory, l1=Cache()),
+              config=config, plugins=list(plugins))
+    cpu.run()
+    return cpu.stats.cycles
+
+
+def compare_writes(a, b):
+    writes = [(A_BASE + i, byte, 1) for i, byte in enumerate(a)]
+    writes += [(0x2000 + i, byte, 1) for i, byte in enumerate(b)]
+    return writes
+
+
+def run_experiment():
+    report = {}
+    # 1. ct_compare vs trivial bitwise simplification.
+    program = build_ct_compare(8)
+    config = CPUConfig(num_alu_ports=1, latency_alu=3)
+    secret = b"SECRETAA"
+    baseline = {pl: run(program, compare_writes(
+        secret, secret[:pl] + b"\xee" * (8 - pl)), config=config)
+        for pl in (0, 4, 8)}
+    attacked = {pl: run(program, compare_writes(
+        secret, secret[:pl] + b"\xee" * (8 - pl)),
+        plugins=[ComputationSimplificationPlugin(
+            rules=("trivial_bitwise",))], config=config)
+        for pl in (0, 4, 8)}
+    report["ct_compare / trivial ops"] = (baseline, attacked)
+
+    # 2. ct_select vs zero-skip multiply.
+    program = build_ct_select()
+    config = CPUConfig(latency_mul=8, num_mul_units=1)
+    select_writes = lambda c: [(A_BASE, c, 8), (A_BASE + 8, 0, 8),
+                               (A_BASE + 16, 222, 8)]
+    baseline = {c: run(program, select_writes(c), config=config)
+                for c in (0, 1)}
+    attacked = {c: run(program, select_writes(c),
+                       plugins=[ComputationSimplificationPlugin(
+                           rules=("zero_skip_mul",))], config=config)
+                for c in (0, 1)}
+    report["ct_select / zero-skip mul"] = (baseline, attacked)
+
+    # 3. ct_lookup vs Sv computation reuse (replay across two calls).
+    program = build_ct_lookup(8)
+    config = CPUConfig(latency_mul=10, num_mul_units=1)
+    entries = [(i * i + 3) for i in range(8)]
+
+    def lookup_writes(k):
+        writes = [(A_BASE, k, 8)]
+        writes += [(TABLE_BASE + 8 * i, v, 8)
+                   for i, v in enumerate(entries)]
+        return writes
+
+    def second_call(first_k, second_k, plugins):
+        if plugins:
+            run(program, lookup_writes(first_k), plugins=plugins,
+                config=config)
+        return run(program, lookup_writes(second_k), plugins=plugins,
+                   config=config)
+
+    baseline = {"repeat": second_call(5, 5, []),
+                "change": second_call(4, 5, [])}
+    plugin = ComputationReusePlugin(variant="sv",
+                                    ops=frozenset({Op.MUL}))
+    attacked = {"repeat": second_call(5, 5, [plugin])}
+    plugin = ComputationReusePlugin(variant="sv",
+                                    ops=frozenset({Op.MUL}))
+    attacked["change"] = second_call(4, 5, [plugin])
+    report["ct_lookup / Sv reuse"] = (baseline, attacked)
+    return report
+
+
+def test_constant_time_break(once):
+    report = once(run_experiment)
+    lines = []
+    for name, (baseline, attacked) in report.items():
+        lines.append(f"{name}:")
+        lines.append(f"  baseline cycles: {baseline}")
+        lines.append(f"  attacked cycles: {attacked}")
+        lines.append("")
+    emit("constant_time_break", "\n".join(lines))
+
+    compare_base, compare_attacked = report["ct_compare / trivial ops"]
+    assert len(set(compare_base.values())) == 1          # CT holds
+    assert (compare_attacked[0] > compare_attacked[4]
+            > compare_attacked[8])                       # ...and breaks
+    select_base, select_attacked = report["ct_select / zero-skip mul"]
+    assert len(set(select_base.values())) == 1
+    assert select_attacked[0] != select_attacked[1]
+    lookup_base, lookup_attacked = report["ct_lookup / Sv reuse"]
+    assert lookup_base["repeat"] == lookup_base["change"]
+    assert lookup_attacked["repeat"] < lookup_attacked["change"]

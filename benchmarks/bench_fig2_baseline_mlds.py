@@ -1,0 +1,53 @@
+"""Figure 2 — example MLDs for prior-work structures.
+
+Evaluates each descriptor over a concrete domain and reports its
+outcome partition and channel-capacity bound (Section IV-A3).
+"""
+
+from conftest import emit
+
+from repro.core.descriptors import (
+    mld_cache_rand, mld_single_cycle_alu, mld_zero_skip_mul,
+)
+from repro.core.mld import InstSnapshot
+from repro.memory.cache import Cache
+
+
+def evaluate_figure2():
+    rows = []
+    alu_domain = [(InstSnapshot(op="add", args=(a, b)),)
+                  for a in range(16) for b in range(16)]
+    rows.append(("single_cycle_alu",
+                 mld_single_cycle_alu.outcome_count(alu_domain),
+                 mld_single_cycle_alu.capacity_bits(alu_domain)))
+    mul_domain = [(InstSnapshot(op="mul", args=(a, b)),)
+                  for a in range(16) for b in range(16)]
+    rows.append(("zero_skip_mul",
+                 mld_zero_skip_mul.outcome_count(mul_domain),
+                 mld_zero_skip_mul.capacity_bits(mul_domain)))
+    cache = Cache(num_sets=8, ways=2)
+    cache.access(0x100)
+    cache_domain = [(InstSnapshot(addr=64 * i), cache)
+                    for i in range(64)] + [
+                        (InstSnapshot(addr=0x100), cache)]
+    rows.append(("cache_rand",
+                 mld_cache_rand.outcome_count(cache_domain),
+                 mld_cache_rand.capacity_bits(cache_domain)))
+    return rows
+
+
+def test_fig2_baseline_mlds(benchmark):
+    rows = benchmark(evaluate_figure2)
+    lines = [f"{'MLD':20s} {'outcomes':>9s} {'capacity (bits)':>16s}"]
+    for name, outcomes, capacity in rows:
+        lines.append(f"{name:20s} {outcomes:9d} {capacity:16.2f}")
+    emit("fig2_baseline_mlds", "\n".join(lines))
+
+    by_name = {name: (outcomes, capacity)
+               for name, outcomes, capacity in rows}
+    # Example 1: Safe — exactly one outcome, zero capacity.
+    assert by_name["single_cycle_alu"] == (1, 0.0)
+    # Example 2: two timing outcomes, one bit.
+    assert by_name["zero_skip_mul"][0] == 2
+    # Example 3: num_sets + 1 distinguishable outcomes.
+    assert by_name["cache_rand"][0] == 8 + 1

@@ -1,0 +1,56 @@
+"""Section V-A3 — BSAES key-recovery cost.
+
+Full recovery of an AES-128 key through the silent-store equality
+oracle: per-slot oracle-query counts against the paper's bound (up to
+65,536 tries per 16-bit intermediate, at most 8 x 65,536 = 524,288
+total), with every recovered plane re-confirmed through the *timed*
+amplification-gadget channel.
+"""
+
+import statistics
+
+from conftest import emit
+
+from repro.attacks.bsaes_attack import (
+    BSAESSilentStoreAttack, BSAESVictimServer, NUM_SLOTS,
+)
+
+VICTIM_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+ATTACKER_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def run_recovery():
+    server = BSAESVictimServer(VICTIM_KEY, b"GET /index.html ")
+    attack = BSAESSilentStoreAttack(server, ATTACKER_KEY, seed=77)
+    key, tries = attack.recover_key(oracle="functional",
+                                    max_tries=1 << 19)
+    confirmed = attack.confirm_planes_timed(
+        list(server.leftover_planes))
+    return server, key, tries, confirmed, attack.timed_queries
+
+
+def test_key_recovery(once):
+    server, key, tries, confirmed, timed_queries = once(run_recovery)
+    lines = [f"{'slot':>5s} {'oracle queries':>15s}"]
+    for slot, count in enumerate(tries):
+        lines.append(f"{slot:5d} {count:15d}")
+    total = sum(tries)
+    lines += [
+        "",
+        f"victim key recovered: {key == VICTIM_KEY} ({key.hex()})",
+        f"total oracle queries: {total} "
+        f"(paper bound: <= 524,288 worst case; "
+        f"expectation 8 x 32,768 = 262,144)",
+        f"mean per slot: {statistics.mean(tries):.0f} "
+        f"(expectation ~32,768 for uniform 16-bit values)",
+        f"planes re-confirmed through the timed channel: "
+        f"{confirmed}/{NUM_SLOTS} ({timed_queries} timed runs)",
+    ]
+    emit("key_recovery", "\n".join(lines))
+
+    assert key == VICTIM_KEY
+    assert confirmed == NUM_SLOTS
+    # The paper's hard bound: at most 65,536 distinct-value tries per
+    # slot, 524,288 total.
+    assert all(count <= 65_536 for count in tries)
+    assert total <= 524_288

@@ -1,0 +1,51 @@
+"""SMT-sibling receivers (Sections IV-B3 & VI-B).
+
+The operand-packing receiver of the paper's IV-B3 scenario and the
+execution-unit contention channel its VI-B strength-reduction
+discussion predicts, both run on the two-thread SMT model: in each,
+the attacker measures only its *own* runtime.
+"""
+
+from conftest import emit
+
+from repro.attacks.smt_attack import SMTContentionAttack, SMTPackingAttack
+
+
+def run_experiment():
+    packing = SMTPackingAttack()
+    packing_rows = {value: packing.measure(value).attacker_cycles
+                    for value in (5, 0xFFFF, 0x10000, 1 << 30)}
+    contention = SMTContentionAttack()
+    contention_rows = {value: contention.measure(value).attacker_cycles
+                       for value in (0, 1, 123)}
+    classified = {
+        "packing(42 narrow)": packing.victim_operand_is_narrow(42),
+        "packing(2^30 wide)": packing.victim_operand_is_narrow(1 << 30),
+        "contention(0)": contention.victim_operand_is_zero(0),
+        "contention(55)": contention.victim_operand_is_zero(55),
+    }
+    return packing_rows, contention_rows, classified
+
+
+def test_smt_receivers(once):
+    packing_rows, contention_rows, classified = once(run_experiment)
+    lines = ["operand-packing receiver (attacker's own cycles, by "
+             "victim operand):"]
+    for value, cycles in packing_rows.items():
+        lines.append(f"  victim operand {value:#12x}: {cycles} cycles")
+    lines.append("")
+    lines.append("divide-unit contention receiver:")
+    for value, cycles in contention_rows.items():
+        lines.append(f"  victim operand {value:#12x}: {cycles} cycles")
+    lines.append("")
+    for name, outcome in classified.items():
+        lines.append(f"  classification {name}: {outcome}")
+    emit("smt_receivers", "\n".join(lines))
+
+    assert packing_rows[5] < packing_rows[1 << 30]
+    assert packing_rows[0xFFFF] < packing_rows[0x10000]  # the boundary
+    assert contention_rows[0] < contention_rows[123] - 100
+    assert classified["packing(42 narrow)"]
+    assert not classified["packing(2^30 wide)"]
+    assert classified["contention(0)"]
+    assert not classified["contention(55)"]

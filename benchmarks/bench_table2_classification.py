@@ -1,0 +1,13 @@
+"""Table II — optimization classification by MLD signature."""
+
+from conftest import emit
+
+from repro.core.classification import (
+    PAPER_TABLE_II, generate_table_ii, render_table,
+)
+
+
+def test_table2_classification(benchmark):
+    table = benchmark(generate_table_ii)
+    emit("table2_classification", render_table())
+    assert table == PAPER_TABLE_II

@@ -1,0 +1,55 @@
+"""Section IV-D4 — 2-level vs 3-level IMP universal-read-gadget reach.
+
+Two halves: the *analytic* reach from the MLD-based URG analyzer, and
+the *empirical* check on the full sandbox attack — the 3-level variant
+leaks an arbitrary kernel byte, the 2-level variant leaks nothing
+beyond [b, b + Δ).
+"""
+
+from conftest import emit
+
+from repro.attacks.dmp_attack import DMPSandboxAttack, URGAttackConfig
+from repro.core.urg import AddressRange, analyze_imp, victim_bytes_reachable
+
+
+def run_experiment():
+    config = URGAttackConfig()
+    sandbox = AddressRange(config.sandbox_base, config.sandbox_base
+                           + 0x8000)
+    analytic = {}
+    for levels in (2, 3):
+        analysis = analyze_imp(
+            levels, sandbox, base_y=config.sandbox_base + 0x1000,
+            shift=0, delta_bytes=config.imp_delta * 8,
+            max_memory=config.memory_size)
+        analytic[levels] = (analysis,
+                            victim_bytes_reachable(
+                                analysis, sandbox, config.memory_size))
+    empirical = {}
+    for levels in (2, 3):
+        attack = DMPSandboxAttack(URGAttackConfig(imp_levels=levels))
+        attack.runtime.place_kernel_secret(
+            attack.config.kernel_secret_base, b"\xa7")
+        result = attack.leak_byte(attack.config.kernel_secret_base)
+        empirical[levels] = result
+    return analytic, empirical
+
+
+def test_urg_reach(once):
+    analytic, empirical = once(run_experiment)
+    lines = ["Analytic reach (Section IV-D4):"]
+    for levels, (analysis, victim_bytes) in analytic.items():
+        lines.append(f"  {levels}-level: URG={analysis.is_urg}, "
+                     f"victim bytes reachable={victim_bytes:#x}")
+        lines.append(f"    {analysis.notes}")
+    lines.append("")
+    lines.append("Empirical leak of a kernel byte (0xa7):")
+    for levels, result in empirical.items():
+        lines.append(f"  {levels}-level: leaked={result.leaked_byte!r} "
+                     f"correct={result.correct}")
+    emit("urg_reach", "\n".join(lines))
+
+    assert analytic[3][0].is_urg and not analytic[2][0].is_urg
+    assert analytic[3][1] > 1000 * analytic[2][1]
+    assert empirical[3].correct and empirical[3].leaked_byte == 0xA7
+    assert empirical[2].leaked_byte is None

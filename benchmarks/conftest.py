@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure from the paper: it prints
+the same rows/series the paper reports (run with ``-s`` to see them,
+or read ``benchmarks/results/*.txt`` afterwards) and asserts the
+*shape* claims — who wins, by roughly what factor, where crossovers
+fall — per EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name, text):
+    """Print a bench's table and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under the benchmark."""
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return runner

@@ -1,0 +1,61 @@
+"""Quickstart: assemble a program, run it on the out-of-order core,
+and watch an optimization turn data into time.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import render_table
+from repro.isa import Assembler
+from repro.memory import Cache, FlatMemory, MemoryHierarchy
+from repro.optimizations import ComputationSimplificationPlugin
+from repro.pipeline import CPU, CPUConfig
+
+
+def build_program(secret):
+    """A "constant-time" kernel: multiply a secret by a constant in a
+    fixed-length chain.  Same instructions, same memory accesses, same
+    control flow — for every secret."""
+    asm = Assembler()
+    asm.li(1, secret)
+    asm.li(2, 0x1234)
+    for _ in range(32):
+        asm.mul(3, 1, 2)
+    asm.halt()
+    return asm.assemble()
+
+
+def run(secret, plugins=()):
+    memory = FlatMemory(1 << 16)
+    hierarchy = MemoryHierarchy(memory, l1=Cache())
+    cpu = CPU(build_program(secret), hierarchy,
+              config=CPUConfig(latency_mul=6), plugins=list(plugins))
+    cpu.run()
+    return cpu.stats
+
+
+def main():
+    print("=== The leakage landscape (Table I), derived from the "
+          "optimization registry ===\n")
+    print(render_table())
+
+    print("\n=== Zero-skip multiplication vs constant-time code ===\n")
+    for label, plugins in (("baseline", ()),
+                           ("with computation simplification",
+                            (ComputationSimplificationPlugin(),))):
+        cycles = {secret: run(secret, plugins).cycles
+                  for secret in (0, 1, 0xDEAD)}
+        print(f"{label}:")
+        for secret, count in cycles.items():
+            print(f"  secret={secret:#8x}  ->  {count} cycles")
+        constant_time = len(set(cycles.values())) == 1
+        print(f"  constant time? {constant_time}\n")
+
+    print("The baseline machine runs the kernel in the same number of "
+          "cycles for every\nsecret; add the zero-skip multiplier and "
+          "the run time reveals whether the\nsecret is zero — no "
+          "speculation, no memory access pattern, just Table I's\n"
+          "'Operands / Int mul: S -> U' cell in action.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Section V-A end to end: break "constant-time" bitslice AES-128 with
+silent stores and the amplification gadget.
+
+The victim is a server worker that encrypts with a secret key and
+leaves its final SubBytes bit-planes on the stack.  The attacker
+triggers encryptions with its own key, measures whether one targeted
+store was silent (the > 100-cycle amplified timing difference of
+Figure 6), searches plaintexts until each of the eight 16-bit
+intermediates matches, and inverts the key schedule.
+
+Run:  python examples/silent_store_key_recovery.py
+"""
+
+import time
+
+from repro.analysis import TimingHistogram
+from repro.attacks import BSAESSilentStoreAttack, BSAESVictimServer
+
+VICTIM_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+ATTACKER_KEY = bytes(range(16, 32))
+
+
+def main():
+    server = BSAESVictimServer(VICTIM_KEY, b"public-header-00")
+    attack = BSAESSilentStoreAttack(server, ATTACKER_KEY)
+
+    print("=== Step 1: calibrate the amplified timing channel ===")
+    silent, nonsilent, threshold = attack.calibrate(target_slot=4)
+    print(f"silent store:     {silent} cycles")
+    print(f"non-silent store: {nonsilent} cycles")
+    print(f"gap: {nonsilent - silent} cycles (paper: > 100)\n")
+
+    print("=== Step 2: the Figure 6 histogram ===")
+    samples = attack.histogram_runs(runs_per_type=10, target_slot=4)
+    histogram = TimingHistogram()
+    histogram.extend("correct guess", samples["correct"])
+    histogram.extend("incorrect guess", samples["incorrect"])
+    print(histogram.render(bin_width=16))
+    print()
+
+    print("=== Step 3: recover the eight 16-bit intermediates ===")
+    started = time.time()
+    key, tries = attack.recover_key(oracle="functional")
+    elapsed = time.time() - started
+    for slot, count in enumerate(tries):
+        print(f"  slot {slot}: found after {count:6d} oracle queries")
+    print(f"total queries: {sum(tries)} "
+          f"(paper bound: at most 524,288)\n")
+
+    print("=== Step 4: confirm each plane through the timed channel ===")
+    confirmed = attack.confirm_planes_timed(
+        list(server.leftover_planes))
+    print(f"planes confirmed by timing: {confirmed}/8\n")
+
+    print("=== Step 5: invert the key schedule ===")
+    print(f"recovered key: {key.hex()}")
+    print(f"victim key:    {VICTIM_KEY.hex()}")
+    print(f"match: {key == VICTIM_KEY}  (search took {elapsed:.1f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy-editable-install shim (the environment's pip lacks `wheel`)."""
+
+from setuptools import setup
+
+setup()

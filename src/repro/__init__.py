@@ -1,0 +1,39 @@
+"""Reproduction of *Opening Pandora's Box* (ISCA 2021).
+
+A systematic study of microarchitectural optimizations with novel
+privacy implications, rebuilt as a Python library:
+
+* :mod:`repro.core` — the paper's primary contribution: the
+  microarchitectural-leakage-descriptor (MLD) framework, the leakage
+  landscape (Table I), the classification by MLD signature (Table II),
+  the security lattice, and the universal-read-gadget analysis.
+* :mod:`repro.isa`, :mod:`repro.memory`, :mod:`repro.pipeline` — the
+  substrate: a RISC-like ISA, caches, and a cycle-level out-of-order
+  core with pluggable optimizations.
+* :mod:`repro.optimizations` — the seven studied optimization classes
+  as pipeline plug-ins.
+* :mod:`repro.sandbox` — an eBPF-like sandbox (bytecode, verifier, JIT).
+* :mod:`repro.crypto` — AES-128 and the bitsliced constant-time victim.
+* :mod:`repro.attacks` — the proofs-of-concept: the silent-store
+  amplification gadget and BSAES key recovery (Figures 4–6), the
+  3-level-IMP universal read gadget in the sandbox (Figures 1 and 7),
+  and replay attacks on the remaining optimization classes.
+* :mod:`repro.analysis` — histograms and distinguishability metrics.
+
+Quickstart::
+
+    from repro.core import render_table
+    print(render_table())          # Table I, derived from the registry
+
+    from repro.attacks import DMPSandboxAttack
+    attack = DMPSandboxAttack()
+    attack.runtime.place_kernel_secret(0x10_0000, b"secret")
+    print(attack.leak_byte(0x10_0000).leaked_byte)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis", "attacks", "core", "crypto", "isa", "memory",
+    "optimizations", "pipeline", "sandbox",
+]

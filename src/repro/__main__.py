@@ -1,0 +1,77 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``   print Table I and Table II (default)
+``urg``      run the Figures 1/7 universal-read-gadget demo
+``fig6``     run the Figure 6 silent-store histogram
+``audit``    show the MLD framework auditing a toy optimization
+"""
+
+import sys
+
+
+def cmd_tables():
+    from repro.core.classification import render_table as render_ii
+    from repro.core.landscape import render_table as render_i
+    print("Table I — leakage landscape\n")
+    print(render_i())
+    print("\n")
+    print(render_ii())
+
+
+def cmd_urg():
+    from repro.attacks.dmp_attack import DMPSandboxAttack
+    secret = b"Pandora 2021"
+    attack = DMPSandboxAttack()
+    attack.runtime.place_kernel_secret(
+        attack.config.kernel_secret_base, secret)
+    results = attack.leak_bytes(attack.config.kernel_secret_base,
+                                len(secret))
+    leaked = bytes(r.leaked_byte or 0 for r in results)
+    print(f"kernel secret: {secret!r}")
+    print(f"leaked via 3-level IMP + Prime+Probe: {leaked!r}")
+    print(f"accuracy: {sum(r.correct for r in results)}/{len(results)}")
+
+
+def cmd_fig6():
+    from repro.analysis.histogram import TimingHistogram
+    from repro.attacks.bsaes_attack import (
+        BSAESSilentStoreAttack, BSAESVictimServer,
+    )
+    server = BSAESVictimServer(bytes(range(16)), b"public-header-00")
+    attack = BSAESSilentStoreAttack(server, bytes(range(16, 32)))
+    samples = attack.histogram_runs(runs_per_type=12)
+    histogram = TimingHistogram()
+    histogram.extend("correct guess", samples["correct"])
+    histogram.extend("incorrect guess", samples["incorrect"])
+    print(histogram.render(bin_width=16))
+    print(f"\nseparation: "
+          f"{histogram.separation('correct guess', 'incorrect guess')} "
+          "cycles (paper: > 100)")
+
+
+def cmd_audit():
+    import runpy
+    import os
+    path = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                        "examples", "leakage_audit.py")
+    runpy.run_path(path, run_name="__main__")
+
+
+COMMANDS = {"tables": cmd_tables, "urg": cmd_urg, "fig6": cmd_fig6,
+            "audit": cmd_audit}
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    command = argv[0] if argv else "tables"
+    if command not in COMMANDS:
+        print(__doc__)
+        return 1
+    COMMANDS[command]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Replay-experiment drivers (Section II-2).
+
+Microarchitectural attacks are active: the attacker runs many
+experiments, varying its preconditioning, and aggregates observations.
+These helpers standardize that loop for the repo's timing attacks and
+collect the statistics the benches report.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ReplaySeries:
+    """Measurements across preconditionings of one experiment."""
+
+    name: str
+    observations: list = field(default_factory=list)  # (precondition, cycles)
+
+    def add(self, precondition, cycles):
+        self.observations.append((precondition, cycles))
+
+    def fastest(self):
+        return min(self.observations, key=lambda item: item[1])
+
+    def slowest(self):
+        return max(self.observations, key=lambda item: item[1])
+
+    def outliers(self):
+        """Preconditionings whose timing stands apart from the mode.
+
+        For equality-transmitter optimizations the matching
+        precondition is the lone fast outlier.
+        """
+        from collections import Counter
+        counts = Counter(cycles for _p, cycles in self.observations)
+        mode_cycles, _n = counts.most_common(1)[0]
+        return [(p, c) for p, c in self.observations if c != mode_cycles]
+
+
+def run_replay(measure, preconditions, name="replay"):
+    """Run ``measure(precondition) -> cycles`` over preconditions."""
+    series = ReplaySeries(name=name)
+    for precondition in preconditions:
+        series.add(precondition, measure(precondition))
+    return series
+
+
+def distinguishability(fast_cycles, slow_cycles):
+    """Simple separability check used across attack verifications."""
+    return {
+        "gap": min(slow_cycles) - max(fast_cycles),
+        "separable": min(slow_cycles) > max(fast_cycles),
+    }

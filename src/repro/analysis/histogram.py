@@ -1,0 +1,95 @@
+"""Timing histograms and distinguishability metrics.
+
+Used by the Figure 6 reproduction and by every timing attack's
+verification: the attacker's question is always "are these two
+distributions separable?", and these helpers answer it the way a real
+receiver would (threshold between clusters), plus render the paper-style
+ASCII histogram.
+"""
+
+import math
+from collections import Counter
+
+
+class TimingHistogram:
+    """Labeled cycle samples (e.g. "correct" vs "incorrect" guesses)."""
+
+    def __init__(self):
+        self._samples = {}
+
+    def add(self, label, cycles):
+        self._samples.setdefault(label, []).append(cycles)
+
+    def extend(self, label, cycles_iterable):
+        self._samples.setdefault(label, []).extend(cycles_iterable)
+
+    def labels(self):
+        return list(self._samples)
+
+    def samples(self, label):
+        return list(self._samples[label])
+
+    def summary(self, label):
+        data = self._samples[label]
+        mean = sum(data) / len(data)
+        variance = sum((x - mean) ** 2 for x in data) / len(data)
+        return {
+            "count": len(data),
+            "min": min(data),
+            "max": max(data),
+            "mean": mean,
+            "std": math.sqrt(variance),
+        }
+
+    def separation(self, fast_label, slow_label):
+        """Gap between the fast cluster's max and the slow cluster's min.
+
+        Positive = perfectly separable (the paper's Figure 6 shows a
+        > 100-cycle gap)."""
+        return (min(self._samples[slow_label])
+                - max(self._samples[fast_label]))
+
+    def threshold(self, fast_label, slow_label):
+        """Receiver decision threshold (midpoint of the gap)."""
+        return (max(self._samples[fast_label])
+                + min(self._samples[slow_label])) // 2
+
+    def overlap_count(self, fast_label, slow_label):
+        """Samples that a midpoint threshold would misclassify."""
+        cut = self.threshold(fast_label, slow_label)
+        wrong = sum(1 for x in self._samples[fast_label] if x >= cut)
+        wrong += sum(1 for x in self._samples[slow_label] if x < cut)
+        return wrong
+
+    def render(self, bin_width=16, width=50):
+        """ASCII rendering in the style of Figure 6."""
+        all_samples = [x for data in self._samples.values() for x in data]
+        if not all_samples:
+            return "(empty histogram)"
+        lo = min(all_samples) // bin_width * bin_width
+        hi = max(all_samples) // bin_width * bin_width + bin_width
+        lines = []
+        for label in self._samples:
+            lines.append(f"[{label}]")
+            counts = Counter((x - lo) // bin_width
+                             for x in self._samples[label])
+            peak = max(counts.values())
+            for bin_index in range((hi - lo) // bin_width):
+                count = counts.get(bin_index, 0)
+                if count == 0:
+                    continue
+                bar = "#" * max(1, round(width * count / peak))
+                lines.append(
+                    f"  {lo + bin_index * bin_width:6d}  {bar} ({count})")
+        return "\n".join(lines)
+
+
+def apply_receiver_noise(samples, sigma, seed=0):
+    """Additive measurement noise (system activity, timer quantization).
+
+    The simulator is deterministic; real receivers are not.  Benches use
+    this to show the channel survives realistic measurement noise.
+    """
+    import random
+    rng = random.Random(seed)
+    return [max(0, int(x + rng.gauss(0, sigma))) for x in samples]

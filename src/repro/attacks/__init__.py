@@ -1,0 +1,36 @@
+"""Attack proofs-of-concept built on the simulator substrate."""
+
+from repro.attacks.amplification import (
+    GadgetLayout, build_timing_probe, emit_gadget, plant_flush_pointer,
+)
+from repro.attacks.bsaes_attack import (
+    BSAESAttackConfig, BSAESSilentStoreAttack, BSAESVictimServer,
+)
+from repro.attacks.compsimp_attack import SignificanceProbe, ZeroSkipAttack
+from repro.attacks.covert_channel import (
+    FlushReloadReceiver, PrimeProbeReceiver,
+)
+from repro.attacks.dmp_attack import (
+    DMPSandboxAttack, LeakResult, URGAttackConfig, build_attacker_program,
+)
+from repro.attacks.packing_attack import OperandPackingAttack
+from repro.attacks.replay import (
+    SilentStoreWidthOracle, expected_tries, full_width_search,
+    narrowing_search,
+)
+from repro.attacks.reuse_attack import ComputationReuseAttack
+from repro.attacks.rfc_attack import RegisterFileCompressionAttack
+from repro.attacks.smt_attack import SMTContentionAttack, SMTPackingAttack
+from repro.attacks.vp_attack import ValuePredictionAttack
+
+__all__ = [
+    "GadgetLayout", "build_timing_probe", "emit_gadget",
+    "plant_flush_pointer", "BSAESAttackConfig", "BSAESSilentStoreAttack",
+    "BSAESVictimServer", "SignificanceProbe", "ZeroSkipAttack",
+    "FlushReloadReceiver", "PrimeProbeReceiver", "DMPSandboxAttack",
+    "LeakResult", "URGAttackConfig", "build_attacker_program",
+    "OperandPackingAttack", "SilentStoreWidthOracle", "expected_tries",
+    "full_width_search", "narrowing_search", "ComputationReuseAttack",
+    "RegisterFileCompressionAttack", "SMTContentionAttack",
+    "SMTPackingAttack", "ValuePredictionAttack",
+]

@@ -1,0 +1,113 @@
+"""The silent-store amplification gadget (Figure 5 / Section V-A2).
+
+Goal: maximize the time the *target store* takes to dequeue from the
+store queue when it is **not** silent, so that a single dynamic store's
+silence becomes an end-to-end timing difference.  Recipe:
+
+* the target line is warm when the store's address resolves, so the
+  SS-Load issues and returns early (the store becomes a silent-store
+  candidate — Cases A/B of Figure 4, never C/D);
+* a **delay sub-gadget** (a pointer-chasing load that misses to memory)
+  stalls a **flush sub-gadget** (loads that contend for the target
+  line's cache set) until after the SS-Load has completed;
+* the flush then evicts the target line, so a non-silent store reaching
+  the head of the store queue must re-fetch its line from memory —
+  head-of-line blocking the (in-order-dequeue) store queue and stalling
+  the pipeline behind it.
+
+The builder below works for any set-associative L1 (the flush emits one
+conflicting load per way), not just the direct-mapped example of
+Figure 5.
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.assembler import Assembler
+
+
+@dataclass
+class GadgetLayout:
+    """Addresses used by the gadget; all attacker/victim-layout known.
+
+    ``delay_ptr_addr`` is the location read by the delay load (``A`` in
+    Figure 5); memory at that address holds ``flush_area_base``, making
+    the flush loads data-dependent on the delay load.  Flush addresses
+    are derived from the loaded pointer so they cannot issue before the
+    delay load returns.
+    """
+
+    target_addr: int          # S: the target store's address
+    delay_ptr_addr: int       # A: pointer cell, line must be cold
+    flush_area_base: int      # A' region: lines conflicting with set(S)
+
+    def flush_addresses(self, cache):
+        """One address per way, all mapping to ``set(S)``."""
+        target_set = cache.set_index(self.target_addr)
+        base_set = cache.set_index(self.flush_area_base)
+        first = (self.flush_area_base
+                 + ((target_set - base_set) % cache.num_sets)
+                 * cache.line_size)
+        way_stride = cache.num_sets * cache.line_size
+        return [first + way * way_stride for way in range(cache.ways)]
+
+
+def plant_flush_pointer(memory, layout, cache):
+    """Write the flush pointer at ``A`` (precondition of Figure 5)."""
+    addresses = layout.flush_addresses(cache)
+    memory.write(layout.delay_ptr_addr, addresses[0])
+    return addresses
+
+
+def emit_gadget(asm, layout, cache, ptr_reg=4, value_reg=5):
+    """Emit delay + flush sub-gadgets into ``asm``.
+
+    Must be followed by the target store.  ``ptr_reg`` receives the
+    flush pointer; ``value_reg`` is a scratch destination.
+    """
+    way_stride = cache.num_sets * cache.line_size
+    asm.annotate("delay sub-gadget: pointer-chasing miss")
+    asm.li(ptr_reg, layout.delay_ptr_addr)
+    asm.load(ptr_reg, ptr_reg, 0)
+    for way in range(cache.ways):
+        asm.annotate(f"flush sub-gadget: way {way} of set(S)")
+        asm.load(value_reg, ptr_reg, way * way_stride)
+    return asm
+
+
+def build_timing_probe(layout, cache, store_value, warm_addresses=(),
+                       scratch_base=None, backpressure_stores=4):
+    """A complete single-store timing probe program.
+
+    Warms the target line (and ``warm_addresses``), fences, runs the
+    gadget, performs the target store of ``store_value`` (2 bytes), then
+    issues ``backpressure_stores`` younger stores to scratch locations
+    that pile up behind it in the store queue.  The scratch stores write
+    a constant to pre-warmed lines holding a *different* constant, so
+    they are deterministically non-silent and cost the same in every
+    run; the only data-dependent event is the target store's silence.
+    Total runtime (``CPUStats.cycles``) is the measurement.
+    """
+    if scratch_base is None:
+        scratch_base = layout.target_addr + 4096
+    asm = Assembler()
+    asm.li(1, layout.target_addr)
+    asm.annotate("precondition: line(S) present in cache")
+    asm.load(2, 1, 0)
+    for addr in warm_addresses:
+        asm.li(3, addr)
+        asm.load(2, 3, 0)
+    for index in range(backpressure_stores):
+        asm.li(3, scratch_base + 64 * index)
+        asm.load(2, 3, 0)
+    asm.fence()
+    emit_gadget(asm, layout, cache)
+    asm.annotate("target store")
+    asm.li(6, store_value)
+    asm.store(6, 1, 0, width=2)
+    asm.li(8, 1)
+    for index in range(backpressure_stores):
+        asm.li(7, scratch_base + 64 * index)
+        asm.store(8, 7, 0, width=2)
+    asm.fence()
+    asm.halt()
+    return asm.assemble()

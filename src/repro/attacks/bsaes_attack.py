@@ -1,0 +1,281 @@
+"""End-to-end silent-store attack on Bitslice AES-128 (Section V-A3).
+
+Cloud threat model: a server worker thread encrypts for multiple
+tenants.  Stack temporaries are not cleared between calls ("as-provided
+behavior of the victim program").  The victim encrypts known public
+data with its secret key, leaving the final byte-substitution stage's
+eight 16-bit bit-plane spills on the worker stack.  The attacker then
+triggers encryptions with *its own* key and chosen plaintexts; the
+store that re-writes a targeted stack slot is **silent** exactly when
+the attacker's plane value equals the victim's leftover — and the
+amplification gadget (Figure 5) turns that single store's silence into
+a > 100-cycle end-to-end runtime difference (Figure 6).
+
+Repeating over candidate plaintexts recovers each victim plane value
+(up to 65,536 tries per 16-bit value, at most 8 × 65,536 = 524,288
+oracle queries); the planes reconstruct the post-SubBytes state, the
+known victim ciphertext gives the last round key, and the invertible
+key schedule yields the full victim key.
+
+The simulator configuration follows the paper's experiment: a 5-entry
+store queue and a 4-way set-associative cache.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attacks.amplification import GadgetLayout, emit_gadget, \
+    plant_flush_pointer
+from repro.crypto.aes import encrypt_block
+from repro.crypto.batch import batch_last_round_planes, random_plaintexts
+from repro.crypto.bsaes import last_round_planes, recover_key_from_planes
+from repro.isa.assembler import Assembler
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy, MemoryLatencies
+from repro.optimizations.silent_stores import SilentStorePlugin
+from repro.pipeline.config import CPUConfig
+from repro.pipeline.cpu import CPU
+
+NUM_SLOTS = 8
+
+
+@dataclass
+class BSAESAttackConfig:
+    """Geometry of the simulated victim (paper: 5-entry SQ, 4-way cache).
+
+    The eight 16-bit intermediates sit one cache line apart: the
+    victim's (large) stack frame interleaves them with other spilled
+    temporaries, as the x86 BSAES frame does.
+    """
+
+    store_queue_size: int = 5
+    num_l1_sets: int = 64
+    l1_ways: int = 4
+    line_size: int = 64
+    memory_size: int = 1 << 20
+    stack_base: int = 0x8000
+    slot_stride: int = 64
+    delay_ptr_addr: int = 0x4_0000
+    flush_area_base: int = 0x5_0000
+    latencies: MemoryLatencies = field(default_factory=MemoryLatencies)
+
+    def slot_addr(self, slot):
+        return self.stack_base + self.slot_stride * slot
+
+
+class BSAESVictimServer:
+    """The victim side: secret key, public plaintext, stack leftovers."""
+
+    def __init__(self, victim_key, public_plaintext):
+        self.victim_key = bytes(victim_key)
+        self.public_plaintext = bytes(public_plaintext)
+        #: Observable by the attacker (the server returns ciphertexts).
+        self.ciphertext = encrypt_block(victim_key, public_plaintext)
+        #: Ground truth, used only by tests — never by the attack logic.
+        self.leftover_planes = last_round_planes(victim_key,
+                                                 public_plaintext)
+
+
+class BSAESSilentStoreAttack:
+    """Drives the oracle, the search, and the key reconstruction."""
+
+    def __init__(self, server, attacker_key, config=None, seed=2021):
+        self.server = server
+        self.attacker_key = bytes(attacker_key)
+        self.config = config if config is not None else BSAESAttackConfig()
+        self.seed = seed
+        self.timed_queries = 0
+        self.last_cpu = None
+        self._thresholds = {}
+
+    # ------------------------------------------------------------------
+    # the simulated encryption tail (spill stage + gadget)
+    # ------------------------------------------------------------------
+
+    def _build_program(self, planes, target_slot, cache):
+        cfg = self.config
+        layout = GadgetLayout(
+            target_addr=cfg.slot_addr(target_slot),
+            delay_ptr_addr=cfg.delay_ptr_addr,
+            flush_area_base=cfg.flush_area_base)
+        asm = Assembler()
+        asm.li(1, cfg.stack_base)
+        asm.annotate("warm the worker-stack slot lines")
+        for slot in range(NUM_SLOTS):
+            asm.load(2, 1, cfg.slot_stride * slot)
+        asm.fence()
+        for slot in range(target_slot):
+            asm.li(3, planes[slot])
+            asm.store(3, 1, cfg.slot_stride * slot, width=2)
+        emit_gadget(asm, layout, cache)
+        asm.annotate("target store: spills the attacked plane")
+        asm.li(6, planes[target_slot])
+        asm.store(6, 1, cfg.slot_stride * target_slot, width=2)
+        for slot in range(target_slot + 1, NUM_SLOTS):
+            asm.li(3, planes[slot])
+            asm.store(3, 1, cfg.slot_stride * slot, width=2)
+        asm.fence()
+        asm.halt()
+        return asm.assemble(), layout
+
+    def measure(self, attacker_planes, target_slot,
+                leftover_planes=None):
+        """One timed "encryption call": returns total cycles.
+
+        ``leftover_planes`` defaults to the victim's stack leftovers
+        (the real attack); calibration passes attacker-known values.
+        """
+        cfg = self.config
+        if leftover_planes is None:
+            leftover_planes = self.server.leftover_planes
+        memory = FlatMemory(cfg.memory_size)
+        for slot in range(NUM_SLOTS):
+            memory.write(cfg.slot_addr(slot), leftover_planes[slot],
+                         width=2)
+        l1 = Cache(num_sets=cfg.num_l1_sets, ways=cfg.l1_ways,
+                   line_size=cfg.line_size)
+        hierarchy = MemoryHierarchy(memory, l1=l1,
+                                    latencies=cfg.latencies)
+        program, layout = self._build_program(
+            [int(p) for p in attacker_planes], target_slot, l1)
+        plant_flush_pointer(memory, layout, l1)
+        cpu_config = CPUConfig(store_queue_size=cfg.store_queue_size)
+        cpu = CPU(program, hierarchy, config=cpu_config,
+                  plugins=[SilentStorePlugin()])
+        cpu.run()
+        self.timed_queries += 1
+        self.last_cpu = cpu
+        return cpu.stats.cycles
+
+    # ------------------------------------------------------------------
+    # oracle
+    # ------------------------------------------------------------------
+
+    def calibrate(self, target_slot):
+        """Attacker self-calibration: it encrypts twice with leftovers it
+        *knows* (its own previous call), once matching and once not,
+        and places the threshold at the midpoint."""
+        reference = [(37 * (slot + 3)) & 0xFFFF
+                     for slot in range(NUM_SLOTS)]
+        silent_cycles = self.measure(reference, target_slot,
+                                     leftover_planes=reference)
+        mismatched = list(reference)
+        mismatched[target_slot] ^= 0x1
+        noisy_cycles = self.measure(mismatched, target_slot,
+                                    leftover_planes=reference)
+        threshold = (silent_cycles + noisy_cycles) // 2
+        self._thresholds[target_slot] = threshold
+        return silent_cycles, noisy_cycles, threshold
+
+    def timed_oracle(self, attacker_planes, target_slot):
+        """True iff the targeted store was silent, judged by timing."""
+        if target_slot not in self._thresholds:
+            self.calibrate(target_slot)
+        cycles = self.measure(attacker_planes, target_slot)
+        return cycles < self._thresholds[target_slot]
+
+    def functional_oracle(self, attacker_planes, target_slot):
+        """The hardware equality check itself (what timing measures)."""
+        return (int(attacker_planes[target_slot])
+                == self.server.leftover_planes[target_slot])
+
+    # ------------------------------------------------------------------
+    # search and reconstruction
+    # ------------------------------------------------------------------
+
+    def recover_plane(self, target_slot, oracle="functional",
+                      max_tries=1 << 18, batch_size=8192):
+        """Search candidate plaintexts until the target store is silent.
+
+        Returns ``(plane_value, tries)`` or ``(None, tries)`` when the
+        budget is exhausted.  Each candidate costs one oracle query
+        (one encryption request against the server).
+        """
+        check = (self.functional_oracle if oracle == "functional"
+                 else self.timed_oracle)
+        tries = 0
+        offset = 0
+        tried_values = set()
+        # The attacker knows its own plane value before sending a
+        # request, so it never wastes an oracle query on a repeat —
+        # this is what makes the paper's "up to 65,536 possibilities"
+        # per 16-bit value a hard bound.
+        while tries < max_tries and len(tried_values) < (1 << 16):
+            plaintexts = random_plaintexts(
+                batch_size, seed=(self.seed, target_slot, offset))
+            planes = batch_last_round_planes(self.attacker_key,
+                                             plaintexts)
+            for row in planes:
+                value = int(row[target_slot])
+                if value in tried_values:
+                    continue
+                tried_values.add(value)
+                tries += 1
+                if check(row, target_slot):
+                    return value, tries
+                if tries >= max_tries:
+                    break
+            offset += 1
+        return None, tries
+
+    def recover_key(self, oracle="functional", max_tries=1 << 18):
+        """Recover all eight planes, then the victim key.
+
+        Returns ``(key_or_None, per_slot_tries)``.
+        """
+        planes = []
+        per_slot_tries = []
+        for slot in range(NUM_SLOTS):
+            value, tries = self.recover_plane(slot, oracle=oracle,
+                                              max_tries=max_tries)
+            per_slot_tries.append(tries)
+            if value is None:
+                return None, per_slot_tries
+            planes.append(value)
+        key = recover_key_from_planes(planes, self.server.ciphertext)
+        return key, per_slot_tries
+
+    def confirm_planes_timed(self, planes):
+        """Validate recovered planes through the *timing* channel: each
+        matching plane must time as silent, and a perturbed value as
+        non-silent.  Returns the number of confirmed slots."""
+        confirmed = 0
+        for slot in range(NUM_SLOTS):
+            match = list(planes)
+            if not self.timed_oracle(match, slot):
+                continue
+            perturbed = list(planes)
+            perturbed[slot] ^= 0x8001
+            if self.timed_oracle(perturbed, slot):
+                continue
+            confirmed += 1
+        return confirmed
+
+    # ------------------------------------------------------------------
+    # Figure 6: the runtime histogram
+    # ------------------------------------------------------------------
+
+    def histogram_runs(self, runs_per_type=30, target_slot=4, seed=7):
+        """Timed runs for correct vs incorrect guesses (Figure 6).
+
+        Returns ``{"correct": [cycles...], "incorrect": [cycles...]}``.
+        Non-target slots vary across runs, as they would across real
+        encryption calls.
+        """
+        rng = np.random.default_rng(seed)
+        victim = self.server.leftover_planes
+        results = {"correct": [], "incorrect": []}
+        for _run in range(runs_per_type):
+            noise = rng.integers(0, 1 << 16, size=NUM_SLOTS)
+            correct = list(noise)
+            correct[target_slot] = victim[target_slot]
+            results["correct"].append(
+                self.measure(correct, target_slot))
+            incorrect = list(noise)
+            incorrect[target_slot] = victim[target_slot] ^ int(
+                rng.integers(1, 1 << 16))
+            results["incorrect"].append(
+                self.measure(incorrect, target_slot))
+        return results

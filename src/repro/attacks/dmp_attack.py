@@ -1,0 +1,270 @@
+"""The universal read gadget through the 3-level IMP (Figures 1 & 7).
+
+End-to-end reproduction of Section V-B: an attacker program that passes
+the sandbox verifier triggers the indirect-memory prefetcher, which —
+having no knowledge of array bounds — dereferences an attacker-planted
+"target" value past the training region of ``Z``, reads the victim's
+secret byte ``y = Y[target]`` at an arbitrary kernel address, and
+transmits it by prefetching ``X[y]``, observable via Prime+Probe.
+
+Array shapes chosen by the attacker (all legal declarations):
+
+* ``Z``: 8-byte elements — holds training indices and, in its last
+  element, the byte offset of the secret relative to ``&Y[0]``;
+* ``Y``: 1-byte elements — so the learned scale is 1 and the prefetcher
+  can be steered to *any byte address* above ``&Y[0]``;
+* ``X``: 64-byte (cache-line) elements — so each possible secret byte
+  value maps to its own cache line, giving the covert channel
+  byte resolution.
+
+Repeating with ``target`` walking over kernel memory leaks it all: the
+universal read gadget.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.attacks.covert_channel import PrimeProbeReceiver
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.optimizations.dmp import IndirectMemoryPrefetcher
+from repro.sandbox.ebpf import BpfArray, BpfProgram
+from repro.sandbox.runtime import SandboxRuntime
+
+#: Distinct, non-affine training bytes: their non-linearity in the loop
+#: index prevents the solver from confirming the spurious Z→X link, and
+#: the sets they pollute are known to the attacker and excluded.
+#: Secrets that collide with the first set are re-leaked with the
+#: second, disjoint set (active replay with changed preconditioning,
+#: Section II-2).
+TRAINING_SETS = (
+    (37, 101, 59, 83, 7, 151, 29, 67),
+    (43, 107, 53, 89, 13, 139, 31, 71),
+)
+TRAINING_BYTES = TRAINING_SETS[0]
+
+
+def build_attacker_program(n_iterations, null_checks=True):
+    """The paper's Figure 7a program: ``for j: X[Y[Z[j]]]``.
+
+    With ``null_checks=False`` the ``if (!v) return 0`` incantations are
+    omitted — the verifier must reject that variant (Section V-B1:
+    "eBPF complains unless one adds explicit NULL dereference checks").
+    """
+    # Z is declared longer than the loop bound so that the prefetcher's
+    # look-ahead past the target lands in attacker-padded (harmless)
+    # elements rather than unrelated memory whose junk values would
+    # pollute unpredictable cache sets.
+    program = BpfProgram(arrays=(
+        BpfArray("Z", elem_size=8, length=n_iterations + 8),
+        BpfArray("Y", elem_size=1, length=256),
+        BpfArray("X", elem_size=64, length=256),
+    ))
+    program.mov_imm(1, 0)                    # j = 0
+    program.label("loop")
+    program.mov_reg(2, 1)                    # i = j
+    program.lookup(3, "Z", 2)                # v = Z.lookup(&i)
+    if null_checks:
+        program.jeq_imm(3, 0, "out")         # if (!v) return 0
+    program.load(4, 3, 0, width=8)           # z = *v
+    program.lookup(5, "Y", 4)                 # v = Y.lookup(z)
+    if null_checks:
+        program.jeq_imm(5, 0, "out")
+    program.load(6, 5, 0, width=1)            # y = *v (one byte)
+    program.lookup(7, "X", 6)                  # v = X.lookup(y)
+    if null_checks:
+        program.jeq_imm(7, 0, "out")
+    program.load(8, 7, 0, width=8)             # if (!*v) return 0
+    program.add_imm(1, 1)                      # j++
+    program.jlt_imm(1, n_iterations - 1, "loop")
+    program.label("out")
+    program.exit()
+    return program
+
+
+@dataclass
+class URGAttackConfig:
+    """Geometry and layout for the end-to-end URG demonstration."""
+
+    n_iterations: int = 24
+    num_l1_sets: int = 256          # >= 256 so each byte value has a set
+    l1_ways: int = 4
+    l1_policy: str = "lru"          # lru / fifo / random all work
+    line_size: int = 64
+    memory_size: int = 1 << 22
+    sandbox_base: int = 0x1_0000
+    probe_buffer_base: int = 0x20_0000
+    kernel_secret_base: int = 0x10_0000
+    imp_levels: int = 3
+    imp_delta: int = 4
+    prefetch_buffer_size: int = 0
+    use_l2: bool = False
+
+
+@dataclass
+class LeakResult:
+    """Outcome of one leak attempt for a single byte."""
+
+    target_addr: int
+    true_byte: int
+    leaked_byte: object          # int, or None when undecidable
+    evicted_sets: list = field(default_factory=list)
+    candidate_sets: list = field(default_factory=list)
+
+    @property
+    def correct(self):
+        return self.leaked_byte == self.true_byte
+
+
+class DMPSandboxAttack:
+    """Drives the full attack: layout, training data, run, receive."""
+
+    def __init__(self, config=None):
+        self.config = config if config is not None else URGAttackConfig()
+        cfg = self.config
+        memory = FlatMemory(cfg.memory_size)
+        l1 = Cache(num_sets=cfg.num_l1_sets, ways=cfg.l1_ways,
+                   line_size=cfg.line_size, policy=cfg.l1_policy)
+        l2 = None
+        if cfg.use_l2:
+            l2 = Cache(num_sets=2 * cfg.num_l1_sets, ways=8,
+                       line_size=cfg.line_size)
+        self.hierarchy = MemoryHierarchy(
+            memory, l1=l1, l2=l2,
+            prefetch_buffer_size=cfg.prefetch_buffer_size)
+        self.runtime = SandboxRuntime(self.hierarchy,
+                                      sandbox_base=cfg.sandbox_base)
+        self.program = build_attacker_program(cfg.n_iterations)
+        self.runtime.load_program(self.program)
+        self.receiver = PrimeProbeReceiver(self.hierarchy,
+                                           cfg.probe_buffer_base)
+        self.last_cpu = None
+        self.last_imp = None
+
+    # -- layout knowledge the attacker legitimately has -----------------
+
+    @property
+    def base_y(self):
+        return self.runtime.array_base("Y")
+
+    @property
+    def base_x(self):
+        return self.runtime.array_base("X")
+
+    def _x_set_of_byte(self, byte):
+        """The L1 set that ``X[byte]``'s line maps to."""
+        return self.hierarchy.l1.set_index(self.base_x + 64 * byte)
+
+    def _known_pollution_sets(self, training_bytes):
+        """Sets the attack loop touches with *known* addresses."""
+        l1 = self.hierarchy.l1
+        known = set()
+        # Training bytes, plus 0: the Y loads themselves stride during
+        # training, so the prefetcher also walks Y[i+Δ] — reading the
+        # attacker's own zero padding and prefetching X[0].
+        for byte in tuple(training_bytes) + (0,):
+            known.add(self._x_set_of_byte(byte))
+        base_z = self.runtime.array_base("Z")
+        z_bytes = 8 * self.config.n_iterations
+        for offset in range(0, z_bytes + self.config.imp_delta * 8 + 64, 64):
+            known.add(l1.set_index(base_z + offset))
+        known.add(l1.set_index(self.base_y))
+        return known
+
+    # -- attack phases ---------------------------------------------------
+
+    def install_training_data(self, target_offset,
+                              training_bytes=TRAINING_SETS[0]):
+        """Attacker map updates: training indices + the target pointer.
+
+        ``target_offset`` is ``secret_addr - &Y[0]`` — the value the
+        prefetcher will blindly dereference (step 2 of Figure 1).
+        """
+        cfg = self.config
+        for i in range(cfg.n_iterations - 1):
+            self.runtime.map_update("Z", i, i % len(training_bytes))
+        self.runtime.map_update("Z", cfg.n_iterations - 1, target_offset)
+        # Harmless padding: look-aheads past the target resolve to Y[0].
+        for i in range(cfg.n_iterations, cfg.n_iterations + 8):
+            self.runtime.map_update("Z", i, 0)
+        for index, byte in enumerate(training_bytes):
+            self.runtime.map_update("Y", index, byte)
+        # X contents are irrelevant (constant zero avoids stray links).
+
+    def _leak_attempt(self, target_addr, training_bytes, max_cycles):
+        cfg = self.config
+        self.install_training_data(target_addr - self.base_y,
+                                   training_bytes)
+        imp = IndirectMemoryPrefetcher(levels=cfg.imp_levels,
+                                       delta=cfg.imp_delta)
+        self.hierarchy.flush_all()
+        self.receiver.prime()
+        cpu = self.runtime.run(plugins=[imp], max_cycles=max_cycles)
+        imp.drain()   # the prefetcher outlives the sandbox program
+        self.last_cpu = cpu
+        self.last_imp = imp
+        probe = self.receiver.probe()
+        evicted = self.receiver.evicted_sets(probe)
+        known = self._known_pollution_sets(training_bytes)
+        base_set = self.hierarchy.l1.set_index(self.base_x)
+        candidates = []
+        for set_index in evicted:
+            if set_index in known:
+                continue
+            byte = (set_index - base_set) % self.hierarchy.l1.num_sets
+            if 0 <= byte < 256:
+                candidates.append((set_index, byte))
+        return evicted, candidates
+
+    def _excluded_bytes(self, training_bytes):
+        """Byte values whose transmit set is masked by known pollution."""
+        base_set = self.hierarchy.l1.set_index(self.base_x)
+        num_sets = self.hierarchy.l1.num_sets
+        excluded = set()
+        for set_index in self._known_pollution_sets(training_bytes):
+            byte = (set_index - base_set) % num_sets
+            if 0 <= byte < 256:
+                excluded.add(byte)
+        return excluded
+
+    def leak_byte(self, target_addr, max_cycles=400_000):
+        """Leak one byte of kernel memory at ``target_addr``.
+
+        Replays with a disjoint training set when a run is inconclusive
+        (the secret collided with a training byte).  If every replay is
+        empty, the secret must lie in the intersection of the rounds'
+        masked byte sets; a singleton intersection is leaked by
+        elimination, anything larger is reported as undecidable
+        (a layout-shifting replay would disambiguate; see DESIGN.md).
+        """
+        if not target_addr > self.base_y:
+            raise ValueError("URG reach is [&Y[0], top of memory) — "
+                             "see Section IV-D4")
+        true_byte = self.hierarchy.memory.read(target_addr, 1)
+        last_evicted, last_candidates = [], []
+        all_empty = True
+        for training_bytes in TRAINING_SETS:
+            evicted, candidates = self._leak_attempt(
+                target_addr, training_bytes, max_cycles)
+            last_evicted, last_candidates = evicted, candidates
+            if len(candidates) == 1:
+                return LeakResult(
+                    target_addr=target_addr, true_byte=true_byte,
+                    leaked_byte=candidates[0][1], evicted_sets=evicted,
+                    candidate_sets=[s for s, _ in candidates])
+            if candidates:
+                all_empty = False
+        leaked = None
+        if all_empty and self.config.imp_levels == 3:
+            masked = set.intersection(
+                *(self._excluded_bytes(t) for t in TRAINING_SETS))
+            if len(masked) == 1:
+                leaked = masked.pop()
+        return LeakResult(
+            target_addr=target_addr, true_byte=true_byte,
+            leaked_byte=leaked, evicted_sets=last_evicted,
+            candidate_sets=[s for s, _ in last_candidates])
+
+    def leak_bytes(self, start_addr, length):
+        """The universal read gadget: walk ``target`` over memory."""
+        return [self.leak_byte(start_addr + i) for i in range(length)]

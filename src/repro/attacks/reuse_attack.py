@@ -1,0 +1,102 @@
+"""Computation-reuse attack (Sections IV-C2, VI-A3).
+
+Under the Sv (operand-value-keyed) variant, a memoization hit occurs
+iff a dynamic instruction's operand values equal a previous instance's
+— an equality transmitter on *operands*.  The attacker preconditions
+the table by executing the shared code with a guess; the victim then
+executes the same static instruction with its secret operand, and the
+run time reveals whether the divide was skipped.
+
+The same PoC run against the Sn (register-name-keyed) variant shows the
+defense angle of Section VI-A3: Sn's hit/miss outcome is independent of
+the operand *values*, so the attack learns nothing.
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.assembler import Assembler
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.optimizations.computation_reuse import ComputationReusePlugin
+from repro.pipeline.cpu import CPU
+
+GUESS_ADDR = 0x1000
+SECRET_ADDR = 0x2000
+
+
+def build_shared_division_program(repeat=4):
+    """A "shared library" divide executed first on the attacker's guess,
+    then on the victim's secret, at the same static PC.
+
+    The operand is loaded through a pointer so both phases run the
+    identical static instruction (this is how shared code behaves).
+    The dependent chain of ``repeat`` divides amplifies the hit/miss
+    latency difference.
+    """
+    asm = Assembler()
+    asm.li(1, GUESS_ADDR)
+    asm.li(2, 2)                 # loop over {guess, secret}
+    asm.li(3, 0)
+    asm.li(9, 7)                 # divisor
+    asm.label("phase")
+    asm.load(4, 1, 0)            # operand (guess, then secret)
+    for _ in range(repeat):
+        asm.div(5, 4, 9)         # the shared static divide(s)
+        asm.add(4, 5, 4)
+    asm.li(1, SECRET_ADDR)       # second phase reads the secret
+    asm.addi(3, 3, 1)
+    asm.blt(3, 2, "phase")
+    asm.fence()
+    asm.halt()
+    return asm.assemble()
+
+
+@dataclass
+class ReuseAttackResult:
+    guess: int
+    cycles: int
+    reuse_hits: int
+
+
+class ComputationReuseAttack:
+    """Measure per-guess timing under a chosen reuse variant."""
+
+    def __init__(self, secret_value, variant="sv", repeat=4):
+        self.secret_value = secret_value
+        self.variant = variant
+        self.program = build_shared_division_program(repeat)
+
+    def measure(self, guess):
+        memory = FlatMemory(1 << 16)
+        memory.write(GUESS_ADDR, guess)
+        memory.write(SECRET_ADDR, self.secret_value)
+        hierarchy = MemoryHierarchy(memory, l1=Cache())
+        plugin = ComputationReusePlugin(variant=self.variant)
+        cpu = CPU(self.program, hierarchy, plugins=[plugin])
+        cpu.run()
+        return ReuseAttackResult(guess=guess, cycles=cpu.stats.cycles,
+                                 reuse_hits=cpu.stats.reuse_hits)
+
+    def distinguishes(self, guess_equal, guess_different):
+        """Cycle counts for an equal vs a different guess."""
+        equal = self.measure(guess_equal)
+        different = self.measure(guess_different)
+        return equal.cycles, different.cycles
+
+    def recover_value(self, guesses):
+        """Replay over candidate operand values (Sv leaks, Sn doesn't)."""
+        baseline = None
+        experiments = 0
+        results = []
+        for guess in guesses:
+            experiments += 1
+            cycles = self.measure(guess).cycles
+            results.append((guess, cycles))
+            if baseline is None or cycles < baseline:
+                baseline = cycles
+        fastest = [g for g, c in results if c == baseline]
+        slowest = max(c for _g, c in results)
+        if baseline == slowest:
+            return None, experiments   # no signal (Sn variant)
+        return (fastest[0] if len(fastest) == 1 else None), experiments

@@ -1,0 +1,109 @@
+"""Register-file-compression attack (Section IV-D1).
+
+RFC is memory-centric: it triggers as a function of the *values at rest
+in the register file*, regardless of how they got there.  With a small
+physical register file, a rename-pressure phase runs faster when the
+preceding victim phase filled the register file with compressible
+values (duplicates, or 0/1 for the 0/1 variant) — because compression
+returned physical registers to the free pool.
+
+The PoC leaks a classic constant-time sin: whether a victim's computed
+flag bits are 0/1 (compressible) or random words.
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.assembler import Assembler
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.optimizations.register_file_compression import (
+    RegisterFileCompressionPlugin,
+)
+from repro.pipeline.config import CPUConfig
+from repro.pipeline.cpu import CPU
+
+VICTIM_ADDR = 0x1000
+COLD_ADDR = 0xC000
+
+
+def build_pressure_program(victim_results=24, pressure_ops=56):
+    """Victim phase fills the PRF; attacker phase stresses renaming.
+
+    The victim computes ``victim_results`` register values that copy
+    its secret word (flag-like data is 0/1 — compressible; random data
+    is not).  The attacker phase then puts a cache-missing load at the
+    head of the window and a burst of independent multiplies behind it:
+    the load blocks commit, so physical registers stop recycling, and
+    how much of the burst executes under the miss shadow depends on the
+    rename headroom — i.e. on the compression credits the victim's
+    values earned.
+    """
+    asm = Assembler()
+    asm.li(1, VICTIM_ADDR)
+    asm.load(2, 1, 0)            # the victim's secret word
+    asm.fence()
+    for index in range(victim_results):
+        asm.add(3 + (index % 4), 2, 0)   # victim data lands in the PRF
+    asm.li(9, 3)
+    asm.li(8, 1)
+    asm.li(7, COLD_ADDR)
+    asm.load(6, 7, 0)            # miss: blocks commit, pins the window
+    for index in range(pressure_ops):
+        asm.mul(10 + (index % 8), 9, 8)   # independent producers
+    asm.fence()
+    asm.halt()
+    return asm.assemble()
+
+
+@dataclass
+class RFCProbeResult:
+    victim_value: int
+    cycles: int
+    pool_grants: int
+    preg_stalls: int
+
+
+class RegisterFileCompressionAttack:
+    """Timing probe over the 0/1-compressibility of victim values."""
+
+    def __init__(self, victim_results=24, pressure_ops=56,
+                 num_phys_regs=48, variant="zero-one"):
+        self.program = build_pressure_program(victim_results,
+                                              pressure_ops)
+        self.variant = variant
+        # A single multiply unit makes the burst's execution time a
+        # direct function of how many multiplies dispatched (and thus
+        # executed) under the blocking load's miss shadow — which is
+        # limited by rename headroom.
+        self.config = CPUConfig(num_phys_regs=num_phys_regs,
+                                rob_size=128, rs_size=96,
+                                load_queue_size=32,
+                                dispatch_width=4, fetch_width=4,
+                                issue_width=4, commit_width=4,
+                                num_mul_units=1, latency_mul=4)
+
+    def measure(self, victim_value):
+        memory = FlatMemory(1 << 16)
+        memory.write(VICTIM_ADDR, victim_value)
+        hierarchy = MemoryHierarchy(memory, l1=Cache())
+        plugin = RegisterFileCompressionPlugin(variant=self.variant)
+        cpu = CPU(self.program, hierarchy, config=self.config,
+                  plugins=[plugin])
+        cpu.run()
+        return RFCProbeResult(
+            victim_value=victim_value, cycles=cpu.stats.cycles,
+            pool_grants=plugin.stats["pool_grants"],
+            preg_stalls=cpu.stats.dispatch_stalls["preg"])
+
+    def classify_compressible(self, victim_value):
+        """Was the victim's register-file content 0/1-compressible?
+
+        Calibrated with attacker-known compressible (1) and
+        incompressible (wide) values.
+        """
+        compressible = self.measure(1).cycles
+        incompressible = self.measure(0xDEADBEEF).cycles
+        victim = self.measure(victim_value).cycles
+        threshold = (compressible + incompressible) // 2
+        return victim < threshold

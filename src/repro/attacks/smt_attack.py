@@ -1,0 +1,168 @@
+"""SMT-sibling attacks (Sections IV-B3 and VI-B).
+
+Two receivers running as the victim's hardware-thread sibling:
+
+* **Operand-packing receiver** — the paper's IV-B3 scenario verbatim:
+  the attacker issues narrow-operand ALU ops every cycle; whether they
+  pack (and so how fast the attacker's own loop runs) depends strictly
+  on the *victim's* operand widths.
+* **Execution-unit contention receiver** — the attacker times its own
+  divide stream; the victim's secret-dependent divide usage (e.g. via
+  zero-skip or strength-reduction-style simplification) modulates the
+  shared non-pipelined unit.  This is the port-contention channel the
+  paper connects to strength reduction in Section VI-B.
+
+The attacker measures nothing about the victim directly — only its own
+runtime, as a real SMT receiver would.
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.assembler import Assembler
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.optimizations.computation_simplification import (
+    ComputationSimplificationPlugin,
+)
+from repro.optimizations.pipeline_compression import OperandPackingPlugin
+from repro.pipeline.config import CPUConfig
+from repro.pipeline.smt import SMTCore
+
+VICTIM_ADDR = 0x1000
+
+
+def victim_alu_loop(iterations=24):
+    """The victim: a dense stream of ALU work on a (secret) operand —
+    it holds the shared ALU port on its priority cycles."""
+    asm = Assembler()
+    asm.li(1, VICTIM_ADDR)
+    asm.load(2, 1, 0)
+    asm.fence()
+    asm.li(3, 0)
+    asm.li(4, iterations)
+    asm.label("loop")
+    for scratch in range(5, 13):
+        asm.add(scratch, 2, 2)      # independent secret-operand ops
+    asm.addi(3, 3, 1)
+    asm.blt(3, 4, "loop")
+    asm.halt()
+    return asm.assemble()
+
+
+def attacker_alu_loop(chain_length=160):
+    """The receiver: one long *dependent* chain of narrow adds.
+
+    Exactly one of its ops is ready per cycle, so its throughput is
+    1/cycle only if that op can issue every cycle — on victim-priority
+    cycles that requires packing into the victim's slot, which the
+    hardware allows iff the victim's operands are narrow too."""
+    asm = Assembler()
+    asm.li(1, 1)             # deliberately narrow
+    asm.li(5, 1)
+    for _ in range(chain_length):
+        asm.add(5, 5, 1)     # dependent, stays narrow
+    asm.halt()
+    return asm.assemble()
+
+
+def victim_div_loop(iterations=24):
+    """A victim whose divide work collapses when its operand is zero
+    (the zero-over-anything simplification)."""
+    asm = Assembler()
+    asm.li(1, VICTIM_ADDR)
+    asm.load(2, 1, 0)
+    asm.fence()
+    asm.li(7, 9)
+    asm.li(3, 0)
+    asm.li(4, iterations)
+    asm.label("loop")
+    asm.div(5, 2, 7)
+    asm.addi(3, 3, 1)
+    asm.blt(3, 4, "loop")
+    asm.halt()
+    return asm.assemble()
+
+
+def attacker_div_loop(iterations=24):
+    asm = Assembler()
+    asm.li(1, 1000)
+    asm.li(2, 7)
+    asm.li(3, 0)
+    asm.li(4, iterations)
+    asm.label("loop")
+    asm.div(5, 1, 2)
+    asm.addi(1, 5, 3)        # dependent: keeps the stream honest
+    asm.addi(3, 3, 1)
+    asm.blt(3, 4, "loop")
+    asm.halt()
+    return asm.assemble()
+
+
+@dataclass
+class SMTProbeResult:
+    victim_value: int
+    attacker_cycles: int
+    victim_cycles: int
+
+
+class SMTPackingAttack:
+    """IV-B3: the sibling's throughput reveals the victim's widths."""
+
+    def __init__(self, iterations=24, chain_length=160):
+        self.victim_program = victim_alu_loop(iterations)
+        self.attacker_program = attacker_alu_loop(chain_length)
+        self.config = CPUConfig(num_alu_ports=1, issue_width=4,
+                                dispatch_width=4, fetch_width=4,
+                                commit_width=4)
+
+    def measure(self, victim_value):
+        memory = FlatMemory(1 << 16)
+        memory.write(VICTIM_ADDR, victim_value)
+        hierarchy = MemoryHierarchy(memory, l1=Cache())
+        packing = OperandPackingPlugin()
+        core = SMTCore(self.victim_program, self.attacker_program,
+                       hierarchy, config_a=self.config,
+                       config_b=self.config,
+                       plugins_a=[packing], plugins_b=[packing])
+        stats_a, stats_b = core.run()
+        return SMTProbeResult(victim_value=victim_value,
+                              attacker_cycles=stats_b.cycles,
+                              victim_cycles=stats_a.cycles)
+
+    def victim_operand_is_narrow(self, victim_value):
+        """Calibrated, attacker-runtime-only classification."""
+        narrow_ref = self.measure(5).attacker_cycles
+        wide_ref = self.measure(1 << 30).attacker_cycles
+        victim = self.measure(victim_value).attacker_cycles
+        return victim < (narrow_ref + wide_ref) // 2
+
+
+class SMTContentionAttack:
+    """Unit-contention receiver against simplified victim divides."""
+
+    def __init__(self, iterations=24):
+        self.victim_program = victim_div_loop(iterations)
+        self.attacker_program = attacker_div_loop(iterations)
+        self.config = CPUConfig(num_div_units=1, latency_div=20)
+
+    def measure(self, victim_value):
+        memory = FlatMemory(1 << 16)
+        memory.write(VICTIM_ADDR, victim_value)
+        hierarchy = MemoryHierarchy(memory, l1=Cache())
+        simplifier = ComputationSimplificationPlugin(
+            rules=("zero_over_anything_div",))
+        core = SMTCore(self.victim_program, self.attacker_program,
+                       hierarchy, config_a=self.config,
+                       config_b=self.config,
+                       plugins_a=[simplifier])
+        stats_a, stats_b = core.run()
+        return SMTProbeResult(victim_value=victim_value,
+                              attacker_cycles=stats_b.cycles,
+                              victim_cycles=stats_a.cycles)
+
+    def victim_operand_is_zero(self, victim_value):
+        zero_ref = self.measure(0).attacker_cycles
+        nonzero_ref = self.measure(1).attacker_cycles
+        victim = self.measure(victim_value).attacker_cycles
+        return abs(victim - zero_ref) < abs(victim - nonzero_ref)

@@ -1,0 +1,110 @@
+"""Value-prediction attack (Section IV-C3/IV-C4).
+
+The predictor's outcome — squash or no squash — is a function of
+whether the resolved load value equals the table's prediction (Figure
+3, Example 7).  The attack is symmetric, like branch-predictor attacks:
+here the attacker *trains* the PC-indexed entry with a guess through
+aliasing accesses, then the victim's load at the same (aliased) PC
+either verifies the prediction (fast) or squashes (slow).
+
+The PoC builds one program whose load PC first streams the attacker's
+training value and finally the victim's secret: the run time reveals
+whether ``secret == guess``, and 256 replays recover a secret byte.
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.assembler import Assembler
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.optimizations.value_prediction import ValuePredictionPlugin
+from repro.pipeline.cpu import CPU
+
+TRAIN_ADDR = 0x1000
+SECRET_ADDR = 0x2000
+TABLE_ADDR = 0x3000
+
+
+def build_aliasing_program(iterations=8):
+    """A loop whose single load PC reads attacker data, then the secret.
+
+    The address comes from a pointer table ``TABLE_ADDR[i]``: entries
+    0..iterations-2 point at the attacker's training cell, the last at
+    the victim's secret.  A dependent multiply chain after the load
+    gives mispredictions something to squash.
+    """
+    asm = Assembler()
+    asm.li(1, TABLE_ADDR)
+    asm.li(2, 0)
+    asm.li(3, iterations)
+    asm.li(9, 3)
+    asm.label("loop")
+    asm.slli(4, 2, 3)
+    asm.add(4, 4, 1)
+    asm.load(5, 4, 0)            # pointer
+    asm.load(6, 5, 0)            # THE aliased load (trained PC)
+    asm.mul(7, 6, 9)             # dependent work (squashed on mispredict)
+    asm.mul(7, 7, 9)
+    asm.mul(7, 7, 9)
+    asm.mul(7, 7, 9)
+    asm.addi(2, 2, 1)
+    asm.blt(2, 3, "loop")
+    asm.fence()
+    asm.halt()
+    return asm.assemble()
+
+
+@dataclass
+class VPAttackResult:
+    guess: int
+    cycles: int
+    vp_squashes: int
+
+
+class ValuePredictionAttack:
+    """Per-guess measurement and byte recovery."""
+
+    def __init__(self, secret_value, iterations=8, threshold=2):
+        self.secret_value = secret_value
+        self.iterations = iterations
+        self.threshold = threshold
+        self.program = build_aliasing_program(iterations)
+
+    def measure(self, guess):
+        """One experiment: train with ``guess``, then victim load."""
+        memory = FlatMemory(1 << 16)
+        memory.write(TRAIN_ADDR, guess)
+        memory.write(SECRET_ADDR, self.secret_value)
+        for i in range(self.iterations - 1):
+            memory.write(TABLE_ADDR + 8 * i, TRAIN_ADDR)
+        memory.write(TABLE_ADDR + 8 * (self.iterations - 1), SECRET_ADDR)
+        hierarchy = MemoryHierarchy(memory, l1=Cache())
+        plugin = ValuePredictionPlugin(threshold=self.threshold)
+        cpu = CPU(self.program, hierarchy, plugins=[plugin])
+        cpu.run()
+        return VPAttackResult(guess=guess, cycles=cpu.stats.cycles,
+                              vp_squashes=cpu.stats.vp_squashes)
+
+    def calibrate(self):
+        """Timing for a known non-matching guess vs a matching one."""
+        match = self.measure(self.secret_value)
+        mismatch_guess = (self.secret_value + 1) & 0xFF
+        mismatch = self.measure(mismatch_guess)
+        return match.cycles, mismatch.cycles
+
+    def recover_byte(self, guesses=range(256)):
+        """Replay over guesses; the fast run is the match.
+
+        Returns ``(value_or_None, experiments)``.
+        """
+        match_cycles, mismatch_cycles = self.calibrate()
+        if match_cycles >= mismatch_cycles:
+            return None, 2
+        threshold = (match_cycles + mismatch_cycles) // 2
+        experiments = 0
+        for guess in guesses:
+            experiments += 1
+            if self.measure(guess).cycles < threshold:
+                return guess, experiments
+        return None, experiments

@@ -1,0 +1,56 @@
+"""The paper's primary contribution: the MLD framework and its analyses."""
+
+from repro.core.adapters import (
+    MemoryView, prediction_table_view, register_file_view,
+    reuse_buffer_view, snapshot_from_dyn, snapshot_from_store,
+)
+from repro.core.classification import (
+    OptimizationClass, PAPER_TABLE_II, classify_mld, generate_table_ii,
+)
+from repro.core.discussion import (
+    folding_is_control_flow_only, mld_constant_folding,
+    mld_strength_reduction,
+)
+from repro.core.descriptors import (
+    FIGURE2_MLDS, FIGURE3_MLDS, mld_cache_rand, mld_im2l_prefetcher,
+    mld_im3l_prefetcher, mld_instruction_reuse, mld_operand_packing,
+    mld_rf_compression, mld_silent_stores, mld_single_cycle_alu,
+    mld_v_prediction, mld_zero_skip_mul,
+)
+from repro.core.landscape import (
+    generate_table_i, render_table, union_safety, expansions,
+)
+from repro.core.lattice import (
+    Label, experiments_to_identify, flows_to, induced_partition, join,
+    leakage_bits,
+)
+from repro.core.mld import (
+    InputKind, InstSnapshot, MLD, MLDInput, ObservationDomain,
+    concat_outcomes,
+)
+from repro.core.registry import (
+    BASELINE_COLUMN, COLUMN_ORDER, OPTIMIZATIONS, OptimizationDescriptor,
+    TABLE_I_ROWS,
+)
+from repro.core.urg import (
+    AddressRange, URGAnalysis, analyze_imp, victim_bytes_reachable,
+)
+
+__all__ = [
+    "MemoryView", "prediction_table_view", "register_file_view",
+    "reuse_buffer_view", "snapshot_from_dyn", "snapshot_from_store",
+    "folding_is_control_flow_only", "mld_constant_folding",
+    "mld_strength_reduction",
+    "OptimizationClass", "PAPER_TABLE_II", "classify_mld",
+    "generate_table_ii", "FIGURE2_MLDS", "FIGURE3_MLDS", "mld_cache_rand",
+    "mld_im2l_prefetcher", "mld_im3l_prefetcher", "mld_instruction_reuse",
+    "mld_operand_packing", "mld_rf_compression", "mld_silent_stores",
+    "mld_single_cycle_alu", "mld_v_prediction", "mld_zero_skip_mul",
+    "generate_table_i", "render_table", "union_safety", "expansions",
+    "Label", "experiments_to_identify", "flows_to", "induced_partition",
+    "join", "leakage_bits", "InputKind", "InstSnapshot", "MLD", "MLDInput",
+    "ObservationDomain", "concat_outcomes", "BASELINE_COLUMN",
+    "COLUMN_ORDER", "OPTIMIZATIONS", "OptimizationDescriptor",
+    "TABLE_I_ROWS", "AddressRange", "URGAnalysis", "analyze_imp",
+    "victim_bytes_reachable",
+]

@@ -1,0 +1,68 @@
+"""Adapters from live simulator state to MLD inputs.
+
+The MLD framework (Section IV-A) is a *specification*; the pipeline
+plug-ins are an *implementation*.  These adapters let tests close the
+loop: evaluate a descriptor on snapshots of the running machine and
+check it predicts exactly the outcome the hardware produced — silent
+or not, skipped or not, predicted or squashed.
+"""
+
+from repro.core.mld import InstSnapshot
+from repro.isa.opcodes import Op
+
+
+def snapshot_from_dyn(dyn):
+    """Build the ``Inst`` MLD input from an in-flight instruction."""
+    inst = dyn.inst
+    args = tuple(dyn.src_values[:2])
+    if inst.op in (Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLLI,
+                   Op.SRLI, Op.SLTI):
+        args = (dyn.src_values[0], inst.imm)
+    return InstSnapshot(pc=dyn.pc, op=inst.op.value, args=args,
+                        dst=dyn.result)
+
+
+def snapshot_from_store(entry):
+    """The store-instruction snapshot the silent-store MLD consumes."""
+    return InstSnapshot(pc=entry.dyn.pc, op="store",
+                        addr=entry.addr, data=entry.data)
+
+
+class MemoryView:
+    """``Arch data_memory`` adapter: subscriptable flat memory.
+
+    ``width`` fixes the comparison granularity (the store's width for
+    the silent-store descriptor).
+    """
+
+    def __init__(self, memory, width=8):
+        self.memory = memory
+        self.width = width
+
+    def __getitem__(self, addr):
+        return self.memory.read(addr, self.width)
+
+
+def reuse_buffer_view(plugin):
+    """``Uarch reuse_buffer`` adapter for the Sv reuse plug-in.
+
+    Figure 3's Example 6 models one memoized operand tuple per PC; the
+    implementation's table keys are ``(pc, v1, v2, imm)``.  The view
+    exposes, per PC, the most recently inserted operand values.
+    """
+    buffer = {}
+    for key in plugin._table:
+        pc, v1, v2, _imm = key
+        buffer[pc] = (v1, v2)
+    return buffer
+
+
+def prediction_table_view(plugin):
+    """``Uarch prediction_table`` adapter for the VP plug-in."""
+    return {pc: {"conf": min(entry[1], 7), "prediction": entry[0]}
+            for pc, entry in plugin._table.items()}
+
+
+def register_file_view(cpu, arch_regs=range(1, 32)):
+    """``Arch register_file`` adapter: current architectural values."""
+    return [cpu.arch_reg(index) for index in arch_regs]

@@ -1,0 +1,64 @@
+"""Optimization classification by MLD signature — Table II of the paper.
+
+The classification is *derived* from each optimization's MLD input
+kinds, exactly as the paper organizes Section IV:
+
+* only ``Inst`` inputs → **stateless instruction-centric** (IV-B);
+* ``Inst`` plus ``Uarch``/``Arch`` → **stateful instruction-centric**
+  (IV-C), sub-classified by which state kind participates;
+* no ``Inst`` input at all → **memory-centric** (IV-D): the transmitter
+  triggers purely as a function of data at rest.
+"""
+
+import enum
+
+from repro.core.mld import InputKind
+from repro.core.registry import COLUMN_ORDER, OPTIMIZATIONS
+
+
+class OptimizationClass(enum.Enum):
+    STATELESS_INSTRUCTION = "stateless instruction-centric (IV-B)"
+    STATEFUL_INSTRUCTION_UARCH = "stateful instruction-centric, Uarch (IV-C)"
+    STATEFUL_INSTRUCTION_ARCH = "stateful instruction-centric, Arch (IV-C)"
+    MEMORY_CENTRIC = "memory-centric (IV-D)"
+
+
+def classify_mld(mld):
+    """Classify a single MLD by its declared input kinds."""
+    kinds = set(mld.input_kinds)
+    if InputKind.INST not in kinds:
+        return OptimizationClass.MEMORY_CENTRIC
+    if InputKind.UARCH in kinds:
+        return OptimizationClass.STATEFUL_INSTRUCTION_UARCH
+    if InputKind.ARCH in kinds:
+        return OptimizationClass.STATEFUL_INSTRUCTION_ARCH
+    return OptimizationClass.STATELESS_INSTRUCTION
+
+
+def generate_table_ii():
+    """Table II: ``acronym -> OptimizationClass``, derived from MLDs."""
+    return {acronym: classify_mld(OPTIMIZATIONS[acronym].mld)
+            for acronym in COLUMN_ORDER}
+
+
+#: The paper's Table II, for verification.
+PAPER_TABLE_II = {
+    "CS": OptimizationClass.STATELESS_INSTRUCTION,
+    "PC": OptimizationClass.STATELESS_INSTRUCTION,
+    "SS": OptimizationClass.STATEFUL_INSTRUCTION_ARCH,
+    "CR": OptimizationClass.STATEFUL_INSTRUCTION_UARCH,
+    "VP": OptimizationClass.STATEFUL_INSTRUCTION_UARCH,
+    "RFC": OptimizationClass.MEMORY_CENTRIC,
+    "DMP": OptimizationClass.MEMORY_CENTRIC,
+}
+
+
+def render_table():
+    """ASCII rendering of Table II."""
+    table = generate_table_ii()
+    lines = ["Optimization classification by MLD signature", "-" * 60]
+    for acronym in COLUMN_ORDER:
+        descriptor = OPTIMIZATIONS[acronym]
+        lines.append(f"{acronym:5s} {descriptor.name:35s} "
+                     f"{table[acronym].value}")
+    return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""The example MLDs of Figures 2 and 3, made executable.
+
+Each descriptor follows the paper's definition line-for-line; the
+docstrings quote the figure it implements.  ``Uarch`` inputs are
+lightweight stand-ins (dicts, :class:`repro.memory.Cache` instances,
+simple tables) so the descriptors can be evaluated and property-tested
+directly, and also pointed at the live structures inside the simulator.
+"""
+
+from repro.isa.bits import msb_index
+from repro.core.mld import InputKind, MLD, MLDInput, concat_outcomes
+
+# ---------------------------------------------------------------------------
+# Figure 2: MLDs for structures covered by prior work
+# ---------------------------------------------------------------------------
+
+
+def _single_cycle_alu(i1):
+    """Example 1: a single-cycle ALU produces the result one cycle later
+    for any operand assignment — a single outcome, i.e. Safe."""
+    del i1
+    return 0
+
+
+mld_single_cycle_alu = MLD(
+    "single_cycle_alu",
+    [MLDInput(InputKind.INST, "i1")],
+    _single_cycle_alu,
+    "Single-cycle addition: unconditionally one outcome (no transmitter).")
+
+
+def _zero_skip_mul(i1):
+    """Example 2: the multiply skips (0 cycles) iff any operand is 0."""
+    return int(any(value == 0 for value in i1.args))
+
+
+mld_zero_skip_mul = MLD(
+    "zero_skip_mul",
+    [MLDInput(InputKind.INST, "i1")],
+    _zero_skip_mul,
+    "Zero-skip multiply: two timing outcomes keyed on operand values.")
+
+
+def _cache_rand(i1, cache):
+    """Example 3: cache without shared memory, random replacement.
+
+    ``set(i1.addr.v) + 1`` if the address is uncached, else 0 — one
+    outcome per set index plus one for a hit.
+    """
+    if cache.contains(i1.addr):
+        return 0
+    return cache.set_index(i1.addr) + 1
+
+
+mld_cache_rand = MLD(
+    "cache_rand",
+    [MLDInput(InputKind.INST, "i1"), MLDInput(InputKind.UARCH, "cache")],
+    _cache_rand,
+    "Random-replacement cache: num_sets + 1 outcomes.")
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: MLDs for the optimization classes the paper studies
+# ---------------------------------------------------------------------------
+
+NARROW_BITS = 16
+
+
+def _operand_packing(i1, i2):
+    """Example 4: two ops pack iff all four operands have msb < 16."""
+    operands = list(i1.args) + list(i2.args)
+    return int(all(msb_index(value) < NARROW_BITS for value in operands))
+
+
+mld_operand_packing = MLD(
+    "operand_packing",
+    [MLDInput(InputKind.INST, "i1"), MLDInput(InputKind.INST, "i2")],
+    _operand_packing,
+    "Operand packing: packs iff every operand of both ops is narrow.")
+
+
+def _silent_stores(i1, data_memory):
+    """Example 5: the store is silent iff its data equals memory."""
+    return int(i1.data == data_memory[i1.addr])
+
+
+mld_silent_stores = MLD(
+    "silent_stores",
+    [MLDInput(InputKind.INST, "i1"), MLDInput(InputKind.ARCH, "data_memory")],
+    _silent_stores,
+    "Silent stores: equality of in-flight store data with memory.")
+
+
+def _instruction_reuse(i1, reuse_buffer):
+    """Example 6: Sv-variant dynamic instruction reuse — hit iff every
+    operand equals the memoized operand for this PC."""
+    entry = reuse_buffer.get(i1.pc)
+    if entry is None:
+        return 0
+    return int(all(value == memoized
+                   for value, memoized in zip(i1.args, entry)))
+
+
+mld_instruction_reuse = MLD(
+    "instruction_reuse",
+    [MLDInput(InputKind.INST, "i1"),
+     MLDInput(InputKind.UARCH, "reuse_buffer")],
+    _instruction_reuse,
+    "Computation reuse (Sv): operand equality with the memoization table.")
+
+#: Confidence domain used by the value-prediction MLD's concatenation.
+VP_CONFIDENCE_DOMAIN = 8
+
+
+def _v_prediction(i1, prediction_table):
+    """Example 7: outcome = confidence || (prediction == result)."""
+    entry = prediction_table.get(i1.pc, {"conf": 0, "prediction": None})
+    match = int(entry["prediction"] == i1.dst)
+    return concat_outcomes([(match, 2),
+                            (entry["conf"], VP_CONFIDENCE_DOMAIN)])
+
+
+mld_v_prediction = MLD(
+    "v_prediction",
+    [MLDInput(InputKind.INST, "i1"),
+     MLDInput(InputKind.UARCH, "prediction_table")],
+    _v_prediction,
+    "Value prediction: confidence concatenated with predicted==resolved.")
+
+
+def _rf_compression(register_file):
+    """Example 8: 0/1-variant register-file compression — the outcome
+    concatenates, per register, whether its value is <= 1."""
+    pairs = [(int(value <= 1), 2) for value in register_file]
+    return concat_outcomes(pairs)
+
+
+mld_rf_compression = MLD(
+    "rf_compression",
+    [MLDInput(InputKind.ARCH, "register_file")],
+    _rf_compression,
+    "Register-file compression (0/1): one compressibility bit per register.")
+
+
+def _cache_outcome(addr, cache):
+    """``cache_h(.)``: the cache MLD taking a raw address (Fig. 3 caption)."""
+    if cache.contains(addr):
+        return 0
+    return cache.set_index(addr) + 1
+
+
+def _im3l_prefetcher(imp, cache, data_memory):
+    """Example 9: 3-level indirect-memory prefetching for X[Y[Z[i]]].
+
+    ``imp`` carries ``baseZ``/``baseY``/``baseX``, ``start`` (= i + Δ)
+    and ``shift`` (element-size scale).  The outcome concatenates the
+    cache outcomes of the three chained prefetch addresses.
+    """
+    shift = imp.get("shift", 3)
+    s = imp["start"]
+    z_addr = imp["baseZ"] + (s << shift)
+    z = data_memory[z_addr]
+    y_addr = imp["baseY"] + (z << shift)
+    y = data_memory[y_addr]
+    x_addr = imp["baseX"] + (y << shift)
+    domain = cache.num_sets + 1
+    return concat_outcomes([
+        (_cache_outcome(z_addr, cache), domain),
+        (_cache_outcome(y_addr, cache), domain),
+        (_cache_outcome(x_addr, cache), domain),
+    ])
+
+
+mld_im3l_prefetcher = MLD(
+    "im3l_prefetcher",
+    [MLDInput(InputKind.UARCH, "imp"), MLDInput(InputKind.UARCH, "cache"),
+     MLDInput(InputKind.ARCH, "data_memory")],
+    _im3l_prefetcher,
+    "3-level IMP: three chained cache outcomes, each keyed on memory data.")
+
+
+def _im2l_prefetcher(imp, cache, data_memory):
+    """The 2-level variant (Section IV-D4): no dereference into X."""
+    shift = imp.get("shift", 3)
+    s = imp["start"]
+    z_addr = imp["baseZ"] + (s << shift)
+    z = data_memory[z_addr]
+    y_addr = imp["baseY"] + (z << shift)
+    domain = cache.num_sets + 1
+    return concat_outcomes([
+        (_cache_outcome(z_addr, cache), domain),
+        (_cache_outcome(y_addr, cache), domain),
+    ])
+
+
+mld_im2l_prefetcher = MLD(
+    "im2l_prefetcher",
+    [MLDInput(InputKind.UARCH, "imp"), MLDInput(InputKind.UARCH, "cache"),
+     MLDInput(InputKind.ARCH, "data_memory")],
+    _im2l_prefetcher,
+    "2-level IMP: two chained cache outcomes (not a URG; Section IV-D4).")
+
+
+#: Computation simplification's representative MLD is the zero-skip
+#: multiply of Figure 2; re-exported under the class's name for the
+#: registry.
+mld_computation_simplification = mld_zero_skip_mul
+
+FIGURE2_MLDS = (mld_single_cycle_alu, mld_zero_skip_mul, mld_cache_rand)
+FIGURE3_MLDS = (mld_operand_packing, mld_silent_stores,
+                mld_instruction_reuse, mld_v_prediction,
+                mld_rf_compression, mld_im3l_prefetcher)

@@ -1,0 +1,66 @@
+"""Continuous / trace-based optimization analysis (Section VI-B).
+
+The paper's discussion-level finding: runtime optimizers (trace caches,
+continuous optimization of in-flight micro-ops) create *novel* privacy
+implications only in specific circumstances —
+
+* **constant folding** keyed on producer opcodes/immediates leaks
+  nothing beyond program control flow, which known attacks already
+  reveal (Table I's Baseline marks control flow Unsafe);
+* **strength reduction** keyed on a specific *operand value* (e.g.
+  replacing a multiply by a power-of-two with a shift) manifests beyond
+  control flow: it changes arithmetic-port usage as a function of data,
+  the same channel as port-contention attacks.
+
+Both are modeled as MLDs so the distinction is checkable: over a domain
+with fixed control flow, the folding MLD has one outcome per *static
+trace*, the strength-reduction MLD has one outcome per *operand class*.
+"""
+
+from repro.core.mld import InputKind, MLD, MLDInput
+
+
+def _constant_folding(trace):
+    """Outcome = the folded trace shape, a function of opcodes and
+    immediates only (all public under constant-time rules).
+
+    ``trace`` is a Uarch view: a tuple of (opcode, has_constant_inputs)
+    pairs describing the hot region the optimizer rewrote.
+    """
+    folded = tuple(op for op, constant in trace if not constant)
+    return hash(folded) % (1 << 30)
+
+
+mld_constant_folding = MLD(
+    "continuous_constant_folding",
+    [MLDInput(InputKind.UARCH, "trace")],
+    _constant_folding,
+    "Constant folding of a hot trace: outcome keyed on static opcodes "
+    "and constant-ness, i.e. control-flow-class information only.")
+
+
+def _strength_reduction(i1):
+    """Outcome = whether the optimizer rewrote this multiply to a
+    shift, a function of the operand *value* (power of two)."""
+    operand = i1.args[1]
+    return int(operand != 0 and (operand & (operand - 1)) == 0)
+
+
+mld_strength_reduction = MLD(
+    "continuous_strength_reduction",
+    [MLDInput(InputKind.INST, "i1")],
+    _strength_reduction,
+    "Strength reduction by operand value: mul-by-power-of-two becomes "
+    "a shift — a data transmitter through execution-port usage.")
+
+
+def folding_is_control_flow_only(traces_with_same_static_shape):
+    """True when constant folding cannot distinguish the given traces.
+
+    Pass dynamic traces that share one static shape (same opcodes,
+    same constant-ness) but carry different *data*: the folding MLD
+    must map them all to a single outcome.
+    """
+    outcomes = {mld_constant_folding(trace)
+                for trace in traces_with_same_static_shape}
+    return len(outcomes) == 1

@@ -1,0 +1,102 @@
+"""The leakage landscape — Table I of the paper.
+
+Generates the full table from the optimization registry and checks the
+paper's two headline claims about it (Section III, Goal 1):
+
+* every studied optimization expands leakage relative to the Baseline;
+* taking the union of all studied optimizations, **no** instruction
+  operand/result (or data at rest) remains safe.
+"""
+
+from repro.core.registry import (
+    BASELINE_COLUMN, COLUMN_ORDER, NO_CHANGE, OPTIMIZATIONS, SAFE,
+    TABLE_I_ROWS, UNSAFE, UNSAFE_DIFFERENT,
+)
+
+ROW_LABELS = {
+    ("operands", "int_simple"): "Operands / Int simple ops",
+    ("operands", "int_mul"): "Operands / Int mul",
+    ("operands", "int_div"): "Operands / Int div",
+    ("operands", "fp"): "Operands / FP ops",
+    ("result", "int_simple"): "Result / Int simple ops",
+    ("result", "int_mul"): "Result / Int mul",
+    ("result", "int_div"): "Result / Int div",
+    ("result", "fp"): "Result / FP ops",
+    ("addr", "load"): "Addr / Load",
+    ("addr", "store"): "Addr / Store",
+    ("data", "load"): "Data / Load",
+    ("data", "store"): "Data / Store",
+    ("control_flow", "control_flow"): "Control flow",
+    ("at_rest", "register_file"): "At rest / Register file",
+    ("at_rest", "data_memory"): "At rest / Data memory",
+}
+
+
+def generate_table_i():
+    """Build Table I: ``row -> {column -> marker}`` including Baseline."""
+    table = {}
+    for row in TABLE_I_ROWS:
+        cells = {"Baseline": BASELINE_COLUMN[row]}
+        for acronym in COLUMN_ORDER:
+            cells[acronym] = OPTIMIZATIONS[acronym].column()[row]
+        table[row] = cells
+    return table
+
+
+def effective_safety(row, column_marker, baseline_marker):
+    """Resolve a column cell against the Baseline (``-`` inherits)."""
+    del row
+    if column_marker == NO_CHANGE:
+        return baseline_marker
+    return column_marker
+
+
+def union_safety():
+    """Per-row safety when *all* studied optimizations are present."""
+    table = generate_table_i()
+    result = {}
+    for row, cells in table.items():
+        baseline = cells["Baseline"]
+        markers = [effective_safety(row, cells[acr], baseline)
+                   for acr in COLUMN_ORDER]
+        if any(marker in (UNSAFE, UNSAFE_DIFFERENT) for marker in markers) \
+                or baseline == UNSAFE:
+            result[row] = UNSAFE
+        else:
+            result[row] = SAFE
+    return result
+
+
+def expansions(acronym):
+    """Rows whose safety the optimization changes vs the Baseline."""
+    column = OPTIMIZATIONS[acronym].column()
+    changed = []
+    for row in TABLE_I_ROWS:
+        marker = column[row]
+        if marker == NO_CHANGE:
+            continue
+        baseline = BASELINE_COLUMN[row]
+        if marker == UNSAFE and baseline == SAFE:
+            changed.append((row, "S->U"))
+        elif marker == UNSAFE_DIFFERENT:
+            changed.append((row, "U->U'"))
+        elif marker == UNSAFE and baseline == UNSAFE:
+            changed.append((row, "U->U"))
+    return changed
+
+
+def render_table(table=None):
+    """ASCII rendering of Table I in the paper's layout."""
+    if table is None:
+        table = generate_table_i()
+    columns = ["Baseline"] + list(COLUMN_ORDER)
+    label_width = max(len(label) for label in ROW_LABELS.values()) + 2
+    header = "".ljust(label_width) + "".join(
+        col.ljust(10) for col in columns)
+    lines = [header, "-" * len(header)]
+    for row in TABLE_I_ROWS:
+        cells = table[row]
+        line = ROW_LABELS[row].ljust(label_width) + "".join(
+            cells[col].ljust(10) for col in columns)
+        lines.append(line)
+    return "\n".join(lines)

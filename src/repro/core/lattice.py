@@ -1,0 +1,85 @@
+"""Security lattice and preconditioning analysis (Section IV-A2).
+
+The paper interprets MLD inputs through the lattice ``L ⊑ C ⊑ H``
+(public ⊑ attacker-controlled ⊑ private).  What an attacker learns from
+an observable outcome depends on which inputs it controls: this module
+computes the *induced partition* on the private inputs once public and
+attacker-controlled inputs are fixed — the formal version of the
+zero-skip-multiply discussion in Section IV-A2 ("if the public operand
+is 0, that the skip occurs is purely a function of public information").
+"""
+
+import enum
+import math
+
+
+class Label(enum.Enum):
+    """Security labels, ordered ``PUBLIC ⊑ CONTROLLED ⊑ PRIVATE``."""
+
+    PUBLIC = "L"
+    CONTROLLED = "C"
+    PRIVATE = "H"
+
+
+_ORDER = {Label.PUBLIC: 0, Label.CONTROLLED: 1, Label.PRIVATE: 2}
+
+
+def flows_to(source, sink):
+    """May information labeled ``source`` flow to a ``sink`` context?"""
+    return _ORDER[source] <= _ORDER[sink]
+
+
+def join(a, b):
+    """Least upper bound of two labels."""
+    return a if _ORDER[a] >= _ORDER[b] else b
+
+
+def induced_partition(outcome_fn, private_domain, fixed_inputs):
+    """Partition the private domain by observable outcome.
+
+    ``outcome_fn`` takes ``(private_value, *fixed_inputs)``.  Returns
+    ``outcome_id -> sorted list of private values``.  A partition with
+    one block means the attacker learns nothing about the private value
+    under this preconditioning; ``len(private_domain)`` singleton blocks
+    mean it is fully revealed by one observation.
+    """
+    blocks = {}
+    for private_value in private_domain:
+        outcome = outcome_fn(private_value, *fixed_inputs)
+        blocks.setdefault(outcome, []).append(private_value)
+    return {k: sorted(v) for k, v in blocks.items()}
+
+
+def leakage_bits(outcome_fn, private_domain, fixed_inputs):
+    """Shannon information (bits) one observation reveals, assuming the
+    private value is uniform over ``private_domain``."""
+    blocks = induced_partition(outcome_fn, private_domain, fixed_inputs)
+    total = sum(len(b) for b in blocks.values())
+    entropy_after = 0.0
+    for block in blocks.values():
+        p_block = len(block) / total
+        entropy_after += p_block * math.log2(len(block))
+    return math.log2(total) - entropy_after
+
+
+def experiments_to_identify(outcome_fn, private_domain, precondition_values):
+    """How many active-attack experiments pin down a private value?
+
+    Simulates the replay attack of Section II-2 / IV-C4: for each
+    possible secret, count how many preconditionings (in order) the
+    attacker must try before the remaining candidate set is a singleton.
+    Returns ``{secret: experiments_needed_or_None}``.
+    """
+    results = {}
+    for secret in private_domain:
+        candidates = set(private_domain)
+        needed = None
+        for count, precondition in enumerate(precondition_values, start=1):
+            observed = outcome_fn(secret, precondition)
+            candidates = {c for c in candidates
+                          if outcome_fn(c, precondition) == observed}
+            if len(candidates) == 1:
+                needed = count
+                break
+        results[secret] = needed
+    return results

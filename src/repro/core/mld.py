@@ -1,0 +1,153 @@
+"""Microarchitectural leakage descriptors (MLDs) — Section IV-A.
+
+An MLD is a *stateless function* describing which interactions between
+in-flight dynamic instructions (``Inst``), persistent microarchitectural
+state (``Uarch``) and architectural state (``Arch``) produce which
+distinct observable outcomes.  Given a concrete assignment to its
+inputs, an MLD returns a natural number identifying the outcome; the
+mapping partitions the input-assignment space, and ``log2`` of the
+partition size upper-bounds the channel capacity (Section IV-A3).
+"""
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+
+class InputKind(enum.Enum):
+    """The three MLD input types of Section IV-A."""
+
+    INST = "Inst"
+    UARCH = "Uarch"
+    ARCH = "Arch"
+
+
+@dataclass(frozen=True)
+class MLDInput:
+    """One declared input of an MLD: its kind and a descriptive name."""
+
+    kind: InputKind
+    name: str
+
+    def __str__(self):
+        return f"{self.kind.value} {self.name}"
+
+
+@dataclass(frozen=True)
+class InstSnapshot:
+    """A concrete ``Inst`` input: a dynamic instruction's visible values.
+
+    Mirrors the convenience fields the paper assumes (Section IV-A1):
+    ``pc``, opcode, operand values (``arg.v_i``), result value
+    (``dst.v``), address and data for memory ops.
+    """
+
+    pc: int = 0
+    op: str = ""
+    args: tuple = ()
+    dst: object = None
+    addr: object = None
+    data: object = None
+
+
+class MLD:
+    """A named leakage descriptor wrapping an outcome function.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"silent_stores"``.
+    inputs:
+        Sequence of :class:`MLDInput` declaring the signature.
+    outcome_fn:
+        Callable taking one positional argument per declared input and
+        returning a natural number (the outcome id).
+    description:
+        Human-readable summary of the observable outcome.
+    """
+
+    def __init__(self, name, inputs, outcome_fn, description=""):
+        self.name = name
+        self.inputs = tuple(inputs)
+        self._outcome_fn = outcome_fn
+        self.description = description
+
+    def __call__(self, *args):
+        if len(args) != len(self.inputs):
+            raise TypeError(
+                f"MLD {self.name} expects {len(self.inputs)} inputs "
+                f"({', '.join(map(str, self.inputs))}), got {len(args)}")
+        outcome = self._outcome_fn(*args)
+        if not isinstance(outcome, int) or outcome < 0:
+            raise ValueError(
+                f"MLD {self.name} must return a natural number, "
+                f"got {outcome!r}")
+        return outcome
+
+    # -- signature interrogation (drives the Table II classification) ----
+
+    @property
+    def input_kinds(self):
+        return tuple(spec.kind for spec in self.inputs)
+
+    def reads(self, kind):
+        return kind in self.input_kinds
+
+    # -- partition / capacity analysis (Section IV-A3) -----------------------
+
+    def partition(self, assignments):
+        """Group concrete input assignments by observable outcome.
+
+        ``assignments`` is an iterable of argument tuples.  Returns a
+        dict ``outcome_id -> list of assignments``: the partition S that
+        the paper defines.
+        """
+        groups = {}
+        for assignment in assignments:
+            groups.setdefault(self(*assignment), []).append(assignment)
+        return groups
+
+    def outcome_count(self, assignments):
+        return len(self.partition(assignments))
+
+    def capacity_bits(self, assignments):
+        """``log2 |S|``: channel-capacity upper bound over a domain."""
+        count = self.outcome_count(assignments)
+        return math.log2(count) if count else 0.0
+
+    def __repr__(self):
+        sig = ", ".join(map(str, self.inputs))
+        return f"mld {self.name}({sig})"
+
+
+def concat_outcomes(pairs):
+    """The ``||`` (concatenation) operator of Figure 3's caption.
+
+    ``pairs`` is a sequence ``[(d0, D0), (d1, D1), ...]`` of outcome
+    values with their domain sizes, least-significant first:
+    ``d_{N-1} || ... || d_0 = sum_i (prod_{j<i} D_j) * d_i``.
+    The microarchitecture leaks information about each ``d_i``
+    independently.
+    """
+    total = 0
+    scale = 1
+    for value, domain in pairs:
+        if not 0 <= value < domain:
+            raise ValueError(f"outcome {value} outside domain [0, {domain})")
+        total += scale * value
+        scale *= domain
+    return total
+
+
+@dataclass
+class ObservationDomain:
+    """A finite input domain used for capacity estimation in benches."""
+
+    name: str
+    assignments: list = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.assignments)
+
+    def __len__(self):
+        return len(self.assignments)

@@ -1,0 +1,174 @@
+"""Registry of the studied optimization classes.
+
+Binds together, per optimization: the acronym used in Tables I/II, the
+representative MLD, the pipeline plug-in implementing it, and the
+*leakage profile* — which rows of the leakage landscape (Table I) the
+optimization newly endangers and how.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core import descriptors
+from repro.optimizations.computation_reuse import ComputationReusePlugin
+from repro.optimizations.computation_simplification import (
+    ComputationSimplificationPlugin,
+)
+from repro.optimizations.dmp import IndirectMemoryPrefetcher
+from repro.optimizations.pipeline_compression import OperandPackingPlugin
+from repro.optimizations.register_file_compression import (
+    RegisterFileCompressionPlugin,
+)
+from repro.optimizations.silent_stores import SilentStorePlugin
+from repro.optimizations.value_prediction import ValuePredictionPlugin
+
+# Markers used in Table I.
+SAFE = "S"
+UNSAFE = "U"
+UNSAFE_DIFFERENT = "U'"
+NO_CHANGE = "-"
+
+#: Rows of Table I, in the paper's order.  Each is (section, data type).
+TABLE_I_ROWS = (
+    ("operands", "int_simple"),
+    ("operands", "int_mul"),
+    ("operands", "int_div"),
+    ("operands", "fp"),
+    ("result", "int_simple"),
+    ("result", "int_mul"),
+    ("result", "int_div"),
+    ("result", "fp"),
+    ("addr", "load"),
+    ("addr", "store"),
+    ("data", "load"),
+    ("data", "store"),
+    ("control_flow", "control_flow"),
+    ("at_rest", "register_file"),
+    ("at_rest", "data_memory"),
+)
+
+#: The Baseline column: what known attacks already leak (Section II-1).
+#: Register file / data memory carry the paper's ‡ caveat: unsafe only
+#: when combined with a speculative-execution gadget.
+BASELINE_COLUMN = {
+    ("operands", "int_simple"): SAFE,
+    ("operands", "int_mul"): SAFE,
+    ("operands", "int_div"): UNSAFE,       # early-exit division [44]
+    ("operands", "fp"): UNSAFE,            # subnormal timing [37]
+    ("result", "int_simple"): SAFE,
+    ("result", "int_mul"): SAFE,
+    ("result", "int_div"): SAFE,
+    ("result", "fp"): SAFE,
+    ("addr", "load"): UNSAFE,              # cache attacks [49]
+    ("addr", "store"): UNSAFE,             # cache attacks [49]
+    ("data", "load"): SAFE,
+    ("data", "store"): SAFE,
+    ("control_flow", "control_flow"): UNSAFE,  # branch predictors [56]
+    ("at_rest", "register_file"): SAFE,
+    ("at_rest", "data_memory"): SAFE,
+}
+
+
+@dataclass(frozen=True)
+class OptimizationDescriptor:
+    """Everything the analyses need to know about one optimization class."""
+
+    acronym: str
+    name: str
+    paper_section: str
+    mld: object
+    plugin_class: object
+    #: Table I column: row -> marker; rows absent mean NO_CHANGE.
+    leakage_profile: dict = field(default_factory=dict)
+
+    def column(self):
+        """The full Table I column for this optimization."""
+        return {row: self.leakage_profile.get(row, NO_CHANGE)
+                for row in TABLE_I_ROWS}
+
+
+OPTIMIZATIONS = {
+    "CS": OptimizationDescriptor(
+        acronym="CS",
+        name="computation simplification",
+        paper_section="IV-B1",
+        mld=descriptors.mld_computation_simplification,
+        plugin_class=ComputationSimplificationPlugin,
+        leakage_profile={
+            ("operands", "int_simple"): UNSAFE,
+            ("operands", "int_mul"): UNSAFE,
+            ("operands", "int_div"): UNSAFE_DIFFERENT,
+            ("operands", "fp"): UNSAFE_DIFFERENT,
+        }),
+    "PC": OptimizationDescriptor(
+        acronym="PC",
+        name="pipeline compression",
+        paper_section="IV-B2",
+        mld=descriptors.mld_operand_packing,
+        plugin_class=OperandPackingPlugin,
+        leakage_profile={
+            ("operands", "int_simple"): UNSAFE,
+            ("operands", "int_mul"): UNSAFE,
+            ("operands", "int_div"): UNSAFE_DIFFERENT,
+            ("at_rest", "register_file"): UNSAFE,
+        }),
+    "SS": OptimizationDescriptor(
+        acronym="SS",
+        name="silent stores",
+        paper_section="IV-C1",
+        mld=descriptors.mld_silent_stores,
+        plugin_class=SilentStorePlugin,
+        leakage_profile={
+            ("data", "store"): UNSAFE,
+            ("at_rest", "data_memory"): UNSAFE,
+        }),
+    "CR": OptimizationDescriptor(
+        acronym="CR",
+        name="computation reuse",
+        paper_section="IV-C2",
+        mld=descriptors.mld_instruction_reuse,
+        plugin_class=ComputationReusePlugin,
+        leakage_profile={
+            ("operands", "int_simple"): UNSAFE,
+            ("operands", "int_mul"): UNSAFE,
+            ("operands", "int_div"): UNSAFE_DIFFERENT,
+            ("operands", "fp"): UNSAFE_DIFFERENT,
+        }),
+    "VP": OptimizationDescriptor(
+        acronym="VP",
+        name="value prediction",
+        paper_section="IV-C3",
+        mld=descriptors.mld_v_prediction,
+        plugin_class=ValuePredictionPlugin,
+        leakage_profile={
+            ("result", "int_simple"): UNSAFE,
+            ("result", "int_mul"): UNSAFE,
+            ("result", "int_div"): UNSAFE,
+            ("result", "fp"): UNSAFE,
+            ("data", "load"): UNSAFE,
+        }),
+    "RFC": OptimizationDescriptor(
+        acronym="RFC",
+        name="register-file compression",
+        paper_section="IV-D1",
+        mld=descriptors.mld_rf_compression,
+        plugin_class=RegisterFileCompressionPlugin,
+        leakage_profile={
+            ("result", "int_simple"): UNSAFE,
+            ("result", "int_mul"): UNSAFE,
+            ("result", "int_div"): UNSAFE,
+            ("result", "fp"): UNSAFE,
+            ("at_rest", "register_file"): UNSAFE,
+        }),
+    "DMP": OptimizationDescriptor(
+        acronym="DMP",
+        name="data memory-dependent prefetching",
+        paper_section="IV-D2",
+        mld=descriptors.mld_im3l_prefetcher,
+        plugin_class=IndirectMemoryPrefetcher,
+        leakage_profile={
+            ("at_rest", "data_memory"): UNSAFE,
+        }),
+}
+
+#: Column order in Table I.
+COLUMN_ORDER = ("CS", "PC", "SS", "CR", "VP", "RFC", "DMP")

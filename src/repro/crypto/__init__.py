@@ -1,0 +1,20 @@
+"""Crypto victim: reference AES-128 and the bitsliced (BSAES) variant."""
+
+from repro.crypto.aes import decrypt_block, encrypt_block, shift_rows
+from repro.crypto.bsaes import (
+    encrypt_with_trace, from_planes, last_round_planes,
+    recover_key_from_planes, to_planes,
+)
+from repro.crypto.ct_primitives import (
+    build_ct_compare, build_ct_lookup, build_ct_select,
+)
+from repro.crypto.gf import INV_SBOX, SBOX, gf_inv, gf_mul, gf_pow
+from repro.crypto.keyschedule import RCON, expand_key, invert_key_schedule
+
+__all__ = [
+    "decrypt_block", "encrypt_block", "shift_rows", "encrypt_with_trace",
+    "from_planes", "last_round_planes", "recover_key_from_planes",
+    "to_planes", "build_ct_compare", "build_ct_lookup",
+    "build_ct_select", "INV_SBOX", "SBOX", "gf_inv", "gf_mul", "gf_pow",
+    "RCON", "expand_key", "invert_key_schedule",
+]

@@ -1,0 +1,106 @@
+"""Reference AES-128 (FIPS-197), byte-oriented.
+
+The golden model against which the bitsliced implementation is tested.
+State is column-major: byte index ``4*c + r`` holds row ``r``,
+column ``c``.
+"""
+
+from repro.crypto.gf import INV_SBOX, SBOX, gf_mul
+from repro.crypto.keyschedule import expand_key
+
+
+def _sub_bytes(state):
+    return bytes(SBOX[b] for b in state)
+
+
+def _inv_sub_bytes(state):
+    return bytes(INV_SBOX[b] for b in state)
+
+
+def shift_rows(state):
+    """Row ``r`` rotates left by ``r`` (column-major layout)."""
+    out = bytearray(16)
+    for c in range(4):
+        for r in range(4):
+            out[4 * c + r] = state[4 * ((c + r) % 4) + r]
+    return bytes(out)
+
+
+def inv_shift_rows(state):
+    out = bytearray(16)
+    for c in range(4):
+        for r in range(4):
+            out[4 * ((c + r) % 4) + r] = state[4 * c + r]
+    return bytes(out)
+
+
+def _mix_single_column(col):
+    a0, a1, a2, a3 = col
+    return (
+        gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3,
+        a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3,
+        a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3),
+        gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2),
+    )
+
+
+def _mix_columns(state):
+    out = bytearray(16)
+    for c in range(4):
+        out[4 * c:4 * c + 4] = _mix_single_column(state[4 * c:4 * c + 4])
+    return bytes(out)
+
+
+def _inv_mix_single_column(col):
+    a0, a1, a2, a3 = col
+    return (
+        gf_mul(a0, 14) ^ gf_mul(a1, 11) ^ gf_mul(a2, 13) ^ gf_mul(a3, 9),
+        gf_mul(a0, 9) ^ gf_mul(a1, 14) ^ gf_mul(a2, 11) ^ gf_mul(a3, 13),
+        gf_mul(a0, 13) ^ gf_mul(a1, 9) ^ gf_mul(a2, 14) ^ gf_mul(a3, 11),
+        gf_mul(a0, 11) ^ gf_mul(a1, 13) ^ gf_mul(a2, 9) ^ gf_mul(a3, 14),
+    )
+
+
+def _inv_mix_columns(state):
+    out = bytearray(16)
+    for c in range(4):
+        out[4 * c:4 * c + 4] = _inv_mix_single_column(
+            state[4 * c:4 * c + 4])
+    return bytes(out)
+
+
+def _add_round_key(state, round_key):
+    return bytes(s ^ k for s, k in zip(state, round_key))
+
+
+def encrypt_block(key, plaintext):
+    """Encrypt one 16-byte block."""
+    if len(plaintext) != 16:
+        raise ValueError("plaintext block must be 16 bytes")
+    round_keys = expand_key(key)
+    state = _add_round_key(plaintext, round_keys[0])
+    for round_index in range(1, 10):
+        state = _sub_bytes(state)
+        state = shift_rows(state)
+        state = _mix_columns(state)
+        state = _add_round_key(state, round_keys[round_index])
+    state = _sub_bytes(state)
+    state = shift_rows(state)
+    state = _add_round_key(state, round_keys[10])
+    return state
+
+
+def decrypt_block(key, ciphertext):
+    """Decrypt one 16-byte block."""
+    if len(ciphertext) != 16:
+        raise ValueError("ciphertext block must be 16 bytes")
+    round_keys = expand_key(key)
+    state = _add_round_key(ciphertext, round_keys[10])
+    state = inv_shift_rows(state)
+    state = _inv_sub_bytes(state)
+    for round_index in range(9, 0, -1):
+        state = _add_round_key(state, round_keys[round_index])
+        state = _inv_mix_columns(state)
+        state = inv_shift_rows(state)
+        state = _inv_sub_bytes(state)
+    return _add_round_key(state, round_keys[0])

@@ -1,0 +1,74 @@
+"""Vectorized (numpy) batch evaluation of BSAES last-round planes.
+
+The Section V-A3 attacker must search up to 65,536 plaintexts per
+targeted intermediate value.  Computing its *own* planes for candidate
+plaintexts is pure attacker-side work (it knows its own key), so we
+evaluate it in bulk; every candidate still costs one oracle query
+against the victim.  Differentially tested against
+:func:`repro.crypto.bsaes.last_round_planes`.
+"""
+
+import numpy as np
+
+from repro.crypto.gf import SBOX, xtime
+from repro.crypto.keyschedule import expand_key
+
+_SBOX = np.array(SBOX, dtype=np.uint8)
+_XTIME = np.array([xtime(i) for i in range(256)], dtype=np.uint8)
+
+# Column-major ShiftRows permutation: out[4c+r] = in[4((c+r)%4)+r].
+_SHIFT_ROWS = np.array([4 * ((c + r) % 4) + r
+                        for c in range(4) for r in range(4)])
+
+# Bit-plane packing: plane b, bit i = bit b of byte i.
+_PLANE_WEIGHTS = (np.uint16(1) << np.arange(16, dtype=np.uint16))
+
+
+def _mix_columns_batch(state):
+    """MixColumns over a (N, 16) uint8 state array."""
+    out = np.empty_like(state)
+    for c in range(4):
+        col = state[:, 4 * c:4 * c + 4]
+        a0, a1, a2, a3 = (col[:, 0], col[:, 1], col[:, 2], col[:, 3])
+        x0, x1, x2, x3 = (_XTIME[a0], _XTIME[a1], _XTIME[a2], _XTIME[a3])
+        out[:, 4 * c + 0] = x0 ^ (x1 ^ a1) ^ a2 ^ a3
+        out[:, 4 * c + 1] = a0 ^ x1 ^ (x2 ^ a2) ^ a3
+        out[:, 4 * c + 2] = a0 ^ a1 ^ x2 ^ (x3 ^ a3)
+        out[:, 4 * c + 3] = (x0 ^ a0) ^ a1 ^ a2 ^ x3
+    return out
+
+
+def _planes_batch(state):
+    """Pack (N, 16) states into (N, 8) uint16 plane arrays."""
+    planes = np.zeros((state.shape[0], 8), dtype=np.uint16)
+    for bit in range(8):
+        bits = ((state >> bit) & 1).astype(np.uint16)
+        planes[:, bit] = bits @ _PLANE_WEIGHTS
+    return planes
+
+
+def batch_last_round_planes(key, plaintexts):
+    """Final-round SubBytes planes for many plaintexts.
+
+    ``plaintexts`` is an (N, 16) uint8 array; returns an (N, 8) uint16
+    array of plane values (the eight spilled stack slots per call).
+    """
+    plaintexts = np.asarray(plaintexts, dtype=np.uint8)
+    if plaintexts.ndim != 2 or plaintexts.shape[1] != 16:
+        raise ValueError("plaintexts must have shape (N, 16)")
+    round_keys = [np.frombuffer(rk, dtype=np.uint8)
+                  for rk in expand_key(key)]
+    state = plaintexts ^ round_keys[0]
+    for round_index in range(1, 10):
+        state = _SBOX[state]
+        state = state[:, _SHIFT_ROWS]
+        state = _mix_columns_batch(state)
+        state = state ^ round_keys[round_index]
+    state = _SBOX[state]
+    return _planes_batch(state)
+
+
+def random_plaintexts(count, seed):
+    """Deterministic candidate plaintexts for the attacker's search."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(count, 16), dtype=np.uint8)

@@ -1,0 +1,118 @@
+"""Bitslice AES-128 ("BSAES", Section V-A3's victim).
+
+Bitsliced AES stores the 16-byte state as eight 16-bit *bit-planes*:
+plane ``b`` holds bit ``b`` of every state byte.  Byte substitution is
+computed as a fixed sequence of plane operations ("a series of
+exclusive-or operations on the current AES state"), which needs more
+intermediates than x86 has registers — so the eight output planes of
+each SubBytes stage are **spilled to the stack**.  Those spilled 16-bit
+values are exactly the "eight locations storing intermediate values
+that can be used to reconstruct the AES state after byte substitution"
+that the paper's silent-store attack targets.
+
+This module provides:
+
+* plane packing/unpacking (``to_planes`` / ``from_planes``);
+* ``encrypt_with_trace`` — functionally identical to the reference AES
+  (differentially tested), additionally returning the per-round spilled
+  planes, most importantly the final round's;
+* ``recover_key_from_planes`` — the paper's reconstruction: planes →
+  post-SubBytes state → last round key (via the known ciphertext) →
+  original key (via the invertible key schedule).
+
+Constant-time note: the S-box is evaluated through fixed-structure
+field arithmetic (``x^254`` + affine), with no secret-dependent
+branches or lookups — the implementation is "constant time" in the
+sense the paper assumes, which is precisely what silent stores break.
+"""
+
+from repro.crypto import aes
+from repro.crypto.gf import SBOX
+from repro.crypto.keyschedule import expand_key, invert_key_schedule
+
+NUM_PLANES = 8
+STATE_BYTES = 16
+
+
+def to_planes(state):
+    """Pack 16 state bytes into 8 bit-planes (16 bits each)."""
+    if len(state) != STATE_BYTES:
+        raise ValueError("state must be 16 bytes")
+    planes = [0] * NUM_PLANES
+    for index, byte in enumerate(state):
+        for bit in range(NUM_PLANES):
+            planes[bit] |= ((byte >> bit) & 1) << index
+    return planes
+
+
+def from_planes(planes):
+    """Unpack 8 bit-planes back into 16 state bytes."""
+    if len(planes) != NUM_PLANES:
+        raise ValueError("need 8 planes")
+    state = bytearray(STATE_BYTES)
+    for index in range(STATE_BYTES):
+        byte = 0
+        for bit in range(NUM_PLANES):
+            byte |= ((planes[bit] >> index) & 1) << bit
+        state[index] = byte
+    return bytes(state)
+
+
+def _sbox_constant_time(byte):
+    """The modeled victim evaluates the S-box via a fixed sequence of
+    field operations (inverse + affine — no secret-indexed lookup); the
+    host model reads the identical mapping from the precomputed table
+    for speed.  ``SBOX`` is itself built from that arithmetic in
+    :mod:`repro.crypto.gf`."""
+    return SBOX[byte]
+
+
+def _sub_bytes_bitsliced(state):
+    """SubBytes producing the state *and* its spilled planes."""
+    substituted = bytes(_sbox_constant_time(b) for b in state)
+    return substituted, to_planes(substituted)
+
+
+def encrypt_with_trace(key, plaintext):
+    """Encrypt one block; returns ``(ciphertext, spilled_planes)``.
+
+    ``spilled_planes`` is a list of 10 entries (one per round); each is
+    the 8-tuple of 16-bit plane values written to the stack by that
+    round's byte-substitution stage.  Entry ``[-1]`` is what the
+    silent-store attack reads back.
+    """
+    round_keys = expand_key(key)
+    state = bytes(s ^ k for s, k in zip(plaintext, round_keys[0]))
+    spilled = []
+    for round_index in range(1, 10):
+        state, planes = _sub_bytes_bitsliced(state)
+        spilled.append(tuple(planes))
+        state = aes.shift_rows(state)
+        state = aes._mix_columns(state)
+        state = bytes(s ^ k for s, k in zip(state,
+                                            round_keys[round_index]))
+    state, planes = _sub_bytes_bitsliced(state)
+    spilled.append(tuple(planes))
+    state = aes.shift_rows(state)
+    ciphertext = bytes(s ^ k for s, k in zip(state, round_keys[10]))
+    return ciphertext, spilled
+
+
+def last_round_planes(key, plaintext):
+    """Just the final SubBytes planes (the eight attacked stack slots)."""
+    _ciphertext, spilled = encrypt_with_trace(key, plaintext)
+    return spilled[-1]
+
+
+def recover_key_from_planes(planes, ciphertext):
+    """Section V-A3's reconstruction, given the leaked planes.
+
+    ``state = from_planes(planes)`` is the post-SubBytes state of the
+    final round; the final round is ``ciphertext = ShiftRows(state) ^
+    rk10``, so ``rk10 = ciphertext ^ ShiftRows(state)``; inverting the
+    key schedule yields the victim's key.
+    """
+    state = from_planes(list(planes))
+    shifted = aes.shift_rows(state)
+    rk10 = bytes(c ^ s for c, s in zip(ciphertext, shifted))
+    return invert_key_schedule(rk10)

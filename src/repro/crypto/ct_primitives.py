@@ -1,0 +1,106 @@
+"""Constant-time programming primitives, as simulator programs.
+
+The building blocks that "widely-deployed" constant-time code is made
+of (Section II / III): fixed-trip-count comparison, arithmetic
+conditional select, scan-all table lookup.  On the Baseline core each
+runs in input-independent time — the property the tests verify — and
+each is broken by one of the studied optimization classes:
+
+* ``ct_compare``  × computation simplification (trivial bitwise ops),
+* ``ct_select``   × the zero-skip multiplier (the select mask is 0/±1),
+* ``ct_lookup``   × Sv computation reuse (the per-entry multiply
+  repeats operand values across calls).
+
+These are the programs behind ``benchmarks/bench_constant_time_break``.
+"""
+
+from repro.isa.assembler import Assembler
+
+A_BASE = 0x1000
+B_BASE = 0x2000
+TABLE_BASE = 0x3000
+OUT_ADDR = 0x4000
+
+
+def build_ct_compare(length):
+    """Constant-time memcmp: OR together the XOR of every byte pair.
+
+    Same instruction count, same memory accesses, no data-dependent
+    branches — for any inputs.
+    """
+    asm = Assembler()
+    asm.li(1, A_BASE)
+    asm.li(2, B_BASE)
+    asm.annotate("warm both operand lines (hot-path call)")
+    asm.load(3, 1, 0)
+    asm.load(3, 2, 0)
+    asm.fence()
+    asm.li(3, 0)             # accumulator
+    for index in range(length):
+        asm.load(4, 1, index, width=1)
+        asm.load(5, 2, index, width=1)
+        asm.xor(6, 4, 5)     # 0 iff bytes equal (trivial XOR target)
+        asm.or_(3, 3, 6)     # fold into the accumulator
+    asm.li(7, OUT_ADDR)
+    asm.store(3, 7, 0)
+    asm.halt()
+    return asm.assemble()
+
+
+def build_ct_select(repeat=16):
+    """Constant-time select: ``r = c*a + (1-c)*b`` with c in {0, 1}.
+
+    The branchless idiom — but both multiplies see a 0 operand for
+    every value of ``c``, so a zero-skip multiplier fires on one of
+    them either way... *which* one depends on the secret, and chained
+    repeats make the count of skips (and so the timing) condition-
+    dependent when a and b differ in zero-ness; more directly, with an
+    attacker-controlled ``a=0`` the skip count keys on ``c`` alone.
+    """
+    asm = Assembler()
+    asm.li(1, A_BASE)
+    asm.load(2, 1, 0)        # c (the secret condition)
+    asm.load(3, 1, 8)        # a
+    asm.load(4, 1, 16)       # b
+    asm.li(5, 1)
+    asm.sub(6, 5, 2)         # 1 - c
+    asm.fence()
+    for _ in range(repeat):
+        asm.mul(7, 2, 3)     # c * a
+        asm.mul(8, 6, 4)     # (1-c) * b
+        asm.add(9, 7, 8)
+    asm.li(10, OUT_ADDR)
+    asm.store(9, 10, 0)
+    asm.halt()
+    return asm.assemble()
+
+
+def build_ct_lookup(table_size=8):
+    """Constant-time table lookup: touch every entry, arithmetically
+    keep only the wanted one — ``sum(entry_i * (i == k))``.
+
+    The equality mask is computed branchlessly via subtraction and a
+    SLTU pair.
+    """
+    asm = Assembler()
+    asm.li(1, TABLE_BASE)
+    asm.li(2, A_BASE)
+    asm.annotate("warm the table (hot-path call)")
+    for index in range(0, 8 * table_size, 64):
+        asm.load(4, 1, index)
+    asm.load(3, 2, 0)        # k (the secret index)
+    asm.li(4, 0)             # accumulator
+    asm.fence()
+    for index in range(table_size):
+        asm.li(5, index)
+        asm.xor(6, 5, 3)     # 0 iff index == k
+        asm.sltu(7, 0, 6)    # 1 iff index != k
+        asm.li(8, 1)
+        asm.sub(8, 8, 7)     # mask: 1 iff index == k
+        asm.load(9, 1, 8 * index)
+        asm.mul(10, 9, 8)    # entry * mask
+        asm.add(4, 4, 10)
+    asm.li(11, OUT_ADDR)
+    asm.store(4, 11, 0)
+    asm.halt()
+    return asm.assemble()

@@ -1,0 +1,69 @@
+"""GF(2^8) arithmetic for AES (Rijndael field, polynomial 0x11B).
+
+The S-box is *computed* (multiplicative inverse + affine transform)
+rather than transcribed, so correctness reduces to field arithmetic
+that the tests can verify against FIPS-197 vectors.
+"""
+
+AES_POLY = 0x11B
+
+
+def gf_mul(a, b):
+    """Carry-less multiply modulo the AES polynomial."""
+    result = 0
+    a &= 0xFF
+    b &= 0xFF
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a & 0x100:
+            a ^= AES_POLY
+    return result
+
+
+def gf_pow(a, exponent):
+    """Exponentiation by squaring in GF(2^8)."""
+    result = 1
+    base = a & 0xFF
+    while exponent:
+        if exponent & 1:
+            result = gf_mul(result, base)
+        base = gf_mul(base, base)
+        exponent >>= 1
+    return result
+
+
+def gf_inv(a):
+    """Multiplicative inverse (0 maps to 0, as AES requires)."""
+    if a == 0:
+        return 0
+    return gf_pow(a, 254)
+
+
+def _affine(x):
+    """The AES affine transform over GF(2)."""
+    result = 0
+    for bit in range(8):
+        value = ((x >> bit) ^ (x >> ((bit + 4) % 8))
+                 ^ (x >> ((bit + 5) % 8)) ^ (x >> ((bit + 6) % 8))
+                 ^ (x >> ((bit + 7) % 8)) ^ (0x63 >> bit)) & 1
+        result |= value << bit
+    return result
+
+
+def _build_sbox():
+    return tuple(_affine(gf_inv(x)) for x in range(256))
+
+
+SBOX = _build_sbox()
+INV_SBOX = tuple(SBOX.index(x) for x in range(256))
+
+
+def xtime(a):
+    """Multiply by x (i.e. 2) in the field."""
+    a <<= 1
+    if a & 0x100:
+        a ^= AES_POLY
+    return a & 0xFF

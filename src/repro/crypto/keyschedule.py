@@ -1,0 +1,59 @@
+"""AES-128 key schedule — expansion and inversion.
+
+The inversion is the lever of the paper's Section V-A3 attack: "The key
+expansion algorithm is invertible, so knowing those sixteen bytes
+[the last round key] allows the attacker to reconstruct the entire
+original key."
+"""
+
+from repro.crypto.gf import SBOX
+
+RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _sub_word(word):
+    return tuple(SBOX[b] for b in word)
+
+
+def _rot_word(word):
+    return word[1:] + word[:1]
+
+
+def _xor_words(a, b):
+    return tuple(x ^ y for x, y in zip(a, b))
+
+
+def expand_key(key):
+    """Expand a 16-byte key into 11 round keys (16 bytes each)."""
+    if len(key) != 16:
+        raise ValueError("AES-128 key must be 16 bytes")
+    words = [tuple(key[4 * i:4 * i + 4]) for i in range(4)]
+    for i in range(4, 44):
+        temp = words[i - 1]
+        if i % 4 == 0:
+            temp = _sub_word(_rot_word(temp))
+            temp = (temp[0] ^ RCON[i // 4 - 1],) + temp[1:]
+        words.append(_xor_words(words[i - 4], temp))
+    return [bytes(b for word in words[4 * r:4 * r + 4] for b in word)
+            for r in range(11)]
+
+
+def invert_key_schedule(last_round_key, rounds=10):
+    """Recover the original key from round key ``rounds`` (default: rk10).
+
+    Walks the schedule backwards one round at a time:
+    ``prev[k] = cur[k] ^ cur[k-1]`` for k in 3..1, then
+    ``prev[0] = cur[0] ^ SubWord(RotWord(prev[3])) ^ Rcon``.
+    """
+    if len(last_round_key) != 16:
+        raise ValueError("round key must be 16 bytes")
+    cur = [tuple(last_round_key[4 * i:4 * i + 4]) for i in range(4)]
+    for round_index in range(rounds, 0, -1):
+        prev = [None] * 4
+        for k in (3, 2, 1):
+            prev[k] = _xor_words(cur[k], cur[k - 1])
+        temp = _sub_word(_rot_word(prev[3]))
+        temp = (temp[0] ^ RCON[round_index - 1],) + temp[1:]
+        prev[0] = _xor_words(cur[0], temp)
+        cur = prev
+    return bytes(b for word in cur for b in word)

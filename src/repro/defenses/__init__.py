@@ -1,0 +1,10 @@
+"""Retrofitted software mitigations for the studied channels (VI-A2)."""
+
+from repro.defenses.retrofits import (
+    SpillMasker, clear_slots, pad_significance, strip_significance_pad,
+)
+
+__all__ = [
+    "SpillMasker", "clear_slots", "pad_significance",
+    "strip_significance_pad",
+]

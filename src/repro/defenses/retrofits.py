@@ -1,0 +1,76 @@
+"""Retrofitted constant-time mitigations (Section VI-A2).
+
+The paper sketches software retrofits for the new channels and asks
+whether they restore security (and at what cost).  Implemented here:
+
+* **Targeted clearing** — zero the sensitive stack slots between calls,
+  so a later silent-store candidacy check compares against a public
+  constant ("it may be sufficient to clear data memory in a targeted
+  fashion").
+* **Spill masking** — XOR every value spilled to memory with a
+  per-call secret pad, so memory never holds a value an attacker could
+  collide with ("one can encrypt all data that is spilled from the
+  register file/written to data memory").
+* **Significance padding** — OR a 1 into the most-significant bit
+  position of each word before arithmetic, defeating
+  significance-compression channels (operand packing, early-terminating
+  multiplication) at the cost of changed values — usable only where an
+  algorithm can compensate, which is exactly the brittleness the paper
+  calls out.
+
+Each mitigation is demonstrated (and its cost measured) in
+``benchmarks/bench_defense_retrofits.py``.
+"""
+
+from repro.isa.bits import WORD_MASK
+
+
+def clear_slots(memory, slot_addresses, width=2):
+    """Targeted clearing: zero the listed stack slots.
+
+    The victim runs this between encryption calls.  Subsequent
+    silent-store equality checks compare attacker data against the
+    public constant 0, so silence reveals only whether the attacker's
+    own value is zero — nothing about the previous tenant.
+    """
+    for addr in slot_addresses:
+        memory.write(addr, 0, width)
+
+
+class SpillMasker:
+    """Per-call XOR masking of spilled values.
+
+    ``mask_value`` is applied before a value is written to memory and
+    after it is read back; the pad is fresh secret-per-call state, so
+    an attacker cannot choose data that collides with the masked spill.
+    """
+
+    def __init__(self, pad):
+        self.pad = pad & WORD_MASK
+
+    def mask_value(self, value, width=8):
+        return (value ^ self.pad) & ((1 << (8 * width)) - 1)
+
+    def unmask_value(self, value, width=8):
+        return self.mask_value(value, width)  # XOR is its own inverse
+
+    def spill(self, memory, addr, value, width=8):
+        memory.write(addr, self.mask_value(value, width), width)
+
+    def reload(self, memory, addr, width=8):
+        return self.unmask_value(memory.read(addr, width), width)
+
+
+def pad_significance(value, bits=64):
+    """OR a 1 into the most-significant bit position (Section VI-A2).
+
+    Makes every operand read as full-width to significance-keyed
+    hardware.  The caller must be able to strip the bit afterwards —
+    "assuming this can be done while preserving functionality".
+    """
+    return (value | (1 << (bits - 1))) & WORD_MASK
+
+
+def strip_significance_pad(value, bits=64):
+    """Remove the pad bit inserted by :func:`pad_significance`."""
+    return value & ~(1 << (bits - 1)) & WORD_MASK

@@ -1,0 +1,11 @@
+"""RISC-like ISA: opcodes, assembler, golden-model interpreter."""
+
+from repro.isa.assembler import Assembler, AssemblyError, Program, parse_reg
+from repro.isa.instruction import Instruction
+from repro.isa.interpreter import ArchState, Interpreter, run_program
+from repro.isa.opcodes import Op
+
+__all__ = [
+    "Assembler", "AssemblyError", "Program", "parse_reg",
+    "Instruction", "ArchState", "Interpreter", "run_program", "Op",
+]

@@ -1,0 +1,242 @@
+"""A tiny builder-style assembler for simulator programs.
+
+Attack gadgets and victim kernels are constructed programmatically::
+
+    asm = Assembler()
+    asm.li("x1", 0x1000)
+    asm.label("loop")
+    asm.load("x2", "x1", 0)
+    asm.addi("x1", "x1", 8)
+    asm.bne("x2", "x0", "loop")
+    asm.halt()
+    program = asm.assemble()
+
+Register operands are accepted as ``"x7"`` strings or bare ints.  ``x0``
+is hard-wired to zero, as in RISC-V.
+"""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+NUM_ARCH_REGS = 32
+
+
+class AssemblyError(Exception):
+    """Raised for malformed programs (bad registers, unresolved labels)."""
+
+
+def parse_reg(reg):
+    """Accept ``'x12'`` or ``12`` and return the architectural index."""
+    if isinstance(reg, str):
+        if not reg.startswith("x"):
+            raise AssemblyError(f"bad register name {reg!r}")
+        reg = int(reg[1:])
+    if not 0 <= reg < NUM_ARCH_REGS:
+        raise AssemblyError(f"register index {reg} out of range")
+    return reg
+
+
+class Program:
+    """An assembled program: a list of instructions plus its label map."""
+
+    def __init__(self, instructions, labels):
+        self.instructions = instructions
+        self.labels = dict(labels)
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __getitem__(self, pc):
+        return self.instructions[pc]
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def listing(self):
+        """Human-readable disassembly, one line per instruction."""
+        pc_to_labels = {}
+        for name, pc in self.labels.items():
+            pc_to_labels.setdefault(pc, []).append(name)
+        lines = []
+        for pc, inst in enumerate(self.instructions):
+            for name in pc_to_labels.get(pc, ()):
+                lines.append(f"{name}:")
+            lines.append(f"  {pc:4d}  {inst}")
+        return "\n".join(lines)
+
+
+class Assembler:
+    """Builds a :class:`Program` one instruction at a time."""
+
+    def __init__(self):
+        self._instructions = []
+        self._labels = {}
+        self._annotation = ""
+
+    def __len__(self):
+        return len(self._instructions)
+
+    def annotate(self, text):
+        """Attach ``text`` to the next emitted instruction (for traces)."""
+        self._annotation = text
+        return self
+
+    def label(self, name):
+        """Define ``name`` at the current position."""
+        if name in self._labels:
+            raise AssemblyError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return self
+
+    def _emit(self, op, rd=0, rs1=0, rs2=0, imm=0, width=8, target=None):
+        inst = Instruction(op=op, rd=rd, rs1=rs1, rs2=rs2, imm=imm,
+                           width=width, target=target,
+                           pc=len(self._instructions),
+                           annotation=self._annotation)
+        self._annotation = ""
+        self._instructions.append(inst)
+        return self
+
+    # --- register-register ALU -------------------------------------------
+    def _rr(self, op, rd, rs1, rs2):
+        return self._emit(op, rd=parse_reg(rd), rs1=parse_reg(rs1),
+                          rs2=parse_reg(rs2))
+
+    def add(self, rd, rs1, rs2):
+        return self._rr(Op.ADD, rd, rs1, rs2)
+
+    def sub(self, rd, rs1, rs2):
+        return self._rr(Op.SUB, rd, rs1, rs2)
+
+    def and_(self, rd, rs1, rs2):
+        return self._rr(Op.AND, rd, rs1, rs2)
+
+    def or_(self, rd, rs1, rs2):
+        return self._rr(Op.OR, rd, rs1, rs2)
+
+    def xor(self, rd, rs1, rs2):
+        return self._rr(Op.XOR, rd, rs1, rs2)
+
+    def sll(self, rd, rs1, rs2):
+        return self._rr(Op.SLL, rd, rs1, rs2)
+
+    def srl(self, rd, rs1, rs2):
+        return self._rr(Op.SRL, rd, rs1, rs2)
+
+    def sra(self, rd, rs1, rs2):
+        return self._rr(Op.SRA, rd, rs1, rs2)
+
+    def slt(self, rd, rs1, rs2):
+        return self._rr(Op.SLT, rd, rs1, rs2)
+
+    def sltu(self, rd, rs1, rs2):
+        return self._rr(Op.SLTU, rd, rs1, rs2)
+
+    def mul(self, rd, rs1, rs2):
+        return self._rr(Op.MUL, rd, rs1, rs2)
+
+    def div(self, rd, rs1, rs2):
+        return self._rr(Op.DIV, rd, rs1, rs2)
+
+    def rem(self, rd, rs1, rs2):
+        return self._rr(Op.REM, rd, rs1, rs2)
+
+    # --- register-immediate ALU ------------------------------------------
+    def _ri(self, op, rd, rs1, imm):
+        return self._emit(op, rd=parse_reg(rd), rs1=parse_reg(rs1),
+                          imm=int(imm))
+
+    def addi(self, rd, rs1, imm):
+        return self._ri(Op.ADDI, rd, rs1, imm)
+
+    def andi(self, rd, rs1, imm):
+        return self._ri(Op.ANDI, rd, rs1, imm)
+
+    def ori(self, rd, rs1, imm):
+        return self._ri(Op.ORI, rd, rs1, imm)
+
+    def xori(self, rd, rs1, imm):
+        return self._ri(Op.XORI, rd, rs1, imm)
+
+    def slli(self, rd, rs1, imm):
+        return self._ri(Op.SLLI, rd, rs1, imm)
+
+    def srli(self, rd, rs1, imm):
+        return self._ri(Op.SRLI, rd, rs1, imm)
+
+    def slti(self, rd, rs1, imm):
+        return self._ri(Op.SLTI, rd, rs1, imm)
+
+    def li(self, rd, imm):
+        """Load a full 64-bit immediate in a single slot."""
+        return self._emit(Op.LI, rd=parse_reg(rd), imm=int(imm))
+
+    def mv(self, rd, rs1):
+        """Pseudo-instruction: copy ``rs1`` to ``rd``."""
+        return self.addi(rd, rs1, 0)
+
+    # --- memory ------------------------------------------------------------
+    def load(self, rd, rs1, imm=0, width=8):
+        """``rd = memory[rs1 + imm]`` (``width`` bytes, zero-extended)."""
+        return self._emit(Op.LOAD, rd=parse_reg(rd), rs1=parse_reg(rs1),
+                          imm=int(imm), width=width)
+
+    def store(self, rs2, rs1, imm=0, width=8):
+        """``memory[rs1 + imm] = rs2`` (``width`` bytes)."""
+        return self._emit(Op.STORE, rs1=parse_reg(rs1), rs2=parse_reg(rs2),
+                          imm=int(imm), width=width)
+
+    # --- control flow -------------------------------------------------------
+    def _branch(self, op, rs1, rs2, target):
+        return self._emit(op, rs1=parse_reg(rs1), rs2=parse_reg(rs2),
+                          target=target)
+
+    def beq(self, rs1, rs2, target):
+        return self._branch(Op.BEQ, rs1, rs2, target)
+
+    def bne(self, rs1, rs2, target):
+        return self._branch(Op.BNE, rs1, rs2, target)
+
+    def blt(self, rs1, rs2, target):
+        return self._branch(Op.BLT, rs1, rs2, target)
+
+    def bge(self, rs1, rs2, target):
+        return self._branch(Op.BGE, rs1, rs2, target)
+
+    def bltu(self, rs1, rs2, target):
+        return self._branch(Op.BLTU, rs1, rs2, target)
+
+    def bgeu(self, rs1, rs2, target):
+        return self._branch(Op.BGEU, rs1, rs2, target)
+
+    def jmp(self, target):
+        return self._emit(Op.JMP, target=target)
+
+    # --- misc ----------------------------------------------------------------
+    def rdcycle(self, rd):
+        """Read the cycle counter — the receiver's timer (Section II)."""
+        return self._emit(Op.RDCYCLE, rd=parse_reg(rd))
+
+    def fence(self):
+        """Drain the store queue and in-flight memory before proceeding."""
+        return self._emit(Op.FENCE)
+
+    def nop(self):
+        return self._emit(Op.NOP)
+
+    def halt(self):
+        return self._emit(Op.HALT)
+
+    def assemble(self):
+        """Resolve labels and return an immutable :class:`Program`."""
+        for inst in self._instructions:
+            if inst.target is None:
+                continue
+            if isinstance(inst.target, str):
+                if inst.target not in self._labels:
+                    raise AssemblyError(f"unresolved label {inst.target!r}")
+                inst.target = self._labels[inst.target]
+            if not 0 <= inst.target <= len(self._instructions):
+                raise AssemblyError(
+                    f"branch target {inst.target} out of range")
+        return Program(list(self._instructions), self._labels)

@@ -1,0 +1,63 @@
+"""Bit-level helpers shared by the ISA semantics and the optimizations.
+
+All architectural values in the simulator are 64-bit words stored as
+non-negative Python ints.  These helpers centralize masking, signedness
+conversion and the significance measures used by pipeline-compression
+style optimizations (Section IV-B2 of the paper).
+"""
+
+WORD_BITS = 64
+WORD_BYTES = WORD_BITS // 8
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def mask(value):
+    """Truncate ``value`` to an unsigned 64-bit word."""
+    return value & WORD_MASK
+
+
+def to_signed(value, bits=WORD_BITS):
+    """Interpret an unsigned ``bits``-wide value as two's complement."""
+    value &= (1 << bits) - 1
+    if value >= 1 << (bits - 1):
+        return value - (1 << bits)
+    return value
+
+
+def to_unsigned(value, bits=WORD_BITS):
+    """Re-encode a possibly negative int as an unsigned ``bits``-wide value."""
+    return value & ((1 << bits) - 1)
+
+
+def msb_index(value):
+    """Index of the most-significant ON bit of ``value`` (-1 for zero).
+
+    This is the ``msb(.)`` convenience function used by the operand-packing
+    MLD in Figure 3, Example 4 of the paper.
+    """
+    if value == 0:
+        return -1
+    return value.bit_length() - 1
+
+
+def significant_bytes(value):
+    """Number of bytes needed to represent ``value`` (at least 1).
+
+    Significance compression (Canal et al., MICRO'00) treats a word as
+    only as wide as its most-significant ON byte.
+    """
+    return max(1, (value.bit_length() + 7) // 8)
+
+
+def is_narrow(value, bits=16):
+    """True when ``value`` fits in ``bits`` bits.
+
+    Operand packing (Brooks & Martonosi, HPCA'99) packs two arithmetic
+    operations into one execution-unit slot when every operand is narrow.
+    """
+    return mask(value).bit_length() <= bits
+
+
+def byte_at(value, index):
+    """Return byte ``index`` (little-endian) of a 64-bit word."""
+    return (mask(value) >> (8 * index)) & 0xFF

@@ -1,0 +1,104 @@
+"""Golden-model architectural interpreter.
+
+Executes programs one instruction at a time with no timing model.  The
+pipeline's architectural results are differentially tested against this
+interpreter, which is what lets us trust that the optimizations we add
+(silent stores, value prediction, computation reuse, ...) are
+*performance-only* — they may change cycle counts but never results.
+"""
+
+from repro.isa.bits import mask
+from repro.isa.opcodes import Op
+from repro.isa.semantics import alu_result, branch_taken, effective_address
+from repro.memory.flatmem import FlatMemory
+
+NUM_ARCH_REGS = 32
+
+
+class InterpreterError(Exception):
+    """Raised for runaway programs or unknown opcodes."""
+
+
+class ArchState:
+    """Architectural registers + data memory + pc."""
+
+    def __init__(self, memory=None):
+        self.regs = [0] * NUM_ARCH_REGS
+        self.memory = memory if memory is not None else FlatMemory()
+        self.pc = 0
+        self.halted = False
+        self.retired = 0
+
+    def read_reg(self, index):
+        return 0 if index == 0 else self.regs[index]
+
+    def write_reg(self, index, value):
+        if index != 0:
+            self.regs[index] = mask(value)
+
+
+class Interpreter:
+    """Steps an :class:`ArchState` through a program."""
+
+    def __init__(self, program, state=None):
+        self.program = program
+        self.state = state if state is not None else ArchState()
+
+    def step(self):
+        """Execute one instruction; returns the instruction executed."""
+        state = self.state
+        if state.halted:
+            return None
+        if not 0 <= state.pc < len(self.program):
+            raise InterpreterError(f"pc {state.pc} out of program bounds")
+        inst = self.program[state.pc]
+        op = inst.op
+        next_pc = state.pc + 1
+        if op is Op.HALT:
+            state.halted = True
+        elif op in (Op.NOP, Op.FENCE):
+            pass
+        elif op is Op.RDCYCLE:
+            # The golden model has no clock; report retired-instruction
+            # count so programs that subtract two readings still work.
+            state.write_reg(inst.rd, state.retired)
+        elif op is Op.JMP:
+            next_pc = inst.target
+        elif inst.is_branch:
+            if branch_taken(op, state.read_reg(inst.rs1),
+                            state.read_reg(inst.rs2)):
+                next_pc = inst.target
+        elif op is Op.LOAD:
+            addr = effective_address(state.read_reg(inst.rs1), inst.imm)
+            state.write_reg(inst.rd, state.memory.read(addr, inst.width))
+        elif op is Op.STORE:
+            addr = effective_address(state.read_reg(inst.rs1), inst.imm)
+            state.memory.write(addr, state.read_reg(inst.rs2), inst.width)
+        else:
+            state.write_reg(inst.rd, alu_result(
+                op, state.read_reg(inst.rs1), state.read_reg(inst.rs2),
+                inst.imm))
+        state.pc = next_pc
+        state.retired += 1
+        return inst
+
+    def run(self, max_steps=1_000_000):
+        """Run until HALT; returns the number of retired instructions."""
+        steps = 0
+        while not self.state.halted:
+            if steps >= max_steps:
+                raise InterpreterError(
+                    f"program did not halt within {max_steps} steps")
+            self.step()
+            steps += 1
+        return steps
+
+
+def run_program(program, memory=None, regs=None, max_steps=1_000_000):
+    """Convenience one-shot run; returns the final :class:`ArchState`."""
+    state = ArchState(memory=memory)
+    if regs:
+        for index, value in regs.items():
+            state.write_reg(index, value)
+    Interpreter(program, state).run(max_steps=max_steps)
+    return state

@@ -1,0 +1,98 @@
+"""Pure functional semantics shared by the interpreter and the pipeline.
+
+Keeping arithmetic and branch evaluation in one place guarantees that the
+out-of-order core and the golden-model interpreter can never diverge on
+*what* a program computes — they may only differ on *when*.
+"""
+
+from repro.isa.bits import mask, to_signed
+from repro.isa.opcodes import Op
+
+
+class SemanticsError(Exception):
+    """Raised for undefined operations (unknown opcode for a helper)."""
+
+
+def alu_result(op, a, b, imm):
+    """Compute the result of an arithmetic instruction.
+
+    ``a`` and ``b`` are the unsigned 64-bit source-register values; ``imm``
+    is the (possibly negative) immediate.  Returns the unsigned 64-bit
+    result.  Division follows RISC-V M semantics: division by zero yields
+    all-ones (DIV) / the dividend (REM) rather than trapping.
+    """
+    if op is Op.ADD:
+        return mask(a + b)
+    if op is Op.SUB:
+        return mask(a - b)
+    if op is Op.AND:
+        return a & b
+    if op is Op.OR:
+        return a | b
+    if op is Op.XOR:
+        return a ^ b
+    if op is Op.SLL:
+        return mask(a << (b & 63))
+    if op is Op.SRL:
+        return a >> (b & 63)
+    if op is Op.SRA:
+        return mask(to_signed(a) >> (b & 63))
+    if op is Op.SLT:
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if op is Op.SLTU:
+        return 1 if a < b else 0
+    if op is Op.MUL:
+        return mask(a * b)
+    if op is Op.DIV:
+        if b == 0:
+            return mask(-1)
+        q = abs(to_signed(a)) // abs(to_signed(b))
+        if (to_signed(a) < 0) != (to_signed(b) < 0):
+            q = -q
+        return mask(q)
+    if op is Op.REM:
+        if b == 0:
+            return a
+        r = abs(to_signed(a)) % abs(to_signed(b))
+        if to_signed(a) < 0:
+            r = -r
+        return mask(r)
+    if op is Op.ADDI:
+        return mask(a + imm)
+    if op is Op.ANDI:
+        return a & mask(imm)
+    if op is Op.ORI:
+        return a | mask(imm)
+    if op is Op.XORI:
+        return a ^ mask(imm)
+    if op is Op.SLLI:
+        return mask(a << (imm & 63))
+    if op is Op.SRLI:
+        return a >> (imm & 63)
+    if op is Op.SLTI:
+        return 1 if to_signed(a) < imm else 0
+    if op is Op.LI:
+        return mask(imm)
+    raise SemanticsError(f"{op} is not an arithmetic op")
+
+
+def branch_taken(op, a, b):
+    """Evaluate a conditional branch on unsigned source values."""
+    if op is Op.BEQ:
+        return a == b
+    if op is Op.BNE:
+        return a != b
+    if op is Op.BLT:
+        return to_signed(a) < to_signed(b)
+    if op is Op.BGE:
+        return to_signed(a) >= to_signed(b)
+    if op is Op.BLTU:
+        return a < b
+    if op is Op.BGEU:
+        return a >= b
+    raise SemanticsError(f"{op} is not a conditional branch")
+
+
+def effective_address(base, imm):
+    """Address of a load/store given its base-register value."""
+    return mask(base + imm)

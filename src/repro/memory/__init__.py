@@ -1,0 +1,11 @@
+"""Memory substrate: flat memory, set-associative caches, hierarchy."""
+
+from repro.memory.cache import Cache, ReplacementPolicy
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy, MemoryLatencies
+from repro.memory.tlb import TLB
+
+__all__ = [
+    "Cache", "ReplacementPolicy", "FlatMemory",
+    "MemoryHierarchy", "MemoryLatencies", "TLB",
+]

@@ -1,0 +1,56 @@
+"""A TLB model.
+
+Two roles in the reproduction:
+
+* the TLB is one of the *Baseline* channels of Table I (it leaks load/
+  store addresses at page granularity — Gras et al.'s TLBleed is the
+  paper's citation [52]);
+* the indirect-memory prefetcher is "typically located close to the
+  core (to be able to access the TLB) and prefetch[es] over virtual
+  addresses" (Section IV-D2) — with a TLB attached, both demand
+  accesses and IMP prefetches pay translation latency and leave
+  page-granularity footprints.
+
+Translation is identity (virtual == physical); the TLB contributes
+latency and observable occupancy, which is all the channels need.
+"""
+
+
+class TLB:
+    """Fully-associative, LRU translation buffer."""
+
+    def __init__(self, entries=64, page_size=4096, walk_latency=30):
+        if page_size & (page_size - 1):
+            raise ValueError("page_size must be a power of two")
+        self.entries = entries
+        self.page_size = page_size
+        self.walk_latency = walk_latency
+        self._pages = []  # LRU: most recently used last
+        self.stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+    def page_of(self, addr):
+        return addr // self.page_size
+
+    def contains(self, addr):
+        return self.page_of(addr) in self._pages
+
+    def access(self, addr):
+        """Translate ``addr``; returns the added latency (0 on a hit)."""
+        page = self.page_of(addr)
+        if page in self._pages:
+            self.stats["hits"] += 1
+            self._pages.remove(page)
+            self._pages.append(page)
+            return 0
+        self.stats["misses"] += 1
+        if len(self._pages) >= self.entries:
+            self._pages.pop(0)
+            self.stats["evictions"] += 1
+        self._pages.append(page)
+        return self.walk_latency
+
+    def flush(self):
+        self._pages.clear()
+
+    def resident_pages(self):
+        return list(self._pages)

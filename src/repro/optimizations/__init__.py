@@ -1,0 +1,25 @@
+"""The seven optimization classes studied by the paper, as core plug-ins."""
+
+from repro.optimizations.computation_reuse import ComputationReusePlugin
+from repro.optimizations.computation_simplification import (
+    ComputationSimplificationPlugin,
+)
+from repro.optimizations.dmp import (
+    IndirectionLink, IndirectMemoryPrefetcher, StrideEntry,
+)
+from repro.optimizations.pipeline_compression import (
+    EarlyTerminatingMultiplierPlugin, OperandPackingPlugin,
+)
+from repro.optimizations.register_file_compression import (
+    RegisterFileCompressionPlugin,
+)
+from repro.optimizations.silent_stores import SilentStorePlugin
+from repro.optimizations.value_prediction import ValuePredictionPlugin
+
+__all__ = [
+    "ComputationReusePlugin", "ComputationSimplificationPlugin",
+    "IndirectionLink", "IndirectMemoryPrefetcher", "StrideEntry",
+    "EarlyTerminatingMultiplierPlugin", "OperandPackingPlugin",
+    "RegisterFileCompressionPlugin", "SilentStorePlugin",
+    "ValuePredictionPlugin",
+]

@@ -1,0 +1,90 @@
+"""Computation reuse (Section IV-C2 of the paper).
+
+Hardware memoization à la *dynamic instruction reuse* (Sodani & Sohi,
+ISCA'97).  Two table-keying variants are implemented because the paper's
+defense discussion (Section VI-A3) contrasts them:
+
+* **Sv** — keyed by operand *values* ``(pc, v1, v2)``.  Highest reuse,
+  but the hit/miss outcome is a function of operand values, which is
+  exactly the equality transmitter of Figure 3, Example 6.
+* **Sn** — keyed by operand register *names* and their architectural
+  versions.  A hit only reveals that the same static instruction
+  re-executed with un-overwritten source registers — control-flow-class
+  information that constant-time programming already treats as public.
+
+A hit returns the result in one cycle and skips the functional unit
+(freeing a multiply/divide unit), which is the timing channel.
+"""
+
+from collections import OrderedDict
+
+from repro.isa.opcodes import Op
+from repro.pipeline.plugins import OptimizationPlugin
+
+DEFAULT_REUSABLE_OPS = frozenset({Op.MUL, Op.DIV, Op.REM})
+
+
+class ComputationReusePlugin(OptimizationPlugin):
+    """Memoization table with LRU replacement and Sv/Sn keying."""
+
+    name = "computation-reuse"
+
+    VARIANTS = ("sv", "sn")
+
+    def __init__(self, variant="sv", ops=DEFAULT_REUSABLE_OPS,
+                 table_size=256):
+        super().__init__()
+        if variant not in self.VARIANTS:
+            raise ValueError(f"variant must be one of {self.VARIANTS}")
+        self.variant = variant
+        self.ops = frozenset(ops)
+        self.table_size = table_size
+        self._table = OrderedDict()
+        self.stats = {"lookups": 0, "hits": 0, "insertions": 0}
+
+    def reset(self):
+        self._table.clear()
+
+    def _key(self, dyn):
+        inst = dyn.inst
+        if self.variant == "sv":
+            return (dyn.pc, dyn.src_values[0], dyn.src_values[1], inst.imm)
+        versions = dyn.exec_info or {}
+        return (dyn.pc, inst.rs1, inst.rs2,
+                versions.get("reuse_ver", (None, None)))
+
+    def on_dispatch(self, dyn):
+        if self.variant == "sn" and dyn.inst.op in self.ops:
+            if dyn.exec_info is None:
+                dyn.exec_info = {}
+            dyn.exec_info["reuse_ver"] = (
+                self.cpu.arch_version[dyn.inst.rs1],
+                self.cpu.arch_version[dyn.inst.rs2])
+
+    def lookup_reuse(self, dyn):
+        if dyn.inst.op not in self.ops:
+            return False
+        self.stats["lookups"] += 1
+        key = self._key(dyn)
+        if key in self._table:
+            self._table.move_to_end(key)
+            self.stats["hits"] += 1
+            return True
+        return False
+
+    def on_result(self, dyn, value):
+        if dyn.inst.op not in self.ops or dyn.squashed:
+            return
+        key = self._key(dyn)
+        if key not in self._table:
+            self.stats["insertions"] += 1
+        self._table[key] = value
+        self._table.move_to_end(key)
+        while len(self._table) > self.table_size:
+            self._table.popitem(last=False)
+
+    @property
+    def hit_rate(self):
+        if not self.stats["lookups"]:
+            return 0.0
+        return self.stats["hits"] / self.stats["lookups"]

@@ -1,0 +1,111 @@
+"""Computation simplification (Section IV-B1 of the paper).
+
+Techniques that simplify or skip instruction execution when operand
+values satisfy certain conditions — the zero-skip multiplier of the
+paper's Example 2 is the canonical case, but the literature applies the
+idea to everything from square roots down to bitwise AND/OR.
+
+Each rule is named so that attacks and the MLD analysis can refer to the
+exact trigger condition.  Latency shortening is the observable outcome;
+results are never changed (the core always computes the real value).
+"""
+
+from repro.isa.opcodes import Op
+from repro.pipeline.plugins import OptimizationPlugin
+
+#: Latency of a simplified (skipped / trivialized) operation.
+TRIVIAL_LATENCY = 1
+
+
+def zero_skip_mul(dyn):
+    """MUL with a zero operand skips the multiplier array."""
+    return dyn.inst.op is Op.MUL and (
+        dyn.src_values[0] == 0 or dyn.src_values[1] == 0)
+
+
+def one_skip_mul(dyn):
+    """MUL by one is a register move."""
+    return dyn.inst.op is Op.MUL and (
+        dyn.src_values[0] == 1 or dyn.src_values[1] == 1)
+
+
+def pow2_div(dyn):
+    """DIV/REM by a power of two degrades to a shift/mask."""
+    if dyn.inst.op not in (Op.DIV, Op.REM):
+        return False
+    divisor = dyn.src_values[1]
+    return divisor != 0 and (divisor & (divisor - 1)) == 0
+
+
+def zero_over_anything_div(dyn):
+    """0 / x needs no division at all."""
+    return dyn.inst.op in (Op.DIV, Op.REM) and dyn.src_values[0] == 0
+
+
+def trivial_bitwise(dyn):
+    """AND/OR/XOR with an absorbing or identity operand short-circuits.
+
+    Pushed to the extreme, even the bitwise ops that constant-time code
+    leans on become unsafe (papers [78, 80, 81] in the survey): AND
+    with 0 or all-ones, OR with all-ones or 0, XOR with 0 — all skip
+    the logic array.
+    """
+    op = dyn.inst.op
+    all_ones = (1 << 64) - 1
+    operands = dyn.src_values[:2]
+    if op is Op.AND:
+        return 0 in operands or all_ones in operands
+    if op is Op.OR:
+        return all_ones in operands or 0 in operands
+    if op is Op.XOR:
+        return 0 in operands
+    return False
+
+
+def trivial_add(dyn):
+    """ADD/SUB with a zero operand bypasses the adder."""
+    op = dyn.inst.op
+    if op is Op.ADD:
+        return 0 in dyn.src_values[:2]
+    if op is Op.SUB:
+        return dyn.src_values[1] == 0
+    return False
+
+
+#: Rule sets selectable by name when constructing the plug-in.
+RULES = {
+    "zero_skip_mul": zero_skip_mul,
+    "one_skip_mul": one_skip_mul,
+    "pow2_div": pow2_div,
+    "zero_over_anything_div": zero_over_anything_div,
+    "trivial_bitwise": trivial_bitwise,
+    "trivial_add": trivial_add,
+}
+
+#: The conservative default: what's closest to known implementations.
+DEFAULT_RULES = ("zero_skip_mul", "pow2_div")
+
+
+class ComputationSimplificationPlugin(OptimizationPlugin):
+    """Shortens execution latency when a named rule fires."""
+
+    name = "computation-simplification"
+
+    def __init__(self, rules=DEFAULT_RULES, trivial_latency=TRIVIAL_LATENCY):
+        super().__init__()
+        unknown = set(rules) - set(RULES)
+        if unknown:
+            raise ValueError(f"unknown simplification rules: {sorted(unknown)}")
+        self.rules = tuple(rules)
+        self.trivial_latency = trivial_latency
+        self.stats = {rule: 0 for rule in self.rules}
+
+    def reset(self):
+        self.stats = {rule: 0 for rule in self.rules}
+
+    def execute_latency(self, dyn, default_latency):
+        for rule in self.rules:
+            if RULES[rule](dyn):
+                self.stats[rule] += 1
+                return min(default_latency, self.trivial_latency)
+        return default_latency

@@ -1,0 +1,84 @@
+"""Pipeline compression (Section IV-B2 of the paper).
+
+Two members of the family are modeled:
+
+* **Operand packing** (Brooks & Martonosi, HPCA'99; Figure 3, Example 4):
+  two arithmetic operations share one execution-unit slot in a cycle when
+  *all four* operand values are narrow (``msb < 16``).  The observable
+  outcome is issue throughput — exactly the two-outcome MLD of Example 4.
+
+* **Early-terminating (digit-serial) multiplication** (Großschädl et
+  al., ICISC'09): multiply latency shrinks with the significance of an
+  operand, the mechanism behind a demonstrated constant-time break.
+"""
+
+from repro.isa.bits import is_narrow, significant_bytes
+from repro.isa.opcodes import Op, SIMPLE_ALU_OPS, reads_rs2
+from repro.pipeline.plugins import OptimizationPlugin
+
+NARROW_BITS = 16
+
+
+def operand_values(dyn):
+    """The arithmetic operand values of a dynamic instruction.
+
+    Register-immediate forms contribute their immediate as the second
+    operand; LI contributes only its immediate.
+    """
+    op = dyn.inst.op
+    if op is Op.LI:
+        return (dyn.inst.imm,)
+    if reads_rs2(op):
+        return (dyn.src_values[0], dyn.src_values[1])
+    return (dyn.src_values[0], dyn.inst.imm)
+
+
+class OperandPackingPlugin(OptimizationPlugin):
+    """Pack two narrow-operand ALU ops into one slot."""
+
+    name = "operand-packing"
+
+    def __init__(self, narrow_bits=NARROW_BITS):
+        super().__init__()
+        self.narrow_bits = narrow_bits
+        self.stats = {"pack_checks": 0, "packs": 0}
+
+    def _narrow(self, dyn):
+        return all(is_narrow(value & ((1 << 64) - 1), self.narrow_bits)
+                   for value in operand_values(dyn))
+
+    def pack_pair(self, first, second):
+        if (first.inst.op not in SIMPLE_ALU_OPS
+                or second.inst.op not in SIMPLE_ALU_OPS):
+            return False
+        self.stats["pack_checks"] += 1
+        if self._narrow(first) and self._narrow(second):
+            self.stats["packs"] += 1
+            return True
+        return False
+
+
+class EarlyTerminatingMultiplierPlugin(OptimizationPlugin):
+    """Digit-serial multiply: latency tracks operand significance.
+
+    Latency is ``1 + ceil(significant_bytes(rs2) / digit_bytes)`` capped
+    at the baseline multiply latency, so an all-narrow multiplier stream
+    runs measurably faster — the significance-compression channel.
+    """
+
+    name = "early-terminating-multiplier"
+
+    def __init__(self, digit_bytes=2):
+        super().__init__()
+        self.digit_bytes = digit_bytes
+        self.stats = {"early_terminations": 0}
+
+    def execute_latency(self, dyn, default_latency):
+        if dyn.inst.op is not Op.MUL:
+            return default_latency
+        digits = -(-significant_bytes(dyn.src_values[1]) // self.digit_bytes)
+        latency = 1 + digits
+        if latency < default_latency:
+            self.stats["early_terminations"] += 1
+            return latency
+        return default_latency

@@ -1,0 +1,86 @@
+"""Register-file compression (Section IV-D1 of the paper).
+
+Value locality in the physical register file is exploited to increase
+the *effective* number of physical registers (Balakrishnan & Sohi,
+MICRO'03 and friends).  Two matching policies from the literature:
+
+* ``"zero-one"`` — only the common values 0/1 compress (Figure 3,
+  Example 8's MLD is this variant);
+* ``"any"`` — any result value that duplicates a recently produced live
+  value compresses.
+
+Modeling note (also recorded in DESIGN.md): rather than emulating the
+pointer-indirection hardware that lets two logical registers share one
+physical register, we model the *performance effect* — each compressible
+result earns a credit, and a credit materializes an extra physical
+register exactly when the rename stage would otherwise stall on an empty
+free list.  The architectural results are untouched; the data-dependent
+rename stall relief — the leak — is preserved, because credits are a
+function of the values in the register file (``Arch register_file`` in
+the MLD), which is what makes this a *memory-centric* optimization that
+leaks data at rest.
+"""
+
+from collections import deque
+
+from repro.pipeline.plugins import OptimizationPlugin
+
+
+class RegisterFileCompressionPlugin(OptimizationPlugin):
+    """Value-duplication rename-headroom model."""
+
+    name = "register-file-compression"
+
+    VARIANTS = ("any", "zero-one")
+
+    def __init__(self, variant="any", pool_size=16, window=48):
+        super().__init__()
+        if variant not in self.VARIANTS:
+            raise ValueError(f"variant must be one of {self.VARIANTS}")
+        self.variant = variant
+        self.pool_size = pool_size
+        self.window = window
+        self._recent_values = deque(maxlen=window)
+        self._pool = []
+        self._pool_set = frozenset()
+        self.credits = 0
+        self.stats = {"compressible_results": 0, "pool_grants": 0,
+                      "pool_reclaims": 0}
+
+    def attach(self, cpu):
+        super().attach(cpu)
+        pool = cpu.allocate_plugin_pool(self.pool_size)
+        self._pool = list(pool)
+        self._pool_set = frozenset(pool)
+
+    def reset(self):
+        self._recent_values.clear()
+        self.credits = 0
+
+    def _compressible(self, value):
+        if self.variant == "zero-one":
+            return value <= 1
+        return value in self._recent_values
+
+    def on_result(self, dyn, value):
+        if dyn.pdst is None:
+            return
+        if self._compressible(value):
+            self.stats["compressible_results"] += 1
+            self.credits = min(self.pool_size, self.credits + 1)
+        if self.variant == "any":
+            self._recent_values.append(value)
+
+    def provide_phys_reg(self):
+        if self.credits > 0 and self._pool:
+            self.credits -= 1
+            self.stats["pool_grants"] += 1
+            return self._pool.pop()
+        return None
+
+    def reclaim_phys_reg(self, preg):
+        if preg in self._pool_set:
+            self._pool.append(preg)
+            self.stats["pool_reclaims"] += 1
+            return True
+        return False

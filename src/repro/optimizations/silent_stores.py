@@ -1,0 +1,106 @@
+"""Silent stores (Section IV-C1, V-A of the paper).
+
+Implements the *read-port stealing* scheme of Lepak & Lipasti ("Silent
+stores for free", MICRO'00), as the paper does in gem5: once a store's
+address resolves, a free load port is stolen to issue an *SS-Load* that
+reads the current memory contents at the store address.  If the SS-Load
+returns before the store is performed and the loaded value equals the
+store data, the store is marked silent and later dequeues without
+touching memory.
+
+The four possible sequences of Figure 4 map to outcomes as follows:
+
+* Case A — SS-Load returns in time, values equal → ``SILENT``.
+* Case B — SS-Load returns in time, values differ → ``NONSILENT``.
+* Case C — no free load port when the address resolved → no candidacy.
+* Case D — SS-Load returns after the store performed (here: the SS-Load
+  missed L1 and, with the default no-allocate policy, never returns) →
+  no candidacy.
+
+A store without candidacy behaves exactly as on a machine without silent
+stores (the paper notes Case C is "operationally equivalent" to the
+baseline).
+"""
+
+from repro.pipeline.dyninst import SilentState
+from repro.pipeline.plugins import OptimizationPlugin
+
+
+class SilentStorePlugin(OptimizationPlugin):
+    """Read-port-stealing silent-store detection."""
+
+    name = "silent-stores"
+
+    def __init__(self, ss_load_allocates=False, retry_cycles=0):
+        super().__init__()
+        #: When True, an SS-Load that misses L1 performs a full (filling)
+        #: memory access and still returns; the default models a port
+        #: steal that only reads the L1 array.
+        self.ss_load_allocates = ss_load_allocates
+        #: How many extra cycles to retry for a free load port before
+        #: giving up on candidacy (paper's Case C is a single attempt).
+        self.retry_cycles = retry_cycles
+        self._pending = []
+        self.stats = {
+            "ss_loads_issued": 0,
+            "case_a_silent": 0,
+            "case_b_nonsilent": 0,
+            "case_c_no_port": 0,
+            "case_d_late": 0,
+        }
+
+    def reset(self):
+        self._pending.clear()
+
+    def on_store_address_resolved(self, entry):
+        self._pending.append((entry, self.cpu.cycle))
+
+    def end_of_cycle(self, free_load_ports):
+        used = 0
+        keep = []
+        for entry, resolved_cycle in self._pending:
+            if (entry.dyn.squashed or entry.performed
+                    or entry.ss_load_issued):
+                continue
+            if used < free_load_ports:
+                used += 1
+                self._issue_ss_load(entry)
+            elif self.cpu.cycle - resolved_cycle >= self.retry_cycles:
+                entry.silent = SilentState.NO_CANDIDATE
+                self.stats["case_c_no_port"] += 1
+            else:
+                keep.append((entry, resolved_cycle))
+        self._pending = keep
+        return used
+
+    def _issue_ss_load(self, entry):
+        entry.ss_load_issued = True
+        self.stats["ss_loads_issued"] += 1
+        hierarchy = self.cpu.hierarchy
+        if hierarchy.line_in_l1(entry.addr):
+            hierarchy.l1.touch(entry.addr)
+            latency = hierarchy.latencies.l1_hit
+        elif self.ss_load_allocates:
+            latency = hierarchy.access_latency(entry.addr)
+        else:
+            # The port steal only reads the L1 array; a miss means the
+            # SS-Load never returns (Case D by the time the store
+            # performs).
+            return
+        self.cpu.schedule(latency, lambda e=entry: self._ss_response(e))
+
+    def _ss_response(self, entry):
+        if entry.dyn.squashed:
+            return
+        if entry.performed:
+            return  # Case D; counted when the store performed
+        entry.ss_load_value = self.cpu.memory.read(entry.addr, entry.width)
+        entry.ss_load_returned = True
+
+    def on_store_performed(self, entry):
+        if entry.silent is SilentState.SILENT:
+            self.stats["case_a_silent"] += 1
+        elif entry.silent is SilentState.NONSILENT:
+            self.stats["case_b_nonsilent"] += 1
+        elif entry.ss_load_issued and not entry.ss_load_returned:
+            self.stats["case_d_late"] += 1

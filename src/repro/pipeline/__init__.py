@@ -1,0 +1,17 @@
+"""Out-of-order core: config, dynamic instructions, plug-in interface."""
+
+from repro.pipeline.branch_predictor import BranchPredictor
+from repro.pipeline.config import CPUConfig
+from repro.pipeline.cpu import CPU, CPUStats, SimulationError, run_on_cpu
+from repro.pipeline.dyninst import DynInst, InstState, LQEntry, SilentState, SQEntry
+from repro.pipeline.plugins import OptimizationPlugin
+from repro.pipeline.presets import PRESETS
+from repro.pipeline.smt import SMTCore
+from repro.pipeline.trace import InstructionTrace, PipelineTracer
+
+__all__ = [
+    "BranchPredictor", "CPUConfig", "CPU", "CPUStats", "SimulationError",
+    "run_on_cpu", "DynInst", "InstState", "LQEntry", "SilentState",
+    "SQEntry", "OptimizationPlugin", "PRESETS", "SMTCore",
+    "InstructionTrace", "PipelineTracer",
+]

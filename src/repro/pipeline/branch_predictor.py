@@ -1,0 +1,41 @@
+"""A simple dynamic branch predictor (2-bit counters + BTB).
+
+Branch predictors are themselves a classic leakage channel (Table I,
+"Control flow": already Unsafe on the Baseline).  Here the predictor's
+job is to keep loop timing stable after warm-up so that the *new*
+channels studied by the paper stand out from branch noise.
+"""
+
+
+class BranchPredictor:
+    """PC-indexed 2-bit saturating counters with a branch target buffer."""
+
+    TAKEN_THRESHOLD = 2
+
+    def __init__(self, enabled=True):
+        self.enabled = enabled
+        self._counters = {}
+        self._btb = {}
+        self.stats = {"lookups": 0, "mispredicts": 0}
+
+    def predict(self, pc):
+        """Return ``(taken, target_or_None)`` for the branch at ``pc``."""
+        self.stats["lookups"] += 1
+        if not self.enabled:
+            return False, None
+        counter = self._counters.get(pc, 0)
+        target = self._btb.get(pc)
+        if counter >= self.TAKEN_THRESHOLD and target is not None:
+            return True, target
+        return False, None
+
+    def update(self, pc, taken, target, mispredicted):
+        """Train on a resolved branch."""
+        if mispredicted:
+            self.stats["mispredicts"] += 1
+        counter = self._counters.get(pc, 0)
+        if taken:
+            self._counters[pc] = min(3, counter + 1)
+            self._btb[pc] = target
+        else:
+            self._counters[pc] = max(0, counter - 1)

@@ -1,0 +1,58 @@
+"""Configuration for the out-of-order core.
+
+The defaults model a small commercial-style OoO core (the paper's
+"Baseline": out-of-order, speculative).  Attack experiments shrink
+specific structures — e.g. Figure 6 uses a 5-entry store queue so that a
+single long-to-dequeue store head-of-line blocks the pipeline.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CPUConfig:
+    """Sizing and latency knobs for :class:`repro.pipeline.cpu.CPU`."""
+
+    # Widths (instructions per cycle).
+    fetch_width: int = 2
+    dispatch_width: int = 2
+    issue_width: int = 4
+    commit_width: int = 2
+
+    # Structure sizes.
+    rob_size: int = 64
+    rs_size: int = 32
+    load_queue_size: int = 16
+    store_queue_size: int = 8
+    num_phys_regs: int = 96
+
+    # Functional units and ports.
+    num_alu_ports: int = 2
+    num_mul_units: int = 1
+    num_div_units: int = 1
+    num_load_ports: int = 2
+    num_store_ports: int = 1
+
+    # Execution latencies (cycles).
+    latency_alu: int = 1
+    latency_mul: int = 4
+    latency_div: int = 16
+    latency_agen: int = 1
+    latency_forward: int = 2
+
+    # Store-queue behaviour.  In-order dequeue is required by the
+    # amplification gadget (Section V-A1; the paper cites RISC-V BOOM).
+    in_order_store_dequeue: bool = True
+    # Committed stores drain lazily: cycles between commit and the
+    # earliest dequeue attempt.  Gives the SS-Load (read-port stealing)
+    # its window when the line is warm.
+    store_dequeue_delay: int = 3
+
+    # Branch prediction.
+    use_branch_predictor: bool = True
+
+    # Safety valve for runaway simulations.
+    max_cycles: int = 2_000_000
+
+    # Free-form bag for optimization plug-ins to stash settings.
+    plugin_options: dict = field(default_factory=dict)

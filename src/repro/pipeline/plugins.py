@@ -1,0 +1,94 @@
+"""Optimization plug-in interface.
+
+Each microarchitectural optimization the paper studies is implemented as
+a plug-in that hooks pipeline events.  The baseline core calls every hook
+at a well-defined point in the cycle; a plug-in overrides only what it
+needs:
+
+===============================  =============================================
+Hook                             Used by
+===============================  =============================================
+``on_dispatch``                  value prediction (predict at rename)
+``execute_latency``              computation simplification, early-
+                                 terminating multiplication
+``lookup_reuse``                 computation reuse (memoization hit)
+``on_result``                    computation reuse (table update), value
+                                 prediction (verify), register-file
+                                 compression (duplicate detection)
+``on_load_response``             data memory-dependent prefetching (observe)
+``on_store_address_resolved``    silent stores (request an SS-Load)
+``pack_pair``                    pipeline compression (operand packing)
+``provide_phys_reg`` /           register-file compression (extra rename
+``reclaim_phys_reg``             headroom from value duplication)
+``end_of_cycle``                 silent stores (port stealing), DMP
+                                 (prefetch state machine)
+===============================  =============================================
+"""
+
+
+class OptimizationPlugin:
+    """Base class: every hook is a no-op.  Subclass per optimization."""
+
+    name = "base"
+
+    def __init__(self):
+        self.cpu = None
+
+    def attach(self, cpu):
+        """Called once when the plug-in is registered with a core."""
+        self.cpu = cpu
+
+    def reset(self):
+        """Clear persistent microarchitectural state (Uarch inputs)."""
+
+    # --- dispatch/rename stage ------------------------------------------------
+    def on_dispatch(self, dyn):
+        """A dynamic instruction entered the window."""
+
+    def provide_phys_reg(self):
+        """Offer a physical register when the free list is empty.
+
+        Returns a physical-register index from a plug-in managed pool, or
+        ``None``.  Register-file compression uses this to model the extra
+        rename headroom created by value duplication.
+        """
+        return None
+
+    def reclaim_phys_reg(self, preg):
+        """Offered register is being freed; return True if reclaimed."""
+        return False
+
+    # --- issue/execute stage --------------------------------------------------
+    def execute_latency(self, dyn, default_latency):
+        """Chance to shorten (or stretch) an instruction's latency."""
+        return default_latency
+
+    def lookup_reuse(self, dyn):
+        """Return a memoized result for ``dyn`` or ``None``."""
+        return None
+
+    def pack_pair(self, first, second):
+        """May ``first`` and ``second`` share one ALU slot this cycle?"""
+        return False
+
+    # --- writeback -----------------------------------------------------------
+    def on_result(self, dyn, value):
+        """An instruction produced its architectural result."""
+
+    def on_commit(self, dyn):
+        """An instruction retired (in order)."""
+
+    def on_load_response(self, dyn, addr, value):
+        """A demand load returned ``value`` from ``addr``."""
+
+    # --- store pipeline ---------------------------------------------------------
+    def on_store_address_resolved(self, entry):
+        """A store-queue entry's address became known."""
+
+    def on_store_performed(self, entry):
+        """A store-queue entry wrote memory (or dequeued silently)."""
+
+    # --- cycle boundary -----------------------------------------------------------
+    def end_of_cycle(self, free_load_ports):
+        """Called after issue; returns load ports consumed (int)."""
+        return 0

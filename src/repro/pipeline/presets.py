@@ -1,0 +1,49 @@
+"""Named core configurations used across the paper's experiments."""
+
+from repro.pipeline.config import CPUConfig
+
+
+def baseline_server():
+    """The paper's Baseline: a typical commercial server core
+    (out-of-order, speculative) — the defaults."""
+    return CPUConfig()
+
+
+def figure6_core():
+    """The Figure 6 experiment configuration: a 5-entry store queue
+    (so a long-to-dequeue store head-of-line blocks quickly)."""
+    return CPUConfig(store_queue_size=5)
+
+
+def narrow_inorder_like():
+    """A deliberately tiny window for stress/differential testing:
+    every structural stall path gets exercised."""
+    return CPUConfig(fetch_width=1, dispatch_width=1, issue_width=1,
+                     commit_width=1, rob_size=8, rs_size=4,
+                     store_queue_size=2, load_queue_size=2,
+                     num_phys_regs=40)
+
+
+def wide_alu_starved():
+    """Wide front end, single ALU port: operand packing becomes the
+    binding resource (the IV-B3 probe configuration)."""
+    return CPUConfig(num_alu_ports=1, issue_width=4, dispatch_width=4,
+                     fetch_width=4, commit_width=4)
+
+
+def rename_bound():
+    """Small physical register file, single multiply unit: rename
+    headroom dominates — the register-file-compression probe."""
+    return CPUConfig(num_phys_regs=48, rob_size=128, rs_size=96,
+                     load_queue_size=32, dispatch_width=4,
+                     fetch_width=4, issue_width=4, commit_width=4,
+                     num_mul_units=1, latency_mul=4)
+
+
+PRESETS = {
+    "baseline-server": baseline_server,
+    "figure6": figure6_core,
+    "narrow": narrow_inorder_like,
+    "alu-starved": wide_alu_starved,
+    "rename-bound": rename_bound,
+}

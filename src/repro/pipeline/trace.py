@@ -1,0 +1,120 @@
+"""Pipeline event tracing.
+
+A plug-in that records, per dynamic instruction, the cycle of every
+lifecycle event (dispatch, issue, completion, commit) and, for stores,
+the store-queue events the silent-store analysis cares about (address
+resolution, SS-Load issue/return, dequeue, silence outcome).  The
+renderer produces the event timelines of the paper's Figure 4.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.pipeline.dyninst import SilentState
+from repro.pipeline.plugins import OptimizationPlugin
+
+
+@dataclass
+class InstructionTrace:
+    seq: int
+    pc: int
+    text: str
+    dispatch_cycle: int = None
+    issue_cycle: int = None
+    complete_cycle: int = None
+    commit_cycle: int = None
+    squashed: bool = False
+    store_events: dict = field(default_factory=dict)
+
+    def event_pairs(self):
+        pairs = [("dispatch", self.dispatch_cycle),
+                 ("issue", self.issue_cycle),
+                 ("complete", self.complete_cycle),
+                 ("commit", self.commit_cycle)]
+        pairs.extend(sorted(self.store_events.items(),
+                            key=lambda item: (item[1] is None, item[1])))
+        return [(name, cycle) for name, cycle in pairs
+                if cycle is not None]
+
+
+class PipelineTracer(OptimizationPlugin):
+    """Passive observer plug-in: records timing, changes nothing."""
+
+    name = "pipeline-tracer"
+
+    def __init__(self, max_records=4096):
+        super().__init__()
+        self.max_records = max_records
+        self.records = {}
+
+    def reset(self):
+        self.records.clear()
+
+    def _record(self, dyn):
+        record = self.records.get(dyn.seq)
+        if record is None:
+            if len(self.records) >= self.max_records:
+                return None
+            record = InstructionTrace(seq=dyn.seq, pc=dyn.pc,
+                                      text=str(dyn.inst))
+            self.records[dyn.seq] = record
+        return record
+
+    def on_dispatch(self, dyn):
+        record = self._record(dyn)
+        if record is not None:
+            record.dispatch_cycle = self.cpu.cycle
+
+    def on_result(self, dyn, value):
+        record = self._record(dyn)
+        if record is not None:
+            record.issue_cycle = dyn.issue_cycle
+            record.complete_cycle = self.cpu.cycle
+            record.squashed = dyn.squashed
+
+    def on_store_address_resolved(self, entry):
+        record = self._record(entry.dyn)
+        if record is not None:
+            record.store_events["address_resolves"] = self.cpu.cycle
+
+    def on_store_performed(self, entry):
+        record = self._record(entry.dyn)
+        if record is None:
+            return
+        record.issue_cycle = entry.dyn.issue_cycle
+        record.store_events["dequeue"] = self.cpu.cycle
+        if entry.silent is SilentState.SILENT:
+            record.store_events["silent_dequeue"] = self.cpu.cycle
+        elif entry.silent is SilentState.NONSILENT:
+            record.store_events["performed_nonsilent"] = self.cpu.cycle
+        else:
+            record.store_events["performed_no_candidate"] = self.cpu.cycle
+        if entry.ss_load_issued:
+            record.store_events.setdefault("ss_load_issued", None)
+        if entry.ss_load_returned:
+            record.store_events.setdefault("ss_load_returned", None)
+
+    def on_commit(self, dyn):
+        record = self._record(dyn)
+        if record is not None:
+            record.commit_cycle = self.cpu.cycle
+
+    # -- rendering -------------------------------------------------------
+
+    def timeline(self, seq):
+        """Figure-4-style one-line timeline for one instruction."""
+        record = self.records.get(seq)
+        if record is None:
+            return f"#{seq}: (not traced)"
+        events = " -> ".join(f"{name}@{cycle}"
+                             for name, cycle in record.event_pairs())
+        flag = " [SQUASHED]" if record.squashed else ""
+        return f"#{record.seq} {record.text}: {events}{flag}"
+
+    def store_timelines(self):
+        """Timelines for every traced store, oldest first."""
+        lines = []
+        for seq in sorted(self.records):
+            record = self.records[seq]
+            if record.store_events:
+                lines.append(self.timeline(seq))
+        return lines

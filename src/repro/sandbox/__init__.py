@@ -1,0 +1,14 @@
+"""eBPF-like sandbox: bytecode, verifier, JIT, runtime."""
+
+from repro.sandbox.ebpf import (
+    BpfArray, BpfInst, BpfOp, BpfProgram, BpfProgramError,
+)
+from repro.sandbox.jit import Jit, JitError, machine_reg
+from repro.sandbox.runtime import SandboxError, SandboxRuntime
+from repro.sandbox.verifier import RegState, Verifier, VerifierError
+
+__all__ = [
+    "BpfArray", "BpfInst", "BpfOp", "BpfProgram", "BpfProgramError",
+    "Jit", "JitError", "machine_reg", "SandboxError", "SandboxRuntime",
+    "RegState", "Verifier", "VerifierError",
+]

@@ -1,0 +1,122 @@
+"""Reference interpreter for sandbox bytecode.
+
+Executes a :class:`BpfProgram` directly against the array layout — the
+semantic ground truth the JIT is differentially tested against.  Like
+the kernel's own interpreter fallback, it bounds-checks lookups at run
+time (returning NULL out of bounds) and refuses NULL dereferences.
+"""
+
+from repro.sandbox.ebpf import (
+    ALU_IMM_OPS, ALU_REG_OPS, BpfOp, BRANCH_OPS, NUM_BPF_REGS,
+)
+
+MASK64 = (1 << 64) - 1
+
+
+class BpfRuntimeError(Exception):
+    """NULL dereference or runaway program in the reference interpreter."""
+
+
+class BpfInterpreter:
+    """Executes finalized programs over a memory + layout."""
+
+    def __init__(self, program, layout, memory):
+        program.finalize()
+        self.program = program
+        self.layout = dict(layout)
+        self.memory = memory
+
+    def run(self, max_steps=100_000):
+        """Run to EXIT; returns the final register file (list of 10)."""
+        regs = [0] * NUM_BPF_REGS
+        pc = 0
+        insts = self.program.instructions
+        for _step in range(max_steps):
+            if not 0 <= pc < len(insts):
+                raise BpfRuntimeError(f"pc {pc} out of program")
+            inst = insts[pc]
+            op = inst.op
+            if op is BpfOp.EXIT:
+                return regs
+            if op in ALU_IMM_OPS:
+                regs[inst.rd] = self._alu_imm(op, regs[inst.rd],
+                                              inst.imm)
+                pc += 1
+            elif op in ALU_REG_OPS:
+                regs[inst.rd] = self._alu_reg(op, regs[inst.rd],
+                                              regs[inst.rs])
+                pc += 1
+            elif op is BpfOp.LOOKUP:
+                array = self.program.arrays[inst.array]
+                index = regs[inst.rs] & MASK64
+                if index < array.length:
+                    regs[inst.rd] = (self.layout[inst.array]
+                                     + index * array.elem_size)
+                else:
+                    regs[inst.rd] = 0
+                pc += 1
+            elif op is BpfOp.LOAD:
+                pointer = regs[inst.rs]
+                if pointer == 0:
+                    raise BpfRuntimeError(
+                        f"pc {pc}: NULL dereference at runtime")
+                regs[inst.rd] = self.memory.read(pointer + inst.off,
+                                                 inst.width)
+                pc += 1
+            elif op is BpfOp.STORE:
+                pointer = regs[inst.rd]
+                if pointer == 0:
+                    raise BpfRuntimeError(
+                        f"pc {pc}: NULL dereference at runtime")
+                self.memory.write(pointer + inst.off, regs[inst.rs],
+                                  inst.width)
+                pc += 1
+            elif op is BpfOp.JMP:
+                pc = inst.target
+            elif op in BRANCH_OPS:
+                pc = (inst.target if self._taken(op, regs[inst.rd],
+                                                 inst.imm)
+                      else pc + 1)
+            else:
+                raise BpfRuntimeError(f"pc {pc}: unknown op {op}")
+        raise BpfRuntimeError(f"no EXIT within {max_steps} steps")
+
+    @staticmethod
+    def _alu_imm(op, value, imm):
+        if op is BpfOp.MOV_IMM:
+            return imm & MASK64
+        if op is BpfOp.ADD_IMM:
+            return (value + imm) & MASK64
+        if op is BpfOp.SUB_IMM:
+            return (value - imm) & MASK64
+        if op is BpfOp.AND_IMM:
+            return value & imm & MASK64
+        if op is BpfOp.LSH_IMM:
+            return (value << (imm & 63)) & MASK64
+        if op is BpfOp.RSH_IMM:
+            return (value & MASK64) >> (imm & 63)
+        raise BpfRuntimeError(f"bad ALU imm op {op}")
+
+    @staticmethod
+    def _alu_reg(op, value_d, value_s):
+        if op is BpfOp.MOV_REG:
+            return value_s
+        if op is BpfOp.ADD_REG:
+            return (value_d + value_s) & MASK64
+        if op is BpfOp.XOR_REG:
+            return value_d ^ value_s
+        raise BpfRuntimeError(f"bad ALU reg op {op}")
+
+    @staticmethod
+    def _taken(op, value, imm):
+        value &= MASK64
+        imm &= MASK64
+        if op is BpfOp.JEQ_IMM:
+            return value == imm
+        if op is BpfOp.JNE_IMM:
+            return value != imm
+        if op is BpfOp.JLT_IMM:
+            return value < imm
+        if op is BpfOp.JGE_IMM:
+            return value >= imm
+        raise BpfRuntimeError(f"bad branch {op}")

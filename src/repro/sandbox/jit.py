@@ -1,0 +1,144 @@
+"""JIT: compile verified sandbox programs to the simulator ISA.
+
+Mirrors the paper's Figure 7b: a ``lookup`` becomes an inline
+unsigned-compare bounds check plus a shift/add address computation, and
+a ``load`` through the returned pointer is a plain machine load — **no
+additional memory accesses** are made between reading ``Z[i]`` and
+``Y[Z[i]]``, which is precisely the pattern the indirect-memory
+prefetcher is built to recognize (Section V-B1: "we see no additional
+memory accesses made in between reading Z[i] and Y[Z[i]] into the
+register file").
+
+BPF registers ``r0..r9`` map to machine registers ``x10..x19``;
+``x20``/``x21`` are JIT temporaries.
+"""
+
+from repro.isa.assembler import Assembler
+from repro.sandbox.ebpf import BpfOp
+
+BPF_REG_BASE = 10
+TEMP0 = 20
+TEMP1 = 21
+
+#: The NULL pointer value the JIT materializes for failed lookups.
+NULL = 0
+
+
+class JitError(Exception):
+    """Raised for programs the JIT cannot lower (should not happen for
+    verifier-accepted programs)."""
+
+
+def machine_reg(bpf_reg):
+    """The machine register holding BPF register ``r<bpf_reg>``."""
+    return BPF_REG_BASE + bpf_reg
+
+
+class Jit:
+    """Compiles a finalized :class:`BpfProgram` against an array layout.
+
+    ``layout`` maps array name -> base address (assigned by the sandbox
+    runtime).
+    """
+
+    def __init__(self, program, layout):
+        self.program = program
+        self.layout = dict(layout)
+        self._counter = 0
+        #: Filled during compile(): bpf pc -> machine pc of first insn.
+        self.pc_map = {}
+        #: Machine pcs of the LOAD instructions, keyed by bpf pc — used
+        #: by tests to identify which load PCs the prefetcher trains on.
+        self.load_pcs = {}
+
+    def _fresh(self, stem):
+        self._counter += 1
+        return f"__jit_{stem}_{self._counter}"
+
+    def compile(self):
+        """Returns an assembled :class:`repro.isa.Program`."""
+        program = self.program
+        asm = Assembler()
+        bpf_labels = {}  # bpf pc -> asm label name
+        for pc in range(len(program.instructions) + 1):
+            bpf_labels[pc] = f"__bpf_pc_{pc}"
+        for pc, inst in enumerate(program.instructions):
+            asm.label(bpf_labels[pc])
+            self.pc_map[pc] = len(asm)
+            self._lower(asm, inst, bpf_labels, pc)
+        asm.label(bpf_labels[len(program.instructions)])
+        asm.label("__bpf_exit_fallthrough")
+        asm.halt()
+        return asm.assemble()
+
+    def _lower(self, asm, inst, bpf_labels, pc):
+        op = inst.op
+        rd = machine_reg(inst.rd)
+        rs = machine_reg(inst.rs)
+        if op is BpfOp.MOV_IMM:
+            asm.li(rd, inst.imm)
+        elif op is BpfOp.MOV_REG:
+            asm.mv(rd, rs)
+        elif op is BpfOp.ADD_IMM:
+            asm.addi(rd, rd, inst.imm)
+        elif op is BpfOp.ADD_REG:
+            asm.add(rd, rd, rs)
+        elif op is BpfOp.SUB_IMM:
+            asm.addi(rd, rd, -inst.imm)
+        elif op is BpfOp.AND_IMM:
+            asm.andi(rd, rd, inst.imm)
+        elif op is BpfOp.XOR_REG:
+            asm.xor(rd, rd, rs)
+        elif op is BpfOp.LSH_IMM:
+            asm.slli(rd, rd, inst.imm)
+        elif op is BpfOp.RSH_IMM:
+            asm.srli(rd, rd, inst.imm)
+        elif op is BpfOp.LOOKUP:
+            self._lower_lookup(asm, inst, rd, rs)
+        elif op is BpfOp.LOAD:
+            self.load_pcs[pc] = len(asm)
+            asm.load(rd, rs, inst.off, width=inst.width)
+        elif op is BpfOp.STORE:
+            asm.store(rs, rd, inst.off, width=inst.width)
+        elif op is BpfOp.JEQ_IMM:
+            self._lower_branch(asm, "beq", rd, inst.imm,
+                               bpf_labels[inst.target])
+        elif op is BpfOp.JNE_IMM:
+            self._lower_branch(asm, "bne", rd, inst.imm,
+                               bpf_labels[inst.target])
+        elif op is BpfOp.JLT_IMM:
+            self._lower_branch(asm, "bltu", rd, inst.imm,
+                               bpf_labels[inst.target])
+        elif op is BpfOp.JGE_IMM:
+            self._lower_branch(asm, "bgeu", rd, inst.imm,
+                               bpf_labels[inst.target])
+        elif op is BpfOp.JMP:
+            asm.jmp(bpf_labels[inst.target])
+        elif op is BpfOp.EXIT:
+            asm.jmp("__bpf_exit_fallthrough")
+        else:
+            raise JitError(f"cannot lower {op}")
+
+    def _lower_lookup(self, asm, inst, rd, rs):
+        """Figure 7b: cmp/jae bounds check + shl/add address compute."""
+        array = self.program.arrays[inst.array]
+        base = self.layout[inst.array]
+        null_label = self._fresh("null")
+        done_label = self._fresh("done")
+        asm.annotate(f"bounds check {inst.array}[idx] < {array.length}")
+        asm.li(TEMP0, array.length)
+        asm.bgeu(rs, TEMP0, null_label)
+        if array.shift:
+            asm.slli(rd, rs, array.shift)   # rax = idx << log2(elem)
+        else:
+            asm.mv(rd, rs)
+        asm.li(TEMP1, base)
+        asm.add(rd, rd, TEMP1)              # rax = &array[idx]
+        asm.jmp(done_label)
+        asm.label(null_label)
+        asm.li(rd, NULL)
+        asm.label(done_label)
+
+    def _lower_branch(self, asm, kind, rd, imm, label):
+        asm.li(TEMP0, imm)
+        getattr(asm, kind)(rd, TEMP0, label)

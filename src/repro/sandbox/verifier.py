@@ -1,0 +1,241 @@
+"""Static verifier for sandbox programs (Section V-B1).
+
+The verifier performs exhaustive symbolic path exploration — like the
+Linux eBPF verifier it models — tracking an abstract type per register:
+
+* ``scalar`` (with a known constant when derivable),
+* ``ptr(array)`` — a *non-NULL* pointer into a declared array element,
+* ``maybe_null(array)`` — the result of ``lookup``; dereferencing it is
+  rejected until a branch proves it non-zero.
+
+This is what makes the paper's observation concrete: the attacker's
+program with its ``if (!v) return 0`` incantations *passes* ("these are
+bounds checks in disguise because an out-of-bounds lookup returns
+NULL"), the software never reads out of bounds — and the hardware
+prefetcher breaks the sandbox anyway.
+
+Loops are handled by unrolling during exploration (constant-bounded
+loops terminate the walk; anything that exceeds the state budget is
+rejected as too complex, as real eBPF does).
+"""
+
+from dataclasses import dataclass
+
+from repro.sandbox.ebpf import (
+    ALU_IMM_OPS, ALU_REG_OPS, BpfOp, BRANCH_OPS, NUM_BPF_REGS,
+)
+
+
+class VerifierError(Exception):
+    """Program rejected; the message states the offending pc and rule."""
+
+
+@dataclass(frozen=True)
+class RegState:
+    """Abstract value of one register."""
+
+    kind: str                 # "scalar" | "ptr" | "maybe_null"
+    array: str = ""
+    const: object = None      # known constant for scalars, else None
+
+    @staticmethod
+    def scalar(const=None):
+        return RegState("scalar", const=const)
+
+    @staticmethod
+    def pointer(array):
+        return RegState("ptr", array=array)
+
+    @staticmethod
+    def maybe_null(array):
+        return RegState("maybe_null", array=array)
+
+
+INITIAL_REGS = tuple(RegState.scalar(0) for _ in range(NUM_BPF_REGS))
+
+
+class Verifier:
+    """Path-exploring verifier with a state budget."""
+
+    def __init__(self, state_budget=500_000):
+        self.state_budget = state_budget
+
+    def verify(self, program):
+        """Raises :class:`VerifierError` if the program is unsafe.
+
+        Returns the number of abstract states explored on success.
+        """
+        program.finalize()
+        insts = program.instructions
+        if not insts:
+            raise VerifierError("empty program")
+        worklist = [(0, INITIAL_REGS, False)]
+        explored = 0
+        seen = set()
+        while worklist:
+            pc, regs, via_back_edge = worklist.pop()
+            if (pc, regs) in seen:
+                if via_back_edge:
+                    # A back-edge reached an abstract state we have
+                    # already been in: the verifier cannot prove the
+                    # loop terminates.  Real eBPF rejects this.
+                    raise VerifierError(
+                        f"pc {pc}: cannot prove loop termination")
+                continue
+            seen.add((pc, regs))
+            explored += 1
+            if explored > self.state_budget:
+                raise VerifierError(
+                    f"program too complex (> {self.state_budget} states)")
+            if pc >= len(insts):
+                raise VerifierError(
+                    f"pc {pc}: control flow falls off the program")
+            inst = insts[pc]
+            for succ_pc, succ_regs in self._step(pc, inst, regs, program):
+                worklist.append((succ_pc, succ_regs, succ_pc <= pc))
+        return explored
+
+    def _step(self, pc, inst, regs, program):
+        """Abstractly execute ``inst``; yields successor (pc, regs)."""
+        op = inst.op
+        regs = list(regs)
+        if op is BpfOp.EXIT:
+            return
+        if op in ALU_IMM_OPS:
+            self._check_scalar(pc, regs[inst.rd], f"r{inst.rd}",
+                               allow_fresh=op is BpfOp.MOV_IMM)
+            regs[inst.rd] = self._alu_imm(op, regs[inst.rd], inst.imm)
+            yield (pc + 1, tuple(regs))
+            return
+        if op in ALU_REG_OPS:
+            if op is not BpfOp.MOV_REG:
+                self._check_scalar(pc, regs[inst.rd], f"r{inst.rd}")
+                self._check_scalar(pc, regs[inst.rs], f"r{inst.rs}")
+                regs[inst.rd] = self._alu_reg(op, regs[inst.rd],
+                                              regs[inst.rs])
+            else:
+                regs[inst.rd] = regs[inst.rs]
+            yield (pc + 1, tuple(regs))
+            return
+        if op is BpfOp.LOOKUP:
+            self._check_scalar(pc, regs[inst.rs], f"r{inst.rs} (index)")
+            regs[inst.rd] = RegState.maybe_null(inst.array)
+            yield (pc + 1, tuple(regs))
+            return
+        if op in (BpfOp.LOAD, BpfOp.STORE):
+            ptr_reg = inst.rs if op is BpfOp.LOAD else inst.rd
+            self._check_dereference(pc, regs[ptr_reg], ptr_reg, inst,
+                                    program)
+            if op is BpfOp.LOAD:
+                regs[inst.rd] = RegState.scalar()
+            else:
+                value = regs[inst.rs]
+                if value.kind != "scalar":
+                    raise VerifierError(
+                        f"pc {pc}: storing a pointer r{inst.rs} to "
+                        "memory is not allowed (pointer leak)")
+            yield (pc + 1, tuple(regs))
+            return
+        if op is BpfOp.JMP:
+            yield (inst.target, tuple(regs))
+            return
+        if op in BRANCH_OPS:
+            yield from self._branch(pc, inst, regs)
+            return
+        raise VerifierError(f"pc {pc}: unknown opcode {op}")
+
+    def _branch(self, pc, inst, regs):
+        reg = regs[inst.rd]
+        op = inst.op
+        # NULL-check refinement: comparing a maybe_null pointer with 0.
+        if reg.kind == "maybe_null" and inst.imm == 0 and op in (
+                BpfOp.JEQ_IMM, BpfOp.JNE_IMM):
+            null_regs = list(regs)
+            null_regs[inst.rd] = RegState.scalar(0)
+            ptr_regs = list(regs)
+            ptr_regs[inst.rd] = RegState.pointer(reg.array)
+            if op is BpfOp.JEQ_IMM:
+                yield (inst.target, tuple(null_regs))   # taken: NULL
+                yield (pc + 1, tuple(ptr_regs))          # fall: non-NULL
+            else:
+                yield (inst.target, tuple(ptr_regs))     # taken: non-NULL
+                yield (pc + 1, tuple(null_regs))
+            return
+        if reg.kind != "scalar":
+            raise VerifierError(
+                f"pc {pc}: branch on pointer r{inst.rd} without a "
+                "NULL comparison")
+        if reg.const is not None:
+            taken = self._evaluate(op, reg.const, inst.imm)
+            yield ((inst.target, tuple(regs)) if taken
+                   else (pc + 1, tuple(regs)))
+            return
+        yield (inst.target, tuple(regs))
+        yield (pc + 1, tuple(regs))
+
+    @staticmethod
+    def _evaluate(op, value, imm):
+        value &= (1 << 64) - 1
+        imm &= (1 << 64) - 1
+        if op is BpfOp.JEQ_IMM:
+            return value == imm
+        if op is BpfOp.JNE_IMM:
+            return value != imm
+        if op is BpfOp.JLT_IMM:
+            return value < imm
+        if op is BpfOp.JGE_IMM:
+            return value >= imm
+        raise VerifierError(f"unknown branch {op}")
+
+    @staticmethod
+    def _check_dereference(pc, ptr, ptr_reg, inst, program):
+        if ptr.kind == "maybe_null":
+            raise VerifierError(
+                f"pc {pc}: dereference of possibly-NULL pointer "
+                f"r{ptr_reg} (missing NULL check after lookup)")
+        if ptr.kind != "ptr":
+            raise VerifierError(
+                f"pc {pc}: dereference of non-pointer r{ptr_reg}")
+        array = program.arrays[ptr.array]
+        if inst.off < 0 or inst.off + inst.width > array.elem_size:
+            raise VerifierError(
+                f"pc {pc}: access [{inst.off}, "
+                f"{inst.off + inst.width}) outside element of "
+                f"{ptr.array!r} (elem_size {array.elem_size})")
+
+    @staticmethod
+    def _check_scalar(pc, reg, what, allow_fresh=False):
+        if reg.kind != "scalar" and not allow_fresh:
+            raise VerifierError(
+                f"pc {pc}: arithmetic on pointer {what} is not allowed")
+
+    @staticmethod
+    def _alu_imm(op, reg, imm):
+        if reg.const is None and op is not BpfOp.MOV_IMM:
+            return RegState.scalar()
+        mask64 = (1 << 64) - 1
+        value = 0 if reg.const is None else reg.const
+        if op is BpfOp.MOV_IMM:
+            return RegState.scalar(imm & mask64)
+        if op is BpfOp.ADD_IMM:
+            return RegState.scalar((value + imm) & mask64)
+        if op is BpfOp.SUB_IMM:
+            return RegState.scalar((value - imm) & mask64)
+        if op is BpfOp.AND_IMM:
+            return RegState.scalar(value & imm & mask64)
+        if op is BpfOp.LSH_IMM:
+            return RegState.scalar((value << (imm & 63)) & mask64)
+        if op is BpfOp.RSH_IMM:
+            return RegState.scalar((value & mask64) >> (imm & 63))
+        raise VerifierError(f"unknown ALU op {op}")
+
+    @staticmethod
+    def _alu_reg(op, reg_d, reg_s):
+        if reg_d.const is None or reg_s.const is None:
+            return RegState.scalar()
+        mask64 = (1 << 64) - 1
+        if op is BpfOp.ADD_REG:
+            return RegState.scalar((reg_d.const + reg_s.const) & mask64)
+        if op is BpfOp.XOR_REG:
+            return RegState.scalar((reg_d.const ^ reg_s.const) & mask64)
+        raise VerifierError(f"unknown ALU op {op}")

@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture
+def memory():
+    return FlatMemory(1 << 18)
+
+
+@pytest.fixture
+def hierarchy(memory):
+    return MemoryHierarchy(memory, l1=Cache(num_sets=64, ways=4))
+
+
+def make_hierarchy(memory_size=1 << 18, num_sets=64, ways=4, l2=False,
+                   prefetch_buffer_size=0):
+    """Standalone builder used by tests needing custom geometry."""
+    mem = FlatMemory(memory_size)
+    l2_cache = Cache(num_sets=2 * num_sets, ways=8) if l2 else None
+    return MemoryHierarchy(
+        mem, l1=Cache(num_sets=num_sets, ways=ways), l2=l2_cache,
+        prefetch_buffer_size=prefetch_buffer_size)

@@ -1,0 +1,101 @@
+"""The Figure 5 amplification gadget: preconditions and timing."""
+
+from repro.attacks.amplification import (
+    GadgetLayout, build_timing_probe, plant_flush_pointer,
+)
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy, MemoryLatencies
+from repro.optimizations.silent_stores import SilentStorePlugin
+from repro.pipeline.config import CPUConfig
+from repro.pipeline.cpu import CPU
+
+
+def measure(store_value, leftover, sq_size=5, with_plugin=True):
+    memory = FlatMemory(1 << 20)
+    memory.write(0x8000, leftover, 2)
+    l1 = Cache(num_sets=64, ways=4)
+    hierarchy = MemoryHierarchy(memory, l1=l1,
+                                latencies=MemoryLatencies())
+    layout = GadgetLayout(target_addr=0x8000, delay_ptr_addr=0x4_0000,
+                          flush_area_base=0x5_0000)
+    plant_flush_pointer(memory, layout, l1)
+    program = build_timing_probe(layout, l1, store_value)
+    plugins = [SilentStorePlugin()] if with_plugin else []
+    cpu = CPU(program, hierarchy,
+              config=CPUConfig(store_queue_size=sq_size),
+              plugins=plugins)
+    cpu.run()
+    return cpu
+
+
+def test_flush_addresses_share_the_target_set():
+    l1 = Cache(num_sets=64, ways=4)
+    layout = GadgetLayout(target_addr=0x8000, delay_ptr_addr=0x4_0000,
+                          flush_area_base=0x5_0000)
+    addresses = layout.flush_addresses(l1)
+    target_set = l1.set_index(0x8000)
+    assert len(addresses) == l1.ways
+    assert all(l1.set_index(addr) == target_set for addr in addresses)
+    assert len(set(addresses)) == l1.ways
+
+
+def test_plant_flush_pointer_writes_first_flush_address():
+    memory = FlatMemory(1 << 20)
+    l1 = Cache(num_sets=64, ways=4)
+    layout = GadgetLayout(target_addr=0x8000, delay_ptr_addr=0x4_0000,
+                          flush_area_base=0x5_0000)
+    addresses = plant_flush_pointer(memory, layout, l1)
+    assert memory.read(0x4_0000) == addresses[0]
+
+
+def test_silent_vs_nonsilent_gap_exceeds_100_cycles():
+    """The paper's headline: a single dynamic store's silence creates a
+    large (> 100 cycles) end-to-end timing difference (Figure 6)."""
+    silent = measure(store_value=0x1234, leftover=0x1234)
+    nonsilent = measure(store_value=0x1234, leftover=0x4321)
+    assert silent.stats.silent_stores == 1
+    assert nonsilent.stats.silent_stores == 0
+    gap = nonsilent.stats.cycles - silent.stats.cycles
+    assert gap > 100
+
+
+def test_gadget_depends_on_silent_store_hardware():
+    """Without the optimization, matching and non-matching stores time
+    identically — the baseline machine is constant time here."""
+    match = measure(0x1234, 0x1234, with_plugin=False)
+    differ = measure(0x1234, 0x4321, with_plugin=False)
+    assert match.stats.cycles == differ.stats.cycles
+
+
+def test_memory_correct_under_both_outcomes():
+    silent = measure(0x1234, 0x1234)
+    assert silent.memory.read(0x8000, 2) == 0x1234
+    nonsilent = measure(0xBEEF, 0x1234)
+    assert nonsilent.memory.read(0x8000, 2) == 0xBEEF
+
+
+def test_gap_scales_with_memory_latency():
+    def measure_with_latency(store_value, leftover, mem_latency):
+        memory = FlatMemory(1 << 20)
+        memory.write(0x8000, leftover, 2)
+        l1 = Cache(num_sets=64, ways=4)
+        hierarchy = MemoryHierarchy(
+            memory, l1=l1,
+            latencies=MemoryLatencies(memory=mem_latency))
+        layout = GadgetLayout(target_addr=0x8000,
+                              delay_ptr_addr=0x4_0000,
+                              flush_area_base=0x5_0000)
+        plant_flush_pointer(memory, layout, l1)
+        cpu = CPU(build_timing_probe(layout, l1, store_value), hierarchy,
+                  config=CPUConfig(store_queue_size=5),
+                  plugins=[SilentStorePlugin()])
+        cpu.run()
+        return cpu.stats.cycles
+
+    gaps = {}
+    for latency in (80, 200):
+        silent = measure_with_latency(1, 1, latency)
+        nonsilent = measure_with_latency(1, 2, latency)
+        gaps[latency] = nonsilent - silent
+    assert gaps[200] > gaps[80]

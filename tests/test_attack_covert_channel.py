@@ -1,0 +1,97 @@
+"""Prime+Probe and Flush+Reload receivers on the cache model."""
+
+import pytest
+
+from repro.attacks.covert_channel import (
+    FlushReloadReceiver, PrimeProbeReceiver,
+)
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+def make(num_sets=16, ways=2, l2=False):
+    memory = FlatMemory(1 << 20)
+    hierarchy = MemoryHierarchy(
+        memory, l1=Cache(num_sets=num_sets, ways=ways),
+        l2=Cache(num_sets=32, ways=4) if l2 else None)
+    span = num_sets * 64
+    buffer_base = (1 << 18)
+    assert buffer_base % span == 0
+    return hierarchy, PrimeProbeReceiver(hierarchy, buffer_base)
+
+
+def test_buffer_alignment_enforced():
+    hierarchy, _receiver = make()
+    with pytest.raises(ValueError, match="aligned"):
+        PrimeProbeReceiver(hierarchy, 0x123)
+
+
+def test_way_addresses_map_to_requested_set():
+    hierarchy, receiver = make()
+    for set_index in (0, 7, 15):
+        for way in range(hierarchy.l1.ways):
+            addr = receiver.way_address(set_index, way)
+            assert hierarchy.l1.set_index(addr) == set_index
+
+
+def test_quiet_victim_probes_clean():
+    _hierarchy, receiver = make()
+    receiver.prime()
+    probe = receiver.probe()
+    assert receiver.evicted_sets(probe) == []
+
+
+def test_single_victim_access_detected_in_the_right_set():
+    hierarchy, receiver = make()
+    receiver.prime()
+    victim_addr = 0x4242
+    hierarchy.read(victim_addr)            # the transmitter
+    probe = receiver.probe()
+    evicted = receiver.evicted_sets(probe)
+    assert evicted == [hierarchy.l1.set_index(victim_addr)]
+
+
+def test_multiple_victim_sets_detected():
+    hierarchy, receiver = make()
+    receiver.prime()
+    addrs = [0x0000, 0x1040, 0x2080]
+    for addr in addrs:
+        hierarchy.read(addr)
+    evicted = receiver.evicted_sets(receiver.probe())
+    expected = sorted({hierarchy.l1.set_index(a) for a in addrs})
+    assert evicted == expected
+
+
+def test_partial_priming():
+    hierarchy, receiver = make()
+    receiver.prime(target_sets=[3, 4])
+    hierarchy.read(receiver.way_address(3, 0) + 0x10000)  # hits set 3
+    probe = receiver.probe(target_sets=[3, 4])
+    assert 3 in receiver.evicted_sets(probe)
+
+
+def test_prefetcher_fills_are_visible():
+    """The URG's transmitter is a prefetch, not a demand access."""
+    hierarchy, receiver = make()
+    receiver.prime()
+    hierarchy.prefetch(0x4242)
+    evicted = receiver.evicted_sets(receiver.probe())
+    assert hierarchy.l1.set_index(0x4242) in evicted
+
+
+def test_flush_reload():
+    memory = FlatMemory(1 << 16)
+    hierarchy = MemoryHierarchy(memory, l1=Cache(),
+                                l2=Cache(num_sets=128, ways=8))
+    receiver = FlushReloadReceiver(hierarchy)
+    shared_addr = 0x2000
+    hierarchy.read(shared_addr)
+    receiver.flush(shared_addr)
+    cached, latency = receiver.reload(shared_addr)
+    assert not cached and latency > hierarchy.latencies.l2_hit
+    # Victim touches it; reload is now fast.
+    receiver.flush(shared_addr)
+    hierarchy.read(shared_addr)
+    cached, latency = receiver.reload(shared_addr)
+    assert cached and latency <= hierarchy.latencies.l1_hit

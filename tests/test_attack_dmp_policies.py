@@ -1,0 +1,22 @@
+"""The URG receiver works under every replacement policy.
+
+Figure 2's Example 3 models the *random*-replacement cache explicitly;
+the attack's Prime+Probe receiver must survive all of LRU/FIFO/random
+(the victim's fill evicts *some* attacker way in the right set either
+way)."""
+
+import pytest
+
+from repro.attacks.dmp_attack import DMPSandboxAttack, URGAttackConfig
+
+SECRET = b"\x42\xa7"
+
+
+@pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+def test_urg_leak_under_policy(policy):
+    attack = DMPSandboxAttack(URGAttackConfig(l1_policy=policy))
+    attack.runtime.place_kernel_secret(
+        attack.config.kernel_secret_base, SECRET)
+    results = attack.leak_bytes(attack.config.kernel_secret_base,
+                                len(SECRET))
+    assert all(result.correct for result in results), policy

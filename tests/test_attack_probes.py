@@ -1,0 +1,109 @@
+"""The per-optimization attack probes: VP, reuse, packing, RFC, CS."""
+
+from repro.attacks.compsimp_attack import SignificanceProbe, ZeroSkipAttack
+from repro.attacks.packing_attack import OperandPackingAttack
+from repro.attacks.reuse_attack import ComputationReuseAttack
+from repro.attacks.rfc_attack import RegisterFileCompressionAttack
+from repro.attacks.vp_attack import ValuePredictionAttack
+
+
+# --- value prediction ---------------------------------------------------------
+
+def test_vp_correct_guess_is_faster():
+    attack = ValuePredictionAttack(secret_value=0x5A)
+    match_cycles, mismatch_cycles = attack.calibrate()
+    assert match_cycles < mismatch_cycles
+
+
+def test_vp_recovers_secret_byte():
+    attack = ValuePredictionAttack(secret_value=0x5A)
+    value, experiments = attack.recover_byte()
+    assert value == 0x5A
+    assert experiments <= 256
+
+
+def test_vp_measure_reports_squashes():
+    attack = ValuePredictionAttack(secret_value=7)
+    wrong = attack.measure(9)
+    right = attack.measure(7)
+    assert wrong.vp_squashes > right.vp_squashes
+
+
+# --- computation reuse --------------------------------------------------------
+
+def test_reuse_sv_distinguishes_operand_equality():
+    attack = ComputationReuseAttack(secret_value=123, variant="sv")
+    equal_cycles, different_cycles = attack.distinguishes(123, 124)
+    assert equal_cycles < different_cycles
+
+
+def test_reuse_sv_recovers_value():
+    attack = ComputationReuseAttack(secret_value=123, variant="sv")
+    value, _experiments = attack.recover_value(range(118, 130))
+    assert value == 123
+
+
+def test_reuse_sn_defense_blocks_the_attack():
+    """Section VI-A3: the Sn variant's outcome is value-independent."""
+    attack = ComputationReuseAttack(secret_value=123, variant="sn")
+    equal_cycles, different_cycles = attack.distinguishes(123, 124)
+    assert equal_cycles == different_cycles
+    value, _experiments = attack.recover_value(range(118, 130))
+    assert value is None
+
+
+# --- operand packing ----------------------------------------------------------
+
+def test_packing_classifies_narrow_vs_wide():
+    attack = OperandPackingAttack(pairs=32)
+    assert attack.classify(42)
+    assert attack.classify(0xFFFF)
+    assert not attack.classify(0x10000)
+    assert not attack.classify(1 << 40)
+
+
+def test_packing_probe_reports_pack_counts():
+    attack = OperandPackingAttack(pairs=16)
+    narrow = attack.measure(5)
+    wide = attack.measure(1 << 30)
+    assert narrow.packs > wide.packs
+    assert narrow.cycles < wide.cycles
+
+
+# --- register-file compression -----------------------------------------------
+
+def test_rfc_classifies_flag_like_victim_data():
+    attack = RegisterFileCompressionAttack()
+    assert attack.classify_compressible(0)
+    assert attack.classify_compressible(1)
+    assert not attack.classify_compressible(0xDEADBEEF)
+
+
+def test_rfc_probe_mechanism():
+    attack = RegisterFileCompressionAttack()
+    compressible = attack.measure(1)
+    wide = attack.measure(12345678)
+    assert compressible.pool_grants > wide.pool_grants
+    assert compressible.cycles < wide.cycles
+
+
+# --- computation simplification ------------------------------------------------
+
+def test_zero_skip_active_attack():
+    attack = ZeroSkipAttack()
+    assert attack.secret_is_zero(0)
+    assert not attack.secret_is_zero(5)
+
+
+def test_zero_skip_lattice_corollary():
+    """With the controlled operand 0, nothing leaks (Section IV-A2)."""
+    attack = ZeroSkipAttack()
+    assert attack.leaks_with_zero_controlled([0, 1, 7, 255, 1 << 60])
+
+
+def test_significance_probe_orders_widths():
+    probe = SignificanceProbe()
+    curve = probe.significance_curve((1, 2, 4, 6))
+    values = [curve[w] for w in (1, 2, 4, 6)]
+    assert values == sorted(values)
+    assert values[0] < values[-1]

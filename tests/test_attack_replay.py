@@ -1,0 +1,70 @@
+"""Replay attacks with width narrowing (Section IV-C4)."""
+
+from repro.attacks.replay import (
+    SilentStoreWidthOracle, expected_tries, full_width_search,
+    narrowing_search,
+)
+
+
+def test_fast_oracle_equality_semantics():
+    oracle = SilentStoreWidthOracle(secret=0xCAFE1234, secret_width=4)
+    assert oracle.query(0xCAFE1234)
+    assert not oracle.query(0xCAFE1235)
+    assert oracle.query(0x34, offset=0, width=1)
+    assert oracle.query(0x12, offset=1, width=1)
+    assert oracle.query(0xCAFE, offset=2, width=2)
+    assert not oracle.query(0xFECA, offset=2, width=2)
+
+
+def test_narrowing_recovers_full_secret():
+    oracle = SilentStoreWidthOracle(secret=0xDEADBEEF, secret_width=4)
+    value, tries = narrowing_search(oracle)
+    assert value == 0xDEADBEEF
+    assert tries <= 4 * 256
+
+
+def test_narrowing_exponentially_cheaper_than_full_width():
+    secret = 0x0203          # small secret so full search terminates
+    narrow_oracle = SilentStoreWidthOracle(secret, secret_width=2)
+    narrow_value, narrow_tries = narrowing_search(narrow_oracle)
+    full_oracle = SilentStoreWidthOracle(secret, secret_width=2)
+    full_value, full_tries = full_width_search(full_oracle)
+    assert narrow_value == full_value == secret
+    assert narrow_tries <= 512
+    assert full_tries == secret + 1     # enumerates from zero
+    # The paper's scaling: 2 x 2^8 vs 2^16 in the worst case.
+    assert expected_tries(2, 1) == 256
+    assert expected_tries(2, 2) == 32768
+    assert expected_tries(4, 1) == 512
+    assert expected_tries(4, 4) == 2 ** 31
+
+
+def test_query_accounting_by_width():
+    oracle = SilentStoreWidthOracle(secret=0xABCD, secret_width=2)
+    narrowing_search(oracle)
+    assert set(oracle.stats.queries_by_width) == {1}
+    assert oracle.stats.queries == sum(
+        oracle.stats.queries_by_width.values())
+
+
+def test_timed_oracle_agrees_with_fast_oracle():
+    secret = 0x7B
+    timed = SilentStoreWidthOracle(secret, secret_width=1, mode="timed")
+    fast = SilentStoreWidthOracle(secret, secret_width=1, mode="fast")
+    for guess in (0x00, 0x7A, 0x7B, 0x7C, 0xFF):
+        assert timed.query(guess, width=1) == fast.query(guess, width=1)
+    assert timed.stats.timed_queries >= 5
+
+
+def test_timed_narrowing_recovers_secret():
+    oracle = SilentStoreWidthOracle(secret=0x4321, secret_width=2,
+                                    mode="timed")
+    value, tries = narrowing_search(oracle)
+    assert value == 0x4321
+    assert tries <= 512
+
+
+def test_budget_exhaustion():
+    oracle = SilentStoreWidthOracle(secret=0xFFFF_FFFF, secret_width=4)
+    value, tries = full_width_search(oracle, order=range(10))
+    assert value is None and tries == 10

@@ -1,0 +1,33 @@
+"""The ``python -m repro`` command-line surface."""
+
+from repro.__main__ import COMMANDS, main
+
+
+def test_default_prints_tables(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "DMP" in out
+    assert "memory-centric" in out
+
+
+def test_unknown_command_shows_usage(capsys):
+    assert main(["nope"]) == 1
+    out = capsys.readouterr().out
+    assert "Commands" in out
+
+
+def test_fig6_command(capsys):
+    assert main(["fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "separation" in out
+
+
+def test_urg_command(capsys):
+    assert main(["urg"]) == 0
+    out = capsys.readouterr().out
+    assert "accuracy: 12/12" in out
+
+
+def test_command_registry_complete():
+    assert set(COMMANDS) == {"tables", "urg", "fig6", "audit"}

@@ -1,0 +1,61 @@
+"""Table II — classification by MLD signature — derived, not asserted."""
+
+from repro.core.classification import (
+    OptimizationClass, PAPER_TABLE_II, classify_mld, generate_table_ii,
+    render_table,
+)
+from repro.core.mld import InputKind, MLD, MLDInput
+from repro.core.registry import COLUMN_ORDER, OPTIMIZATIONS
+
+
+def test_generated_classification_matches_paper():
+    assert generate_table_ii() == PAPER_TABLE_II
+
+
+def test_classification_rules():
+    inst_only = MLD("a", [MLDInput(InputKind.INST, "i1")], lambda i: 0)
+    assert classify_mld(inst_only) is OptimizationClass.STATELESS_INSTRUCTION
+
+    inst_uarch = MLD("b", [MLDInput(InputKind.INST, "i1"),
+                           MLDInput(InputKind.UARCH, "t")],
+                     lambda i, t: 0)
+    assert classify_mld(inst_uarch) is \
+        OptimizationClass.STATEFUL_INSTRUCTION_UARCH
+
+    inst_arch = MLD("c", [MLDInput(InputKind.INST, "i1"),
+                          MLDInput(InputKind.ARCH, "m")],
+                    lambda i, m: 0)
+    assert classify_mld(inst_arch) is \
+        OptimizationClass.STATEFUL_INSTRUCTION_ARCH
+
+    arch_only = MLD("d", [MLDInput(InputKind.ARCH, "rf")], lambda rf: 0)
+    assert classify_mld(arch_only) is OptimizationClass.MEMORY_CENTRIC
+
+
+def test_memory_centric_requires_no_inst_input():
+    """DMP reads Uarch + Arch but no Inst: purely data-at-rest driven."""
+    dmp = OPTIMIZATIONS["DMP"].mld
+    assert InputKind.INST not in dmp.input_kinds
+    assert classify_mld(dmp) is OptimizationClass.MEMORY_CENTRIC
+
+
+def test_section_assignment_consistency():
+    """Classes map to the paper's section structure (IV-B/IV-C/IV-D)."""
+    table = generate_table_ii()
+    sections = {
+        OptimizationClass.STATELESS_INSTRUCTION: "IV-B",
+        OptimizationClass.STATEFUL_INSTRUCTION_UARCH: "IV-C",
+        OptimizationClass.STATEFUL_INSTRUCTION_ARCH: "IV-C",
+        OptimizationClass.MEMORY_CENTRIC: "IV-D",
+    }
+    for acronym in COLUMN_ORDER:
+        descriptor = OPTIMIZATIONS[acronym]
+        assert descriptor.paper_section.startswith(
+            sections[table[acronym]]), acronym
+
+
+def test_render_lists_every_optimization():
+    text = render_table()
+    for acronym in COLUMN_ORDER:
+        assert acronym in text
+        assert OPTIMIZATIONS[acronym].name in text

@@ -1,0 +1,69 @@
+"""Property-based tests on the Figure 2/3 descriptors."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.descriptors import (
+    mld_cache_rand, mld_operand_packing, mld_rf_compression,
+    mld_silent_stores, mld_zero_skip_mul,
+)
+from repro.core.mld import InstSnapshot
+from repro.memory.cache import Cache
+
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+@given(words, words)
+def test_zero_skip_fires_iff_any_operand_zero(a, b):
+    outcome = mld_zero_skip_mul(InstSnapshot(args=(a, b)))
+    assert outcome == int(a == 0 or b == 0)
+
+
+@given(words, words, words, words)
+def test_operand_packing_commutes_over_instruction_order(a, b, c, d):
+    """Packing is symmetric in the instruction pair."""
+    first = InstSnapshot(args=(a, b))
+    second = InstSnapshot(args=(c, d))
+    assert (mld_operand_packing(first, second)
+            == mld_operand_packing(second, first))
+
+
+@given(words, words, words, words)
+def test_operand_packing_is_conjunction(a, b, c, d):
+    """The pair packs iff each op would pack with a narrow partner."""
+    narrow = InstSnapshot(args=(1, 1))
+    first = InstSnapshot(args=(a, b))
+    second = InstSnapshot(args=(c, d))
+    both_narrow = (mld_operand_packing(first, narrow)
+                   and mld_operand_packing(second, narrow))
+    assert mld_operand_packing(first, second) == int(bool(both_narrow))
+
+
+@given(words, words)
+def test_silent_stores_is_exact_equality(data, memory_value):
+    snapshot = InstSnapshot(addr=0x40, data=data)
+    outcome = mld_silent_stores(snapshot, {0x40: memory_value})
+    assert outcome == int(data == memory_value)
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=8))
+def test_rf_compression_outcome_decodes_per_register(values):
+    outcome = mld_rf_compression(values)
+    for index, value in enumerate(values):
+        assert (outcome >> index) & 1 == int(value <= 1)
+
+
+@settings(max_examples=40)
+@given(st.integers(0, (1 << 20)), st.sets(st.integers(0, 255),
+                                          max_size=8))
+def test_cache_rand_outcome_bounds(addr, warm_lines):
+    cache = Cache(num_sets=8, ways=2)
+    for line in warm_lines:
+        cache.access(line * 64)
+    outcome = mld_cache_rand(InstSnapshot(addr=addr), cache)
+    assert 0 <= outcome <= cache.num_sets
+    if outcome == 0:
+        assert cache.contains(addr)
+    else:
+        assert outcome == cache.set_index(addr) + 1

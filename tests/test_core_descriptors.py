@@ -1,0 +1,130 @@
+"""The nine example MLDs of Figures 2 and 3, checked against the paper."""
+
+from repro.core.descriptors import (
+    VP_CONFIDENCE_DOMAIN, mld_cache_rand, mld_im2l_prefetcher,
+    mld_im3l_prefetcher, mld_instruction_reuse, mld_operand_packing,
+    mld_rf_compression, mld_silent_stores, mld_single_cycle_alu,
+    mld_v_prediction, mld_zero_skip_mul,
+)
+from repro.core.mld import InputKind, InstSnapshot
+from repro.memory.cache import Cache
+
+
+def test_single_cycle_alu_is_safe():
+    for args in ((0, 0), (1, 5), (2 ** 63, 17)):
+        assert mld_single_cycle_alu(InstSnapshot(op="add", args=args)) == 0
+
+
+def test_zero_skip_mul_two_outcomes():
+    assert mld_zero_skip_mul(InstSnapshot(args=(0, 9))) == 1
+    assert mld_zero_skip_mul(InstSnapshot(args=(9, 0))) == 1
+    assert mld_zero_skip_mul(InstSnapshot(args=(0, 0))) == 1
+    assert mld_zero_skip_mul(InstSnapshot(args=(3, 9))) == 0
+
+
+def test_cache_rand_outcome_count_is_sets_plus_one():
+    """Figure 2, Example 3: one outcome per set plus one for a hit."""
+    cache = Cache(num_sets=8, ways=2)
+    cache.access(0x100)
+    domain = [(InstSnapshot(addr=64 * i), cache) for i in range(32)]
+    outcomes = {mld_cache_rand(*args) for args in domain}
+    assert mld_cache_rand(InstSnapshot(addr=0x100), cache) == 0  # hit
+    miss = mld_cache_rand(InstSnapshot(addr=0x2000), cache)
+    assert miss == cache.set_index(0x2000) + 1
+    assert len(outcomes) <= cache.num_sets + 1
+
+
+def test_operand_packing_all_four_must_be_narrow():
+    narrow = InstSnapshot(args=(1, 2))
+    wide = InstSnapshot(args=(1 << 16, 2))
+    assert mld_operand_packing(narrow, narrow) == 1
+    assert mld_operand_packing(narrow, wide) == 0
+    assert mld_operand_packing(wide, narrow) == 0
+    boundary = InstSnapshot(args=(0xFFFF, 0xFFFF))
+    assert mld_operand_packing(boundary, boundary) == 1
+
+
+def test_silent_stores_equality():
+    memory = {0x10: 42}
+    assert mld_silent_stores(InstSnapshot(addr=0x10, data=42), memory) == 1
+    assert mld_silent_stores(InstSnapshot(addr=0x10, data=7), memory) == 0
+
+
+def test_instruction_reuse_operand_match():
+    buffer = {0x40: (3, 4)}
+    hit = InstSnapshot(pc=0x40, args=(3, 4))
+    miss_value = InstSnapshot(pc=0x40, args=(3, 5))
+    miss_pc = InstSnapshot(pc=0x44, args=(3, 4))
+    assert mld_instruction_reuse(hit, buffer) == 1
+    assert mld_instruction_reuse(miss_value, buffer) == 0
+    assert mld_instruction_reuse(miss_pc, buffer) == 0
+
+
+def test_v_prediction_concatenates_confidence_and_match():
+    table = {0x80: {"conf": 3, "prediction": 42}}
+    match = mld_v_prediction(InstSnapshot(pc=0x80, dst=42), table)
+    mismatch = mld_v_prediction(InstSnapshot(pc=0x80, dst=41), table)
+    assert match != mismatch
+    # little-endian concat: (match, 2) then (conf, 8)
+    assert match == 1 + 2 * 3
+    assert mismatch == 0 + 2 * 3
+    cold = mld_v_prediction(InstSnapshot(pc=0x99, dst=42), table)
+    assert cold == 0  # conf 0, no match against None
+
+
+def test_v_prediction_outcome_domain():
+    table = {0: {"conf": VP_CONFIDENCE_DOMAIN - 1, "prediction": 1}}
+    outcome = mld_v_prediction(InstSnapshot(pc=0, dst=1), table)
+    assert outcome < 2 * VP_CONFIDENCE_DOMAIN
+
+
+def test_rf_compression_bit_per_register():
+    assert mld_rf_compression([0, 1, 2, 3]) == 0b0011
+    assert mld_rf_compression([5, 5, 5, 5]) == 0
+    assert mld_rf_compression([1, 1, 1, 1]) == 0b1111
+
+
+def test_rf_compression_leaks_all_registers_independently():
+    outcomes = {mld_rf_compression([a, b])
+                for a in (0, 9) for b in (1, 7)}
+    assert len(outcomes) == 4
+
+
+def make_imp_state():
+    cache = Cache(num_sets=16, ways=2)
+    memory = {}
+    base_z, base_y, base_x = 0x1000, 0x2000, 0x4000
+    imp = {"baseZ": base_z, "baseY": base_y, "baseX": base_x,
+           "start": 4, "shift": 0}
+    memory[base_z + 4] = 7            # Z[i+delta]
+    memory[base_y + 7] = 64           # Y[z] — "the secret"
+    return imp, cache, memory
+
+
+def test_im3l_outcome_depends_on_memory_contents():
+    imp, cache, memory = make_imp_state()
+    outcome_a = mld_im3l_prefetcher(imp, cache, memory)
+    memory[0x2000 + 7] = 192          # line-distant different secret
+    outcome_b = mld_im3l_prefetcher(imp, cache, memory)
+    assert outcome_a != outcome_b     # the URG property
+
+
+def test_im2l_outcome_blind_to_second_dereference():
+    """The 2-level variant never reads Y[z], so changing the secret
+    does not change its outcome (Section IV-D4)."""
+    imp, cache, memory = make_imp_state()
+    outcome_a = mld_im2l_prefetcher(imp, cache, memory)
+    memory[0x2000 + 7] = 9
+    outcome_b = mld_im2l_prefetcher(imp, cache, memory)
+    assert outcome_a == outcome_b
+
+
+def test_signatures_match_the_paper():
+    assert [spec.kind for spec in mld_silent_stores.inputs] == [
+        InputKind.INST, InputKind.ARCH]
+    assert [spec.kind for spec in mld_rf_compression.inputs] == [
+        InputKind.ARCH]
+    assert [spec.kind for spec in mld_im3l_prefetcher.inputs] == [
+        InputKind.UARCH, InputKind.UARCH, InputKind.ARCH]
+    assert [spec.kind for spec in mld_operand_packing.inputs] == [
+        InputKind.INST, InputKind.INST]

@@ -1,0 +1,47 @@
+"""Section VI-B: when do continuous optimizations create NEW leaks?"""
+
+from repro.core.classification import OptimizationClass, classify_mld
+from repro.core.discussion import (
+    folding_is_control_flow_only, mld_constant_folding,
+    mld_strength_reduction,
+)
+from repro.core.mld import InstSnapshot
+
+
+def test_constant_folding_blind_to_data():
+    """Same static trace, different data: one outcome — the paper's
+    claim that folding leaks nothing beyond control flow."""
+    static_shape = (("add", False), ("mul", True), ("xor", False))
+    traces = [static_shape] * 4   # data varies, shape doesn't
+    assert folding_is_control_flow_only(traces)
+
+
+def test_constant_folding_distinguishes_control_flow():
+    """Different hot regions fold differently — but control flow is
+    already Unsafe on the Baseline (Table I), so nothing is new."""
+    a = (("add", False), ("mul", True))
+    b = (("add", False), ("div", False))
+    assert mld_constant_folding(a) != mld_constant_folding(b)
+
+
+def test_strength_reduction_is_a_data_transmitter():
+    """Rewriting mul-by-power-of-two keys on the operand VALUE."""
+    pow2 = InstSnapshot(op="mul", args=(123, 64))
+    other = InstSnapshot(op="mul", args=(123, 63))
+    assert mld_strength_reduction(pow2) == 1
+    assert mld_strength_reduction(other) == 0
+
+
+def test_strength_reduction_partition():
+    domain = [(InstSnapshot(op="mul", args=(5, v)),) for v in range(64)]
+    partition = mld_strength_reduction.partition(domain)
+    assert set(partition) == {0, 1}
+    # Powers of two in [1, 63]: 1, 2, 4, 8, 16, 32.
+    assert len(partition[1]) == 6
+
+
+def test_classification_of_the_discussion_mlds():
+    assert classify_mld(mld_constant_folding) is \
+        OptimizationClass.MEMORY_CENTRIC  # pure Uarch trigger
+    assert classify_mld(mld_strength_reduction) is \
+        OptimizationClass.STATELESS_INSTRUCTION

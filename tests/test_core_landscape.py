@@ -1,0 +1,91 @@
+"""Table I — the leakage landscape — generated vs the paper's table."""
+
+from repro.core.landscape import (
+    ROW_LABELS, generate_table_i, render_table, union_safety,
+)
+from repro.core.registry import (
+    COLUMN_ORDER, NO_CHANGE, SAFE, TABLE_I_ROWS, UNSAFE,
+    UNSAFE_DIFFERENT,
+)
+from repro.core.landscape import expansions
+
+# The paper's Table I, transcribed row by row.  Columns:
+# Baseline, CS, PC, SS, CR, VP, RFC, DMP.
+PAPER_TABLE_I = {
+    ("operands", "int_simple"): ("S", "U", "U", "-", "U", "-", "-", "-"),
+    ("operands", "int_mul"):    ("S", "U", "U", "-", "U", "-", "-", "-"),
+    ("operands", "int_div"):    ("U", "U'", "U'", "-", "U'", "-", "-", "-"),
+    ("operands", "fp"):         ("U", "U'", "-", "-", "U'", "-", "-", "-"),
+    ("result", "int_simple"):   ("S", "-", "-", "-", "-", "U", "U", "-"),
+    ("result", "int_mul"):      ("S", "-", "-", "-", "-", "U", "U", "-"),
+    ("result", "int_div"):      ("S", "-", "-", "-", "-", "U", "U", "-"),
+    ("result", "fp"):           ("S", "-", "-", "-", "-", "U", "U", "-"),
+    ("addr", "load"):           ("U", "-", "-", "-", "-", "-", "-", "-"),
+    ("addr", "store"):          ("U", "-", "-", "-", "-", "-", "-", "-"),
+    ("data", "load"):           ("S", "-", "-", "-", "-", "U", "-", "-"),
+    ("data", "store"):          ("S", "-", "-", "U", "-", "-", "-", "-"),
+    ("control_flow", "control_flow"):
+                                ("U", "-", "-", "-", "-", "-", "-", "-"),
+    ("at_rest", "register_file"):
+                                ("S", "-", "U", "-", "-", "-", "U", "-"),
+    ("at_rest", "data_memory"): ("S", "-", "-", "U", "-", "-", "-", "U"),
+}
+
+
+def test_generated_table_matches_paper_cell_for_cell():
+    table = generate_table_i()
+    columns = ["Baseline"] + list(COLUMN_ORDER)
+    for row, expected in PAPER_TABLE_I.items():
+        for column, marker in zip(columns, expected):
+            assert table[row][column] == marker, (row, column)
+
+
+def test_every_row_of_the_paper_is_modeled():
+    assert set(PAPER_TABLE_I) == set(TABLE_I_ROWS)
+    assert set(ROW_LABELS) == set(TABLE_I_ROWS)
+
+
+def test_goal_1_every_optimization_expands_leakage():
+    """Section III, Goal 1: each studied optimization increases the
+    scope of what can leak relative to the Baseline."""
+    for acronym in COLUMN_ORDER:
+        changes = expansions(acronym)
+        assert changes, f"{acronym} does not expand leakage?"
+
+
+def test_meta_takeaway_union_leaves_nothing_safe():
+    """Section III: "if one considers the union of all optimizations we
+    study, no instruction operand/result (or data at rest) is safe."""
+    union = union_safety()
+    assert all(marker == UNSAFE for marker in union.values())
+
+
+def test_u_prime_only_on_baseline_unsafe_rows():
+    """U' means "a different function of already-unsafe data" — it can
+    only annotate rows the Baseline already leaks."""
+    table = generate_table_i()
+    for row, cells in table.items():
+        for acronym in COLUMN_ORDER:
+            if cells[acronym] == UNSAFE_DIFFERENT:
+                assert cells["Baseline"] == UNSAFE, (row, acronym)
+
+
+def test_memory_centric_optimizations_attack_data_at_rest():
+    table = generate_table_i()
+    assert table[("at_rest", "data_memory")]["DMP"] == UNSAFE
+    assert table[("at_rest", "register_file")]["RFC"] == UNSAFE
+
+
+def test_render_contains_all_rows_and_columns():
+    text = render_table()
+    for label in ROW_LABELS.values():
+        assert label in text
+    for acronym in COLUMN_ORDER:
+        assert acronym in text
+
+
+def test_no_change_marker_inherits_baseline():
+    from repro.core.landscape import effective_safety
+    assert effective_safety(None, NO_CHANGE, SAFE) == SAFE
+    assert effective_safety(None, NO_CHANGE, UNSAFE) == UNSAFE
+    assert effective_safety(None, UNSAFE, SAFE) == UNSAFE

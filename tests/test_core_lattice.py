@@ -1,0 +1,78 @@
+"""The security lattice and the Section IV-A2 preconditioning analysis."""
+
+import pytest
+
+from repro.core.lattice import (
+    Label, experiments_to_identify, flows_to, induced_partition, join,
+    leakage_bits,
+)
+
+
+def test_lattice_order():
+    assert flows_to(Label.PUBLIC, Label.CONTROLLED)
+    assert flows_to(Label.CONTROLLED, Label.PRIVATE)
+    assert flows_to(Label.PUBLIC, Label.PRIVATE)
+    assert not flows_to(Label.PRIVATE, Label.PUBLIC)
+    assert not flows_to(Label.CONTROLLED, Label.PUBLIC)
+    assert flows_to(Label.PRIVATE, Label.PRIVATE)
+
+
+def test_join():
+    assert join(Label.PUBLIC, Label.PRIVATE) is Label.PRIVATE
+    assert join(Label.CONTROLLED, Label.PUBLIC) is Label.CONTROLLED
+    assert join(Label.PUBLIC, Label.PUBLIC) is Label.PUBLIC
+
+
+def zero_skip(private_operand, other_operand):
+    """The zero-skip multiply outcome as a function of one private and
+    one fixed operand."""
+    return int(private_operand == 0 or other_operand == 0)
+
+
+DOMAIN = list(range(8))
+
+
+def test_zero_skip_with_nonzero_public_leaks_is_zero_bit():
+    """Section IV-A2: public operand non-zero → attacker learns whether
+    the private operand is 0."""
+    partition = induced_partition(zero_skip, DOMAIN, (5,))
+    assert partition == {1: [0], 0: [1, 2, 3, 4, 5, 6, 7]}
+
+
+def test_zero_skip_with_zero_public_leaks_nothing():
+    """Section IV-A2: if the public operand is 0, that the skip occurs
+    is purely a function of public information."""
+    partition = induced_partition(zero_skip, DOMAIN, (0,))
+    assert len(partition) == 1
+
+
+def test_leakage_bits_quantifies_the_difference():
+    some = leakage_bits(zero_skip, DOMAIN, (5,))
+    none = leakage_bits(zero_skip, DOMAIN, (0,))
+    assert none == 0.0
+    assert 0 < some < 1     # one unbalanced binary question
+
+
+def test_leakage_bits_full_identification():
+    identity = lambda private, _fixed: private
+    assert leakage_bits(identity, DOMAIN, (0,)) == pytest.approx(3.0)
+
+
+def test_experiments_to_identify_equality_oracle():
+    """The replay attack of IV-C4: equality checks identify the secret
+    in (value + 1) experiments when guesses are enumerated in order —
+    except the last candidate, which is known by elimination."""
+    equality = lambda secret, guess: int(secret == guess)
+    results = experiments_to_identify(equality, list(range(4)),
+                                      list(range(4)))
+    assert results[0] == 1
+    assert results[1] == 2
+    assert results[2] == 3
+    assert results[2] == 3
+
+
+def test_experiments_budget_exhaustion():
+    equality = lambda secret, guess: int(secret == guess)
+    results = experiments_to_identify(equality, list(range(8)),
+                                      [0, 1])   # too few preconditions
+    assert results[7] is None

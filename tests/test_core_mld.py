@@ -1,0 +1,100 @@
+"""The MLD framework machinery (Section IV-A)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.mld import (
+    InputKind, InstSnapshot, MLD, MLDInput, concat_outcomes,
+)
+
+
+def make_parity_mld():
+    return MLD("parity", [MLDInput(InputKind.INST, "i1")],
+               lambda i1: i1.args[0] & 1)
+
+
+def test_call_checks_arity():
+    mld = make_parity_mld()
+    with pytest.raises(TypeError, match="expects 1 inputs"):
+        mld(InstSnapshot(args=(1,)), "extra")
+
+
+def test_outcome_must_be_natural():
+    bad = MLD("bad", [MLDInput(InputKind.INST, "i1")], lambda i1: -1)
+    with pytest.raises(ValueError):
+        bad(InstSnapshot())
+    bad2 = MLD("bad2", [MLDInput(InputKind.INST, "i1")], lambda i1: 0.5)
+    with pytest.raises(ValueError):
+        bad2(InstSnapshot())
+
+
+def test_partition_groups_by_outcome():
+    mld = make_parity_mld()
+    domain = [(InstSnapshot(args=(v,)),) for v in range(8)]
+    partition = mld.partition(domain)
+    assert set(partition) == {0, 1}
+    assert len(partition[0]) == len(partition[1]) == 4
+
+
+def test_capacity_bits_log2_of_partition():
+    mld = make_parity_mld()
+    domain = [(InstSnapshot(args=(v,)),) for v in range(8)]
+    assert mld.capacity_bits(domain) == 1.0
+
+
+def test_constant_mld_has_zero_capacity():
+    safe = MLD("safe", [MLDInput(InputKind.INST, "i1")], lambda i1: 0)
+    domain = [(InstSnapshot(args=(v,)),) for v in range(16)]
+    assert safe.outcome_count(domain) == 1
+    assert safe.capacity_bits(domain) == 0.0
+
+
+def test_input_kind_interrogation():
+    mld = MLD("mix", [MLDInput(InputKind.INST, "i1"),
+                      MLDInput(InputKind.ARCH, "mem")],
+              lambda i1, mem: 0)
+    assert mld.reads(InputKind.INST)
+    assert mld.reads(InputKind.ARCH)
+    assert not mld.reads(InputKind.UARCH)
+    assert mld.input_kinds == (InputKind.INST, InputKind.ARCH)
+
+
+def test_repr_shows_signature():
+    mld = make_parity_mld()
+    assert "mld parity(Inst i1)" in repr(mld)
+
+
+def test_concat_outcomes_formula():
+    # d1 || d0 with domains (D1=3, D0=4): id = d0 + 4*d1
+    assert concat_outcomes([(2, 4), (1, 3)]) == 2 + 4 * 1
+    assert concat_outcomes([(0, 4), (0, 3)]) == 0
+    assert concat_outcomes([(3, 4), (2, 3)]) == 3 + 4 * 2
+
+
+def test_concat_outcomes_validates_domains():
+    with pytest.raises(ValueError):
+        concat_outcomes([(4, 4)])
+    with pytest.raises(ValueError):
+        concat_outcomes([(-1, 4)])
+
+
+@given(st.lists(st.integers(min_value=2, max_value=8), min_size=1,
+                max_size=4).flatmap(
+    lambda domains: st.tuples(
+        st.just(domains),
+        st.tuples(*[st.integers(0, d - 1) for d in domains]))))
+def test_concat_outcomes_is_injective_encoding(case):
+    """Concatenation must be a bijection onto range(prod(domains))."""
+    domains, values = case
+    encoded = concat_outcomes(list(zip(values, domains)))
+    # decode little-endian
+    decoded = []
+    rest = encoded
+    for domain in domains:
+        decoded.append(rest % domain)
+        rest //= domain
+    assert tuple(decoded) == values
+    assert 0 <= encoded < math.prod(domains)

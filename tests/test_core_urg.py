@@ -1,0 +1,65 @@
+"""The universal-read-gadget analysis of Section IV-D4."""
+
+import pytest
+
+from repro.core.urg import (
+    AddressRange, analyze_imp, victim_bytes_reachable,
+)
+
+SANDBOX = AddressRange(0x1_0000, 0x2_0000)
+BASE_Y = 0x1_4000
+MAX_MEMORY = 1 << 22
+DELTA_BYTES = 4 * 8
+
+
+def test_address_range_basics():
+    r = AddressRange(0x100, 0x200)
+    assert 0x100 in r and 0x1FF in r
+    assert 0x200 not in r and 0xFF not in r
+    assert r.size == 0x100
+    assert r.covers(AddressRange(0x120, 0x180))
+    assert not r.covers(AddressRange(0x120, 0x280))
+
+
+def test_three_level_imp_is_a_urg():
+    analysis = analyze_imp(3, SANDBOX, BASE_Y, shift=0,
+                           delta_bytes=DELTA_BYTES, max_memory=MAX_MEMORY)
+    assert analysis.is_urg
+    # The y observable reaches all memory above &Y[0] (Section IV-D4).
+    y_reach = analysis.revealed_ranges[1]
+    assert y_reach.lo == BASE_Y
+    assert y_reach.hi == MAX_MEMORY
+
+
+def test_two_level_imp_is_not_a_urg():
+    analysis = analyze_imp(2, SANDBOX, BASE_Y, shift=0,
+                           delta_bytes=DELTA_BYTES, max_memory=MAX_MEMORY)
+    assert not analysis.is_urg
+    z_reach = analysis.revealed_ranges[0]
+    # Victim leakage limited to [b, b + delta).
+    assert z_reach.lo == SANDBOX.lo
+    assert z_reach.hi == SANDBOX.hi + DELTA_BYTES
+
+
+def test_victim_reach_quantities():
+    three = analyze_imp(3, SANDBOX, BASE_Y, shift=0,
+                        delta_bytes=DELTA_BYTES, max_memory=MAX_MEMORY)
+    two = analyze_imp(2, SANDBOX, BASE_Y, shift=0,
+                      delta_bytes=DELTA_BYTES, max_memory=MAX_MEMORY)
+    reach_three = victim_bytes_reachable(three, SANDBOX, MAX_MEMORY)
+    reach_two = victim_bytes_reachable(two, SANDBOX, MAX_MEMORY)
+    assert reach_two == DELTA_BYTES
+    assert reach_three == MAX_MEMORY - SANDBOX.hi
+    assert reach_three > 1000 * reach_two
+
+
+def test_levels_validation():
+    with pytest.raises(ValueError):
+        analyze_imp(4, SANDBOX, BASE_Y, shift=0, delta_bytes=8,
+                    max_memory=MAX_MEMORY)
+
+
+def test_notes_mention_the_gadget():
+    analysis = analyze_imp(3, SANDBOX, BASE_Y, shift=0,
+                           delta_bytes=DELTA_BYTES, max_memory=MAX_MEMORY)
+    assert "universal read gadget" in analysis.notes

@@ -1,0 +1,117 @@
+"""AES-128, the key schedule and its inversion, GF(2^8)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import (
+    decrypt_block, encrypt_block, inv_shift_rows, shift_rows,
+)
+from repro.crypto.gf import INV_SBOX, SBOX, gf_inv, gf_mul, gf_pow, xtime
+from repro.crypto.keyschedule import RCON, expand_key, invert_key_schedule
+
+keys = st.binary(min_size=16, max_size=16)
+blocks = st.binary(min_size=16, max_size=16)
+
+
+# --- field arithmetic ---------------------------------------------------------
+
+def test_sbox_known_values():
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x01] == 0x7C
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+
+
+def test_inv_sbox_is_inverse():
+    for value in range(256):
+        assert INV_SBOX[SBOX[value]] == value
+
+
+@given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+def test_gf_mul_distributes(a, b, c):
+    assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+
+@given(st.integers(1, 255))
+def test_gf_inverse_property(a):
+    assert gf_mul(a, gf_inv(a)) == 1
+
+
+def test_gf_inv_zero_is_zero():
+    assert gf_inv(0) == 0
+
+
+@given(st.integers(0, 255))
+def test_xtime_is_mul_by_two(a):
+    assert xtime(a) == gf_mul(a, 2)
+
+
+@given(st.integers(1, 255))
+def test_gf_pow_fermat(a):
+    assert gf_pow(a, 255) == 1      # the multiplicative group order
+
+
+# --- AES block cipher ---------------------------------------------------------
+
+def test_fips197_appendix_c1():
+    key = bytes(range(16))
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+    assert encrypt_block(key, plaintext) == expected
+    assert decrypt_block(key, expected) == plaintext
+
+
+def test_fips197_appendix_b():
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+    expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+    assert encrypt_block(key, plaintext) == expected
+
+
+@settings(max_examples=20)
+@given(keys, blocks)
+def test_encrypt_decrypt_roundtrip(key, plaintext):
+    assert decrypt_block(key, encrypt_block(key, plaintext)) == plaintext
+
+
+@given(blocks)
+def test_shift_rows_roundtrip(state):
+    assert inv_shift_rows(shift_rows(state)) == state
+
+
+def test_shift_rows_row0_fixed():
+    state = bytes(range(16))
+    shifted = shift_rows(state)
+    for c in range(4):
+        assert shifted[4 * c] == state[4 * c]
+
+
+# --- key schedule -------------------------------------------------------------
+
+def test_expand_key_fips197_first_words():
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    round_keys = expand_key(key)
+    assert round_keys[0] == key
+    assert round_keys[1][:4] == bytes.fromhex("a0fafe17")
+    assert round_keys[10][:4] == bytes.fromhex("d014f9a8")
+
+
+def test_rcon_values():
+    assert RCON[:4] == (0x01, 0x02, 0x04, 0x08)
+    assert RCON[8:] == (0x1B, 0x36)
+
+
+@settings(max_examples=30)
+@given(keys)
+def test_key_schedule_inversion_roundtrip(key):
+    round_keys = expand_key(key)
+    assert invert_key_schedule(round_keys[10]) == key
+
+
+@settings(max_examples=10)
+@given(keys, st.integers(1, 9))
+def test_inversion_from_intermediate_round(key, round_index):
+    round_keys = expand_key(key)
+    recovered = invert_key_schedule(round_keys[round_index],
+                                    rounds=round_index)
+    assert recovered == key

@@ -1,0 +1,93 @@
+"""Bitslice AES: plane packing, the spill trace, key reconstruction."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import encrypt_block
+from repro.crypto.batch import batch_last_round_planes, random_plaintexts
+from repro.crypto.bsaes import (
+    encrypt_with_trace, from_planes, last_round_planes,
+    recover_key_from_planes, to_planes,
+)
+
+keys = st.binary(min_size=16, max_size=16)
+blocks = st.binary(min_size=16, max_size=16)
+
+
+@given(blocks)
+def test_plane_packing_roundtrip(state):
+    assert from_planes(to_planes(state)) == state
+
+
+def test_planes_are_16_bit():
+    planes = to_planes(bytes([0xFF] * 16))
+    assert planes == [0xFFFF] * 8
+
+
+def test_plane_bit_semantics():
+    state = bytes([0x01] + [0x00] * 15)    # bit 0 of byte 0 set
+    planes = to_planes(state)
+    assert planes[0] == 0x0001
+    assert planes[1:] == [0] * 7
+
+
+@settings(max_examples=20)
+@given(keys, blocks)
+def test_bsaes_matches_reference_aes(key, plaintext):
+    ciphertext, _spilled = encrypt_with_trace(key, plaintext)
+    assert ciphertext == encrypt_block(key, plaintext)
+
+
+def test_trace_has_ten_rounds_of_eight_planes():
+    _ciphertext, spilled = encrypt_with_trace(bytes(16), bytes(16))
+    assert len(spilled) == 10
+    assert all(len(planes) == 8 for planes in spilled)
+    assert all(0 <= p < (1 << 16) for planes in spilled for p in planes)
+
+
+@settings(max_examples=20)
+@given(keys, blocks)
+def test_paper_reconstruction_planes_to_key(key, plaintext):
+    """Section V-A3: last-round planes + ciphertext -> victim key."""
+    ciphertext, spilled = encrypt_with_trace(key, plaintext)
+    assert recover_key_from_planes(spilled[-1], ciphertext) == key
+
+
+def test_last_round_planes_helper():
+    key, plaintext = bytes(range(16)), bytes(range(16, 32))
+    _ct, spilled = encrypt_with_trace(key, plaintext)
+    assert tuple(last_round_planes(key, plaintext)) == spilled[-1]
+
+
+def test_planes_depend_on_plaintext():
+    key = bytes(range(16))
+    a = last_round_planes(key, bytes(16))
+    b = last_round_planes(key, bytes([1] + [0] * 15))
+    assert a != b
+
+
+# --- vectorized batch implementation -------------------------------------------
+
+@settings(max_examples=5, deadline=None)
+@given(keys)
+def test_batch_agrees_with_scalar(key):
+    plaintexts = random_plaintexts(8, seed=123)
+    batch = batch_last_round_planes(key, plaintexts)
+    for row, plaintext in zip(batch, plaintexts):
+        expected = last_round_planes(key, bytes(plaintext))
+        assert tuple(int(x) for x in row) == expected
+
+
+def test_batch_shape_validation():
+    import pytest
+    with pytest.raises(ValueError):
+        batch_last_round_planes(bytes(16), np.zeros((4, 8), dtype=np.uint8))
+
+
+def test_random_plaintexts_deterministic():
+    a = random_plaintexts(4, seed=9)
+    b = random_plaintexts(4, seed=9)
+    c = random_plaintexts(4, seed=10)
+    assert (a == b).all()
+    assert not (a == c).all()

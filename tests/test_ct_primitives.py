@@ -1,0 +1,158 @@
+"""Constant-time primitives: constant-time on the Baseline, broken by
+the studied optimizations (the Section III claim made concrete)."""
+
+from repro.crypto.ct_primitives import (
+    A_BASE, B_BASE, OUT_ADDR, TABLE_BASE, build_ct_compare,
+    build_ct_lookup, build_ct_select,
+)
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.optimizations.computation_reuse import ComputationReusePlugin
+from repro.optimizations.computation_simplification import (
+    ComputationSimplificationPlugin,
+)
+from repro.pipeline.config import CPUConfig
+from repro.pipeline.cpu import CPU
+
+
+def run(program, memory_writes, plugins=(), config=None):
+    memory = FlatMemory(1 << 16)
+    for addr, value, width in memory_writes:
+        memory.write(addr, value, width)
+    cpu = CPU(program, MemoryHierarchy(memory, l1=Cache()),
+              config=config, plugins=list(plugins))
+    cpu.run()
+    return cpu
+
+
+def compare_inputs(a_bytes, b_bytes):
+    writes = []
+    for index, byte in enumerate(a_bytes):
+        writes.append((A_BASE + index, byte, 1))
+    for index, byte in enumerate(b_bytes):
+        writes.append((B_BASE + index, byte, 1))
+    return writes
+
+
+# --- ct_compare -----------------------------------------------------------
+
+def test_ct_compare_is_functionally_correct():
+    program = build_ct_compare(8)
+    equal = run(program, compare_inputs(b"AAAAAAAA", b"AAAAAAAA"))
+    differ = run(program, compare_inputs(b"AAAAAAAA", b"AAAAAAAB"))
+    assert equal.memory.read(OUT_ADDR) == 0
+    assert differ.memory.read(OUT_ADDR) != 0
+
+
+def test_ct_compare_is_constant_time_on_baseline():
+    program = build_ct_compare(8)
+    cycles = {
+        run(program, compare_inputs(a, b)).stats.cycles
+        for a, b in ((b"AAAAAAAA", b"AAAAAAAA"),
+                     (b"AAAAAAAA", b"BBBBBBBB"),
+                     (b"AAAAAAAA", b"AAAAAAAB"),
+                     (b"\x00" * 8, b"\xff" * 8))}
+    assert len(cycles) == 1
+
+
+def test_ct_compare_broken_by_trivial_bitwise():
+    """Matching prefixes make the XORs trivial: timing orders by how
+    far the inputs agree — a byte-at-a-time secret-recovery primitive."""
+    program = build_ct_compare(8)
+    plugin = lambda: ComputationSimplificationPlugin(
+        rules=("trivial_bitwise",))
+    config = CPUConfig(num_alu_ports=1, latency_alu=3)
+    cycles = []
+    secret = b"SECRETAA"
+    for prefix_len in (0, 4, 8):
+        guess = secret[:prefix_len] + b"\xee" * (8 - prefix_len)
+        cpu = run(program, compare_inputs(secret, guess),
+                  plugins=[plugin()], config=config)
+        cycles.append(cpu.stats.cycles)
+    assert cycles[0] > cycles[1] > cycles[2]
+
+
+# --- ct_select -----------------------------------------------------------
+
+def test_ct_select_functional():
+    program = build_ct_select()
+    for c, expected in ((1, 111), (0, 222)):
+        cpu = run(program, [(A_BASE, c, 8), (A_BASE + 8, 111, 8),
+                            (A_BASE + 16, 222, 8)])
+        assert cpu.memory.read(OUT_ADDR) == expected
+
+
+def test_ct_select_constant_time_on_baseline():
+    program = build_ct_select()
+    cycles = {
+        run(program, [(A_BASE, c, 8), (A_BASE + 8, 111, 8),
+                      (A_BASE + 16, 222, 8)]).stats.cycles
+        for c in (0, 1)}
+    assert len(cycles) == 1
+
+
+def test_ct_select_condition_leaks_under_zero_skip():
+    """Active attack: the attacker sets a=0 (its own input), so the
+    skip count keys purely on the secret condition."""
+    program = build_ct_select()
+    config = CPUConfig(latency_mul=8, num_mul_units=1)
+    results = {}
+    for c in (0, 1):
+        cpu = run(program, [(A_BASE, c, 8), (A_BASE + 8, 0, 8),
+                            (A_BASE + 16, 222, 8)],
+                  plugins=[ComputationSimplificationPlugin(
+                      rules=("zero_skip_mul",))],
+                  config=config)
+        results[c] = cpu.stats.cycles
+    assert results[0] != results[1]
+
+
+# --- ct_lookup -----------------------------------------------------------
+
+def lookup_writes(secret_index, entries):
+    writes = [(A_BASE, secret_index, 8)]
+    for index, value in enumerate(entries):
+        writes.append((TABLE_BASE + 8 * index, value, 8))
+    return writes
+
+
+def test_ct_lookup_functional():
+    program = build_ct_lookup(8)
+    entries = [10 * (i + 1) for i in range(8)]
+    for k in (0, 3, 7):
+        cpu = run(program, lookup_writes(k, entries))
+        assert cpu.memory.read(OUT_ADDR) == entries[k]
+
+
+def test_ct_lookup_constant_time_on_baseline():
+    program = build_ct_lookup(8)
+    entries = [10 * (i + 1) for i in range(8)]
+    cycles = {run(program, lookup_writes(k, entries)).stats.cycles
+              for k in range(8)}
+    assert len(cycles) == 1
+
+
+def test_ct_lookup_index_leaks_under_sv_reuse():
+    """Replay attack: prime the reuse table with one call at index g,
+    then time a call at the secret index — hits iff the *mask pattern*
+    (and so the index) repeats.  Here the transmitter is the per-entry
+    multiply whose operands repeat exactly when k is unchanged."""
+    program = build_ct_lookup(8)
+    entries = [(i * i + 3) for i in range(8)]
+    config = CPUConfig(latency_mul=10, num_mul_units=1)
+
+    from repro.isa.opcodes import Op
+
+    def timed_pair(first_k, second_k):
+        plugin = ComputationReusePlugin(variant="sv",
+                                        ops=frozenset({Op.MUL}))
+        run(program, lookup_writes(first_k, entries),
+            plugins=[plugin], config=config)
+        cpu = run(program, lookup_writes(second_k, entries),
+                  plugins=[plugin], config=config)
+        return cpu.stats.cycles
+
+    same = timed_pair(5, 5)
+    different = timed_pair(4, 5)
+    assert same < different

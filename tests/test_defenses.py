@@ -1,0 +1,99 @@
+"""Retrofitted mitigations (Section VI-A2) actually block the attacks."""
+
+from repro.attacks.bsaes_attack import (
+    BSAESSilentStoreAttack, BSAESVictimServer, NUM_SLOTS,
+)
+from repro.attacks.compsimp_attack import SignificanceProbe
+from repro.attacks.packing_attack import OperandPackingAttack
+from repro.defenses.retrofits import (
+    SpillMasker, clear_slots, pad_significance, strip_significance_pad,
+)
+from repro.memory.flatmem import FlatMemory
+
+VICTIM_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+OTHER_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+ATTACKER_KEY = bytes(range(16, 32))
+
+
+def make_cleared_server(victim_key):
+    """A server that zeroes its sensitive slots between calls."""
+    server = BSAESVictimServer(victim_key, b"public-header-00")
+    memory = FlatMemory(1 << 10)
+    for slot, plane in enumerate(server.leftover_planes):
+        memory.write(2 * slot, plane, 2)
+    clear_slots(memory, [2 * slot for slot in range(NUM_SLOTS)])
+    server.leftover_planes = tuple(
+        memory.read(2 * slot, 2) for slot in range(NUM_SLOTS))
+    return server
+
+
+def test_clear_slots_zeroes_memory():
+    memory = FlatMemory(256)
+    memory.write(0, 0xBEEF, 2)
+    memory.write(64, 0xCAFE, 2)
+    clear_slots(memory, [0, 64])
+    assert memory.read(0, 2) == 0 and memory.read(64, 2) == 0
+
+
+def test_targeted_clearing_blocks_bsaes_key_recovery():
+    """With cleared slots, the oracle only ever reveals whether the
+    attacker's own plane is zero — the recovered "planes" are the
+    clearing constant, independent of the victim key."""
+    transcripts = []
+    for victim_key in (VICTIM_KEY, OTHER_KEY):
+        server = make_cleared_server(victim_key)
+        attack = BSAESSilentStoreAttack(server, ATTACKER_KEY, seed=3)
+        value, tries = attack.recover_plane(0, oracle="functional",
+                                            max_tries=1 << 16)
+        transcripts.append((value, tries))
+        assert value in (0, None)
+    # Identical transcripts for different victim keys: zero leakage.
+    assert transcripts[0] == transcripts[1]
+
+
+def test_spill_masking_blocks_bsaes_key_recovery():
+    """A per-call XOR pad makes memory hold values the attacker cannot
+    target; recovered planes no longer reconstruct the key."""
+    server = BSAESVictimServer(VICTIM_KEY, b"public-header-00")
+    masker = SpillMasker(pad=0x5AA5)
+    server.leftover_planes = tuple(
+        masker.mask_value(plane, 2) for plane in server.leftover_planes)
+    attack = BSAESSilentStoreAttack(server, ATTACKER_KEY, seed=4)
+    key, _tries = attack.recover_key(oracle="functional",
+                                     max_tries=1 << 16)
+    assert key != VICTIM_KEY
+
+
+def test_spill_masker_roundtrip():
+    masker = SpillMasker(pad=0x123456789ABCDEF0)
+    memory = FlatMemory(64)
+    masker.spill(memory, 0, 0xCAFEBABE, 8)
+    assert memory.read(0) != 0xCAFEBABE          # nothing in the clear
+    assert masker.reload(memory, 0, 8) == 0xCAFEBABE
+
+
+def test_significance_pad_roundtrip():
+    for value in (0, 1, 0xFFFF, 1 << 40):
+        padded = pad_significance(value)
+        assert padded.bit_length() == 64
+        assert strip_significance_pad(padded) == value
+
+
+def test_significance_padding_flattens_early_termination_timing():
+    probe = SignificanceProbe()
+    unprotected = probe.significance_curve((1, 2, 4, 6))
+    assert len(set(unprotected.values())) > 1    # leaks
+    protected = {
+        width: probe.measure(pad_significance(
+            (1 << (8 * width - 1)) | 1), 3)
+        for width in (1, 2, 4, 6)}
+    assert len(set(protected.values())) == 1     # flat
+
+
+def test_significance_padding_defeats_packing_classifier():
+    """Padded victim operands always classify as wide: the attacker
+    learns the (public) fact that the mitigation is on, nothing else."""
+    attack = OperandPackingAttack(pairs=32)
+    outcomes = {attack.classify(pad_significance(value))
+                for value in (1, 0xFFFF, 1 << 20, 1 << 50)}
+    assert outcomes == {False}

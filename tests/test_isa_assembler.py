@@ -1,0 +1,100 @@
+"""Assembler: label resolution, register parsing, error reporting."""
+
+import pytest
+
+from repro.isa.assembler import Assembler, AssemblyError, parse_reg
+from repro.isa.opcodes import Op
+
+
+def test_parse_reg_forms():
+    assert parse_reg("x0") == 0
+    assert parse_reg("x31") == 31
+    assert parse_reg(7) == 7
+
+
+def test_parse_reg_errors():
+    with pytest.raises(AssemblyError):
+        parse_reg("y1")
+    with pytest.raises(AssemblyError):
+        parse_reg(32)
+    with pytest.raises(AssemblyError):
+        parse_reg(-1)
+
+
+def test_forward_and_backward_labels():
+    asm = Assembler()
+    asm.label("start")
+    asm.beq("x1", "x2", "end")      # forward reference
+    asm.jmp("start")                 # backward reference
+    asm.label("end")
+    asm.halt()
+    program = asm.assemble()
+    assert program[0].target == 2
+    assert program[1].target == 0
+
+
+def test_unresolved_label_rejected():
+    asm = Assembler()
+    asm.jmp("nowhere")
+    with pytest.raises(AssemblyError, match="nowhere"):
+        asm.assemble()
+
+
+def test_duplicate_label_rejected():
+    asm = Assembler()
+    asm.label("a")
+    with pytest.raises(AssemblyError, match="duplicate"):
+        asm.label("a")
+
+
+def test_pc_assignment_sequential():
+    asm = Assembler()
+    asm.li(1, 5).addi(2, 1, 1).halt()
+    program = asm.assemble()
+    assert [inst.pc for inst in program] == [0, 1, 2]
+
+
+def test_store_operand_encoding():
+    asm = Assembler()
+    asm.store("x3", "x4", 16, width=2)
+    program = asm.assemble()
+    inst = program[0]
+    assert inst.op is Op.STORE
+    assert inst.rs2 == 3 and inst.rs1 == 4
+    assert inst.imm == 16 and inst.width == 2
+
+
+def test_load_operand_encoding():
+    asm = Assembler()
+    asm.load("x5", "x6", -8, width=4)
+    inst = asm.assemble()[0]
+    assert inst.op is Op.LOAD
+    assert inst.rd == 5 and inst.rs1 == 6
+    assert inst.imm == -8 and inst.width == 4
+
+
+def test_mv_is_addi_zero():
+    asm = Assembler()
+    asm.mv(2, 3)
+    inst = asm.assemble()[0]
+    assert inst.op is Op.ADDI and inst.imm == 0
+
+
+def test_annotation_attaches_to_next_instruction():
+    asm = Assembler()
+    asm.annotate("the target store")
+    asm.store(1, 2, 0)
+    asm.nop()
+    program = asm.assemble()
+    assert program[0].annotation == "the target store"
+    assert program[1].annotation == ""
+
+
+def test_listing_contains_labels_and_pcs():
+    asm = Assembler()
+    asm.label("loop")
+    asm.addi(1, 1, 1)
+    asm.jmp("loop")
+    text = asm.assemble().listing()
+    assert "loop:" in text
+    assert "addi" in text

@@ -1,0 +1,80 @@
+"""Unit and property tests for the bit-manipulation helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.bits import (
+    WORD_MASK, byte_at, is_narrow, mask, msb_index, significant_bytes,
+    to_signed, to_unsigned,
+)
+
+words = st.integers(min_value=0, max_value=WORD_MASK)
+
+
+def test_mask_truncates():
+    assert mask(1 << 64) == 0
+    assert mask((1 << 64) + 5) == 5
+    assert mask(-1) == WORD_MASK
+
+
+def test_to_signed_boundaries():
+    assert to_signed(0) == 0
+    assert to_signed(WORD_MASK) == -1
+    assert to_signed(1 << 63) == -(1 << 63)
+    assert to_signed((1 << 63) - 1) == (1 << 63) - 1
+
+
+def test_to_signed_narrow_widths():
+    assert to_signed(0xFF, bits=8) == -1
+    assert to_signed(0x7F, bits=8) == 127
+    assert to_signed(0x80, bits=8) == -128
+
+
+@given(words)
+def test_signed_unsigned_roundtrip(value):
+    assert to_unsigned(to_signed(value)) == value
+
+
+def test_msb_index():
+    assert msb_index(0) == -1
+    assert msb_index(1) == 0
+    assert msb_index(0x8000) == 15
+    assert msb_index(1 << 63) == 63
+
+
+@given(st.integers(min_value=1, max_value=WORD_MASK))
+def test_msb_index_is_floor_log2(value):
+    assert 1 << msb_index(value) <= value < 1 << (msb_index(value) + 1)
+
+
+def test_significant_bytes():
+    assert significant_bytes(0) == 1
+    assert significant_bytes(0xFF) == 1
+    assert significant_bytes(0x100) == 2
+    assert significant_bytes(1 << 63) == 8
+
+
+@given(words)
+def test_significant_bytes_bounds(value):
+    width = significant_bytes(value)
+    assert 1 <= width <= 8
+    assert value < 1 << (8 * width)
+
+
+def test_is_narrow_definition():
+    assert is_narrow(0)
+    assert is_narrow(0xFFFF)
+    assert not is_narrow(0x10000)
+    assert is_narrow(0xFFFFFFFF, bits=32)
+
+
+def test_byte_at_little_endian():
+    value = 0x0807060504030201
+    for index in range(8):
+        assert byte_at(value, index) == index + 1
+
+
+@given(words)
+def test_byte_at_reconstructs_word(value):
+    rebuilt = sum(byte_at(value, i) << (8 * i) for i in range(8))
+    assert rebuilt == value

@@ -1,0 +1,113 @@
+"""Golden-model interpreter behaviour."""
+
+import pytest
+
+from repro.isa.assembler import Assembler
+from repro.isa.interpreter import ArchState, Interpreter, InterpreterError, \
+    run_program
+from repro.memory.flatmem import FlatMemory
+
+
+def fibonacci_program(n):
+    asm = Assembler()
+    asm.li(1, 0)       # a
+    asm.li(2, 1)       # b
+    asm.li(3, n)       # counter
+    asm.label("loop")
+    asm.beq(3, 0, "done")
+    asm.add(4, 1, 2)
+    asm.mv(1, 2)
+    asm.mv(2, 4)
+    asm.addi(3, 3, -1)
+    asm.jmp("loop")
+    asm.label("done")
+    asm.halt()
+    return asm.assemble()
+
+
+def test_fibonacci():
+    state = run_program(fibonacci_program(10))
+    assert state.read_reg(1) == 55
+
+
+def test_x0_is_hardwired_zero():
+    asm = Assembler()
+    asm.li(0, 99)
+    asm.add(1, 0, 0)
+    asm.halt()
+    state = run_program(asm.assemble())
+    assert state.read_reg(0) == 0
+    assert state.read_reg(1) == 0
+
+
+def test_memory_widths_roundtrip():
+    asm = Assembler()
+    asm.li(1, 0x100)
+    asm.li(2, 0x1122334455667788)
+    asm.store(2, 1, 0, width=8)
+    asm.load(3, 1, 0, width=1)
+    asm.load(4, 1, 0, width=2)
+    asm.load(5, 1, 0, width=4)
+    asm.halt()
+    state = run_program(asm.assemble())
+    assert state.read_reg(3) == 0x88
+    assert state.read_reg(4) == 0x7788
+    assert state.read_reg(5) == 0x55667788
+
+
+def test_narrow_store_preserves_neighbors():
+    memory = FlatMemory(1 << 12)
+    memory.write(0x100, 0xAAAAAAAAAAAAAAAA)
+    asm = Assembler()
+    asm.li(1, 0x100)
+    asm.li(2, 0x42)
+    asm.store(2, 1, 2, width=1)
+    asm.halt()
+    state = run_program(asm.assemble(), memory=memory)
+    assert state.memory.read(0x100) == 0xAAAAAAAAAA42AAAA
+
+
+def test_preloaded_registers():
+    asm = Assembler()
+    asm.add(3, 1, 2)
+    asm.halt()
+    state = run_program(asm.assemble(), regs={1: 40, 2: 2})
+    assert state.read_reg(3) == 42
+
+
+def test_runaway_program_raises():
+    asm = Assembler()
+    asm.label("spin")
+    asm.jmp("spin")
+    with pytest.raises(InterpreterError, match="did not halt"):
+        run_program(asm.assemble(), max_steps=100)
+
+
+def test_pc_out_of_bounds_raises():
+    asm = Assembler()
+    asm.addi(1, 1, 1)      # no halt: runs off the end
+    program = asm.assemble()
+    interp = Interpreter(program, ArchState())
+    interp.step()
+    with pytest.raises(InterpreterError, match="out of program bounds"):
+        interp.step()
+
+
+def test_rdcycle_reports_retired_count():
+    asm = Assembler()
+    asm.nop()
+    asm.nop()
+    asm.rdcycle(1)
+    asm.halt()
+    state = run_program(asm.assemble())
+    assert state.read_reg(1) == 2
+
+
+def test_step_returns_instruction_and_halt_sticks():
+    asm = Assembler()
+    asm.halt()
+    interp = Interpreter(asm.assemble())
+    inst = interp.step()
+    assert inst is not None
+    assert interp.state.halted
+    assert interp.step() is None

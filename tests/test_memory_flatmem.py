@@ -1,0 +1,59 @@
+"""Flat backing memory: endianness, widths, bounds."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.flatmem import FlatMemory, MemoryError_
+
+
+def test_little_endian_layout():
+    mem = FlatMemory(64)
+    mem.write(0, 0x0102030405060708)
+    assert mem.read_bytes(0, 8) == bytes([8, 7, 6, 5, 4, 3, 2, 1])
+
+
+def test_partial_width_write_and_read():
+    mem = FlatMemory(64)
+    mem.write(0, 0xFFFFFFFFFFFFFFFF)
+    mem.write(2, 0xAB, width=1)
+    assert mem.read(0) == 0xFFFFFFFFFFAB_FFFF
+
+
+def test_zero_extension_on_read():
+    mem = FlatMemory(64)
+    mem.write(0, 0xFF, width=1)
+    assert mem.read(0, width=1) == 0xFF
+    assert mem.read(0, width=8) == 0xFF
+
+
+def test_bounds_checking():
+    mem = FlatMemory(64)
+    with pytest.raises(MemoryError_):
+        mem.read(60, 8)
+    with pytest.raises(MemoryError_):
+        mem.write(64, 1, 1)
+    with pytest.raises(MemoryError_):
+        mem.read(-1, 1)
+
+
+def test_fill_and_bulk_bytes():
+    mem = FlatMemory(64)
+    mem.fill(8, 4, 0x5A)
+    assert mem.read_bytes(8, 4) == b"\x5a" * 4
+    mem.write_bytes(0, b"hello")
+    assert mem.read_bytes(0, 5) == b"hello"
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+       st.sampled_from([1, 2, 4, 8]))
+def test_write_read_roundtrip_masks_to_width(value, width):
+    mem = FlatMemory(64)
+    mem.write(0, value, width)
+    assert mem.read(0, width) == value & ((1 << (8 * width)) - 1)
+
+
+def test_negative_value_write_wraps():
+    mem = FlatMemory(64)
+    mem.write(0, -1)
+    assert mem.read(0) == (1 << 64) - 1

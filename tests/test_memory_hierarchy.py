@@ -1,0 +1,108 @@
+"""Two-level hierarchy: latencies by hit level, prefetch buffer, fills."""
+
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy, MemoryLatencies
+
+
+def build(l2=True, prefetch_buffer_size=0):
+    memory = FlatMemory(1 << 16)
+    memory.write(0x100, 42)
+    return MemoryHierarchy(
+        memory,
+        l1=Cache(num_sets=4, ways=2),
+        l2=Cache(num_sets=8, ways=4) if l2 else None,
+        latencies=MemoryLatencies(l1_hit=2, l2_hit=12, memory=120),
+        prefetch_buffer_size=prefetch_buffer_size)
+
+
+def test_miss_then_hit_latencies():
+    hierarchy = build()
+    value, latency, level = hierarchy.read(0x100)
+    assert (value, latency, level) == (42, 120, "mem")
+    _value, latency, level = hierarchy.read(0x100)
+    assert (latency, level) == (2, "l1")
+
+
+def test_l2_hit_after_l1_eviction():
+    hierarchy = build()
+    hierarchy.read(0x100)
+    hierarchy.l1.invalidate(0x100)
+    _value, latency, level = hierarchy.read(0x100)
+    assert (latency, level) == (12, "l2")
+    assert hierarchy.line_in_l1(0x100)  # refilled
+
+
+def test_write_through_to_backing_memory():
+    hierarchy = build()
+    hierarchy.read(0x200)          # bring line in
+    hierarchy.write(0x200, 7)
+    assert hierarchy.memory.read(0x200) == 7
+
+
+def test_request_line_for_store_latencies():
+    hierarchy = build()
+    assert hierarchy.request_line_for_store(0x300) == 120
+    assert hierarchy.request_line_for_store(0x300) == 0
+    hierarchy.l1.invalidate(0x300)
+    assert hierarchy.request_line_for_store(0x300) == 12  # L2 hit
+
+
+def test_prefetch_fills_l1_without_buffer():
+    hierarchy = build()
+    hierarchy.prefetch(0x400)
+    assert hierarchy.line_in_l1(0x400)
+    assert hierarchy.line_in_l2(0x400)
+
+
+def test_prefetch_buffer_keeps_l1_clean_but_fills_l2():
+    """Section V-B3: prefetch buffers do not stop the receiver — the
+    line still lands in L2."""
+    hierarchy = build(prefetch_buffer_size=4)
+    hierarchy.prefetch(0x400)
+    assert not hierarchy.line_in_l1(0x400)
+    assert hierarchy.line_in_l2(0x400)
+    assert hierarchy.in_prefetch_buffer(0x400)
+
+
+def test_prefetch_buffer_promotion_on_demand_access():
+    hierarchy = build(prefetch_buffer_size=4)
+    hierarchy.prefetch(0x400)
+    _value, latency, level = hierarchy.read(0x400)
+    assert level == "pb"
+    assert latency == 3   # l1_hit + 1
+    assert hierarchy.line_in_l1(0x400)
+    assert not hierarchy.in_prefetch_buffer(0x400)
+
+
+def test_prefetch_buffer_is_fifo_bounded():
+    hierarchy = build(prefetch_buffer_size=2)
+    for index in range(3):
+        hierarchy.prefetch(0x1000 + 64 * index)
+    assert not hierarchy.in_prefetch_buffer(0x1000)
+    assert hierarchy.in_prefetch_buffer(0x1040)
+    assert hierarchy.in_prefetch_buffer(0x1080)
+
+
+def test_access_latency_probe():
+    hierarchy = build()
+    assert hierarchy.access_latency(0x500) == 120
+    assert hierarchy.access_latency(0x500) == 2
+
+
+def test_flush_all():
+    hierarchy = build(prefetch_buffer_size=2)
+    hierarchy.read(0x100)
+    hierarchy.prefetch(0x200)
+    hierarchy.flush_all()
+    assert not hierarchy.line_in_l1(0x100)
+    assert not hierarchy.line_in_l2(0x100)
+    assert not hierarchy.in_prefetch_buffer(0x200)
+
+
+def test_no_l2_configuration():
+    hierarchy = build(l2=False)
+    _value, latency, level = hierarchy.read(0x100)
+    assert (latency, level) == (120, "mem")
+    _value, latency, level = hierarchy.read(0x100)
+    assert (latency, level) == (2, "l1")

@@ -1,0 +1,101 @@
+"""TLB model and its integration with the hierarchy."""
+
+import pytest
+
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy, MemoryLatencies
+from repro.memory.tlb import TLB
+from repro.optimizations.dmp import IndirectMemoryPrefetcher
+from repro.pipeline.cpu import CPU
+
+
+def test_page_size_validation():
+    with pytest.raises(ValueError):
+        TLB(page_size=5000)
+
+
+def test_hit_miss_latency():
+    tlb = TLB(entries=2, page_size=4096, walk_latency=25)
+    assert tlb.access(0x1000) == 25       # compulsory miss
+    assert tlb.access(0x1FFF) == 0        # same page
+    assert tlb.access(0x2000) == 25       # next page
+    assert tlb.stats == {"hits": 1, "misses": 2, "evictions": 0}
+
+
+def test_lru_eviction():
+    tlb = TLB(entries=2, walk_latency=25)
+    tlb.access(0x0000)
+    tlb.access(0x1000)
+    tlb.access(0x0000)          # promote page 0
+    tlb.access(0x2000)          # evicts page 1
+    assert tlb.contains(0x0000)
+    assert not tlb.contains(0x1000)
+    assert tlb.stats["evictions"] == 1
+
+
+def test_flush_and_resident_pages():
+    tlb = TLB()
+    tlb.access(0x5000)
+    assert tlb.resident_pages() == [5]
+    tlb.flush()
+    assert tlb.resident_pages() == []
+
+
+def test_hierarchy_adds_walk_latency():
+    memory = FlatMemory(1 << 16)
+    hierarchy = MemoryHierarchy(
+        memory, l1=Cache(),
+        latencies=MemoryLatencies(memory=100),
+        tlb=TLB(walk_latency=30))
+    _v, latency, level = hierarchy.read(0x1000)
+    assert latency == 130 and level == "mem"     # walk + miss
+    _v, latency, _level = hierarchy.read(0x1000)
+    assert latency == hierarchy.latencies.l1_hit  # both warm
+    # New page, same cache line? No — new page, cold line:
+    _v, latency, _level = hierarchy.read(0x2000)
+    assert latency == 130
+
+
+def test_page_crossing_visible_even_on_cache_hits():
+    """An L1-resident line on a TLB-evicted page still pays the walk —
+    the TLB is its own channel."""
+    memory = FlatMemory(1 << 16)
+    hierarchy = MemoryHierarchy(memory, l1=Cache(),
+                                tlb=TLB(entries=1, walk_latency=30))
+    hierarchy.read(0x1000)
+    hierarchy.read(0x2000)       # evicts page 1 from the 1-entry TLB
+    _v, latency, level = hierarchy.read(0x1000)
+    assert level == "l1"
+    assert latency == hierarchy.latencies.l1_hit + 30
+
+
+def test_prefetches_translate_through_the_tlb():
+    """The IMP prefetches virtual addresses: its fills populate the
+    TLB (page-granularity footprint of the *secret-derived* address)."""
+    memory = FlatMemory(1 << 16)
+    tlb = TLB(walk_latency=30)
+    hierarchy = MemoryHierarchy(memory, l1=Cache(), tlb=tlb)
+    hierarchy.prefetch(0x8000)
+    assert tlb.contains(0x8000)
+
+
+def test_dmp_attack_machinery_works_with_tlb_attached():
+    """End-to-end sanity: the indirection program still trains the IMP
+    with translation latency in the path."""
+    from tests.test_opt_dmp import (
+        BASE_Y, BASE_Z, indirection_program,
+    )
+    memory = FlatMemory(1 << 18)
+    for i in range(32):
+        memory.write(BASE_Z + 8 * i, (i * 3) % 11)
+    for j in range(16):
+        memory.write(BASE_Y + 8 * j, 100 + ((j * j) % 13))
+    hierarchy = MemoryHierarchy(memory, l1=Cache(num_sets=256, ways=4),
+                                tlb=TLB(walk_latency=30))
+    imp = IndirectMemoryPrefetcher(levels=3, delta=4)
+    cpu = CPU(indirection_program(16), hierarchy, plugins=[imp])
+    cpu.run()
+    imp.drain()
+    assert imp.stats["prefetches"] > 0
+    assert hierarchy.tlb.stats["misses"] > 0

@@ -1,0 +1,104 @@
+"""Computation simplification: rules, latency effects, correctness."""
+
+import pytest
+
+from repro.isa.assembler import Assembler
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.optimizations.computation_simplification import (
+    RULES, ComputationSimplificationPlugin,
+)
+from repro.pipeline.config import CPUConfig
+from repro.pipeline.cpu import CPU
+
+
+def run_chain(op, a, b, rules, repeat=16):
+    asm = Assembler()
+    asm.li(1, a)
+    asm.li(2, b)
+    for _ in range(repeat):
+        getattr(asm, op)(3, 1, 2)
+    asm.halt()
+    mem = FlatMemory(1 << 14)
+    plugin = ComputationSimplificationPlugin(rules=rules)
+    cpu = CPU(asm.assemble(), MemoryHierarchy(mem, l1=Cache()),
+              config=CPUConfig(latency_mul=6, latency_div=20),
+              plugins=[plugin])
+    cpu.run()
+    return cpu, plugin
+
+
+def test_unknown_rule_rejected():
+    with pytest.raises(ValueError, match="unknown"):
+        ComputationSimplificationPlugin(rules=("nonsense",))
+
+
+def test_zero_skip_mul_fires_and_is_faster():
+    fast, plugin = run_chain("mul", 0, 123, ("zero_skip_mul",))
+    slow, _ = run_chain("mul", 11, 123, ("zero_skip_mul",))
+    assert plugin.stats["zero_skip_mul"] == 16
+    assert fast.stats.cycles < slow.stats.cycles
+    assert fast.arch_reg(3) == 0
+    assert slow.arch_reg(3) == 11 * 123
+
+
+def test_zero_skip_checks_both_operands():
+    cpu, plugin = run_chain("mul", 5, 0, ("zero_skip_mul",), repeat=4)
+    assert plugin.stats["zero_skip_mul"] == 4
+
+
+def test_pow2_div_fires():
+    fast, plugin = run_chain("div", 1000, 8, ("pow2_div",))
+    slow, _ = run_chain("div", 1000, 7, ("pow2_div",))
+    assert plugin.stats["pow2_div"] == 16
+    assert fast.stats.cycles < slow.stats.cycles
+    assert fast.arch_reg(3) == 125
+
+
+def test_pow2_div_not_for_zero_divisor():
+    _cpu, plugin = run_chain("div", 9, 0, ("pow2_div",), repeat=2)
+    assert plugin.stats["pow2_div"] == 0
+
+
+def test_zero_over_anything_div():
+    _cpu, plugin = run_chain("div", 0, 7, ("zero_over_anything_div",),
+                             repeat=4)
+    assert plugin.stats["zero_over_anything_div"] == 4
+
+
+def test_trivial_bitwise_and_with_zero():
+    assert RULES["trivial_bitwise"] is not None
+    _cpu, plugin = run_chain("and_", 0, 0xABC, ("trivial_bitwise",),
+                             repeat=4)
+    assert plugin.stats["trivial_bitwise"] == 4
+
+
+def test_trivial_bitwise_or_with_all_ones():
+    _cpu, plugin = run_chain("or_", (1 << 64) - 1, 5, ("trivial_bitwise",),
+                             repeat=4)
+    assert plugin.stats["trivial_bitwise"] == 4
+
+
+def test_trivial_add_sub():
+    _cpu, plugin = run_chain("add", 0, 9, ("trivial_add",), repeat=2)
+    assert plugin.stats["trivial_add"] == 2
+    _cpu, plugin = run_chain("sub", 9, 0, ("trivial_add",), repeat=2)
+    assert plugin.stats["trivial_add"] == 2
+
+
+def test_one_skip_mul():
+    _cpu, plugin = run_chain("mul", 1, 9, ("one_skip_mul",), repeat=2)
+    assert plugin.stats["one_skip_mul"] == 2
+
+
+def test_default_rules_are_conservative():
+    plugin = ComputationSimplificationPlugin()
+    assert set(plugin.rules) == {"zero_skip_mul", "pow2_div"}
+
+
+def test_results_never_change():
+    """The optimization is performance-only."""
+    for a, b in ((0, 5), (5, 0), (7, 8), (1, 1)):
+        cpu, _ = run_chain("mul", a, b, tuple(RULES), repeat=3)
+        assert cpu.arch_reg(3) == (a * b) & ((1 << 64) - 1)

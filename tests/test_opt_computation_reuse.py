@@ -1,0 +1,144 @@
+"""Computation reuse: Sv/Sn keying, hits, eviction, correctness."""
+
+import pytest
+
+from repro.isa.assembler import Assembler
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.optimizations.computation_reuse import ComputationReusePlugin
+from repro.pipeline.config import CPUConfig
+from repro.pipeline.cpu import CPU
+
+
+def run(asm, variant="sv", table_size=256):
+    mem = FlatMemory(1 << 14)
+    plugin = ComputationReusePlugin(variant=variant,
+                                    table_size=table_size)
+    cpu = CPU(asm.assemble(), MemoryHierarchy(mem, l1=Cache()),
+              config=CPUConfig(latency_div=20), plugins=[plugin])
+    cpu.run()
+    return cpu, plugin
+
+
+def repeated_div_loop(trips, same_operands=True):
+    """A loop re-executing one static divide."""
+    asm = Assembler()
+    asm.li(1, 1000)
+    asm.li(2, 7)
+    asm.li(3, 0)
+    asm.li(4, trips)
+    asm.label("loop")
+    asm.div(5, 1, 2)          # the memoized static instruction
+    if not same_operands:
+        asm.addi(1, 1, 1)     # operand changes every iteration
+    asm.addi(3, 3, 1)
+    asm.blt(3, 4, "loop")
+    asm.halt()
+    return asm
+
+
+def test_variant_validation():
+    with pytest.raises(ValueError):
+        ComputationReusePlugin(variant="sx")
+
+
+def test_sv_hits_on_repeated_operand_values():
+    cpu, plugin = run(repeated_div_loop(8))
+    assert plugin.stats["hits"] == 7      # first is a miss, rest hit
+    assert cpu.arch_reg(5) == 1000 // 7
+
+
+def test_sv_misses_when_operands_change():
+    cpu, plugin = run(repeated_div_loop(8, same_operands=False))
+    assert plugin.stats["hits"] == 0
+
+
+def test_sv_hit_is_faster():
+    fast, _ = run(repeated_div_loop(8))
+    slow, _ = run(repeated_div_loop(8, same_operands=False))
+    assert fast.stats.cycles < slow.stats.cycles
+
+
+def test_sn_hits_when_registers_unwritten():
+    cpu, plugin = run(repeated_div_loop(8), variant="sn")
+    assert plugin.stats["hits"] == 7
+
+
+def test_sn_invalidated_by_register_overwrite():
+    """Sn keys on names + versions: rewriting the source register kills
+    reuse even when the value is identical."""
+    asm = Assembler()
+    asm.li(1, 1000)
+    asm.li(2, 7)
+    asm.li(3, 0)
+    asm.li(4, 6)
+    asm.label("loop")
+    asm.div(5, 1, 2)
+    asm.li(1, 1000)           # same value, new version
+    asm.addi(3, 3, 1)
+    asm.blt(3, 4, "loop")
+    asm.halt()
+    _cpu, plugin = run(asm, variant="sn")
+    assert plugin.stats["hits"] == 0
+
+
+def test_sv_hits_on_same_value_different_register_history():
+    """Sv keys on values: the Sn-invalidating rewrite doesn't matter."""
+    asm = Assembler()
+    asm.li(1, 1000)
+    asm.li(2, 7)
+    asm.li(3, 0)
+    asm.li(4, 6)
+    asm.label("loop")
+    asm.div(5, 1, 2)
+    asm.li(1, 1000)
+    asm.addi(3, 3, 1)
+    asm.blt(3, 4, "loop")
+    asm.halt()
+    _cpu, plugin = run(asm, variant="sv")
+    assert plugin.stats["hits"] == 5
+
+
+def test_table_lru_eviction():
+    """Unit-level: a 1-entry table thrashes on alternating keys; a
+    larger table holds both."""
+    from repro.isa.instruction import Instruction
+    from repro.isa.opcodes import Op
+    from repro.pipeline.dyninst import DynInst
+
+    def div_inst(pc, v1):
+        dyn = DynInst(0, Instruction(op=Op.DIV, rd=5, rs1=1, rs2=2,
+                                     pc=pc))
+        dyn.src_values = [v1, 4]
+        return dyn
+
+    for size, expected_hits in ((1, 0), (4, 4)):
+        plugin = ComputationReusePlugin(variant="sv", table_size=size)
+        for _round in range(3):
+            for value in (100, 200):
+                dyn = div_inst(pc=7, v1=value)
+                plugin.lookup_reuse(dyn)
+                plugin.on_result(dyn, value // 4)
+        assert plugin.stats["hits"] == expected_hits, size
+
+
+def test_results_always_correct():
+    for variant in ("sv", "sn"):
+        cpu, _ = run(repeated_div_loop(5), variant=variant)
+        assert cpu.arch_reg(5) == 142
+
+
+def test_hit_rate_property():
+    _cpu, plugin = run(repeated_div_loop(5))
+    assert plugin.hit_rate == pytest.approx(
+        plugin.stats["hits"] / plugin.stats["lookups"])
+    assert 0 < plugin.hit_rate <= 1
+    empty = ComputationReusePlugin()
+    assert empty.hit_rate == 0.0
+
+
+def test_reset_clears_table():
+    _cpu, plugin = run(repeated_div_loop(5))
+    plugin.reset()
+    assert plugin._table == {}

@@ -1,0 +1,119 @@
+"""The repo's load-bearing invariant, property-tested hard.
+
+Every optimization the paper studies is *performance-only*: with any
+plug-in (or all of them) attached, the pipeline must compute exactly
+what the golden-model interpreter computes — registers and memory.
+Random programs with loops, loads, stores, multiplies and divides
+drive this; if an optimization ever changed architectural state, the
+whole security analysis would be meaningless ("leakage" would just be
+broken hardware).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import Assembler
+from repro.isa.interpreter import run_program
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.optimizations.computation_reuse import ComputationReusePlugin
+from repro.optimizations.computation_simplification import (
+    RULES, ComputationSimplificationPlugin,
+)
+from repro.optimizations.dmp import IndirectMemoryPrefetcher
+from repro.optimizations.pipeline_compression import (
+    EarlyTerminatingMultiplierPlugin, OperandPackingPlugin,
+)
+from repro.optimizations.register_file_compression import (
+    RegisterFileCompressionPlugin,
+)
+from repro.optimizations.silent_stores import SilentStorePlugin
+from repro.optimizations.value_prediction import ValuePredictionPlugin
+from repro.pipeline.cpu import CPU
+
+SCRATCH = 0x1000
+
+PLUGIN_FACTORIES = {
+    "silent_stores": lambda: SilentStorePlugin(),
+    "silent_stores_allocating": lambda: SilentStorePlugin(
+        ss_load_allocates=True, retry_cycles=8),
+    "computation_simplification": lambda: ComputationSimplificationPlugin(
+        rules=tuple(RULES)),
+    "operand_packing": lambda: OperandPackingPlugin(),
+    "early_terminating_mul": lambda: EarlyTerminatingMultiplierPlugin(),
+    "reuse_sv": lambda: ComputationReusePlugin(variant="sv"),
+    "reuse_sn": lambda: ComputationReusePlugin(variant="sn"),
+    "value_prediction": lambda: ValuePredictionPlugin(threshold=1),
+    "rfc_any": lambda: RegisterFileCompressionPlugin(variant="any",
+                                                     pool_size=8),
+    "rfc_zero_one": lambda: RegisterFileCompressionPlugin(
+        variant="zero-one", pool_size=8),
+    "imp_3level": lambda: IndirectMemoryPrefetcher(levels=3),
+}
+
+OPS = ("add", "sub", "and_", "or_", "xor", "mul", "div", "rem",
+       "sll", "srl")
+
+
+@st.composite
+def random_programs(draw):
+    """Terminating programs exercising ALU, memory and a bounded loop."""
+    asm = Assembler()
+    asm.li(1, SCRATCH)
+    for reg in range(2, 8):
+        asm.li(reg, draw(st.integers(0, 2 ** 20)))
+    trips = draw(st.integers(1, 3))
+    asm.li(8, 0)
+    asm.li(9, trips)
+    asm.label("loop")
+    body = draw(st.lists(st.tuples(
+        st.sampled_from(OPS + ("load", "store")),
+        st.integers(2, 7), st.integers(2, 7), st.integers(2, 7),
+        st.integers(0, 15)), min_size=3, max_size=25))
+    for op, rd, rs1, rs2, slot in body:
+        if op == "load":
+            asm.load(rd, 1, 8 * slot)
+        elif op == "store":
+            asm.store(rs1, 1, 8 * slot)
+        else:
+            getattr(asm, op)(rd, rs1, rs2)
+    asm.addi(8, 8, 1)
+    asm.blt(8, 9, "loop")
+    asm.halt()
+    return asm.assemble()
+
+
+def run_and_compare(program, plugin_factories):
+    init = [(SCRATCH + 8 * i, (i * 0x9E3779B9) & 0xFFFF)
+            for i in range(16)]
+    mem_a = FlatMemory(1 << 16)
+    mem_b = FlatMemory(1 << 16)
+    for addr, value in init:
+        mem_a.write(addr, value)
+        mem_b.write(addr, value)
+    state = run_program(program, memory=mem_a)
+    from repro.memory.hierarchy import MemoryLatencies
+    hierarchy = MemoryHierarchy(mem_b, l1=Cache(num_sets=16, ways=2),
+                                latencies=MemoryLatencies(memory=30))
+    plugins = [factory() for factory in plugin_factories]
+    cpu = CPU(program, hierarchy, plugins=plugins)
+    cpu.run()
+    for reg in range(1, 10):
+        assert state.read_reg(reg) == cpu.arch_reg(reg), f"x{reg}"
+    assert (mem_a.read_bytes(SCRATCH, 128)
+            == mem_b.read_bytes(SCRATCH, 128))
+
+
+@pytest.mark.parametrize("name", sorted(PLUGIN_FACTORIES))
+@settings(max_examples=8, deadline=None)
+@given(program=random_programs())
+def test_each_plugin_is_performance_only(name, program):
+    run_and_compare(program, [PLUGIN_FACTORIES[name]])
+
+
+@settings(max_examples=10, deadline=None)
+@given(program=random_programs())
+def test_all_plugins_together_are_performance_only(program):
+    run_and_compare(program, list(PLUGIN_FACTORIES.values()))

@@ -1,0 +1,112 @@
+"""Operand packing and early-terminating multiplication."""
+
+from repro.isa.assembler import Assembler
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.optimizations.pipeline_compression import (
+    EarlyTerminatingMultiplierPlugin, OperandPackingPlugin,
+    operand_values,
+)
+from repro.pipeline.config import CPUConfig
+from repro.pipeline.cpu import CPU
+from repro.pipeline.dyninst import DynInst
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+def make_dyn(op, v1=0, v2=0, imm=0):
+    dyn = DynInst(0, Instruction(op=op, rd=1, rs1=2, rs2=3, imm=imm))
+    dyn.src_values = [v1, v2]
+    return dyn
+
+
+def test_operand_values_register_register():
+    dyn = make_dyn(Op.ADD, 5, 9)
+    assert operand_values(dyn) == (5, 9)
+
+
+def test_operand_values_immediate_forms():
+    dyn = make_dyn(Op.ADDI, 5, 0, imm=77)
+    assert operand_values(dyn) == (5, 77)
+    dyn = make_dyn(Op.LI, imm=12)
+    assert operand_values(dyn) == (12,)
+
+
+def test_pack_pair_requires_all_four_narrow():
+    plugin = OperandPackingPlugin()
+    narrow = make_dyn(Op.ADD, 10, 20)
+    wide = make_dyn(Op.ADD, 1 << 20, 3)
+    assert plugin.pack_pair(narrow, make_dyn(Op.ADD, 1, 2))
+    assert not plugin.pack_pair(narrow, wide)
+    assert not plugin.pack_pair(wide, narrow)
+
+
+def test_pack_pair_rejects_non_alu():
+    plugin = OperandPackingPlugin()
+    narrow = make_dyn(Op.ADD, 1, 2)
+    branch = make_dyn(Op.BEQ, 1, 2)
+    assert not plugin.pack_pair(narrow, branch)
+    assert not plugin.pack_pair(branch, narrow)
+
+
+def test_boundary_is_16_bits():
+    plugin = OperandPackingPlugin()
+    at_boundary = make_dyn(Op.ADD, 0xFFFF, 0xFFFF)
+    over = make_dyn(Op.ADD, 0x10000, 1)
+    assert plugin.pack_pair(at_boundary, at_boundary)
+    assert not plugin.pack_pair(at_boundary, over)
+
+
+def run_alu_burst(value, pairs=24):
+    asm = Assembler()
+    asm.li(1, value)
+    asm.li(2, 3)
+    for _ in range(pairs):
+        asm.add(3, 1, 1)
+        asm.add(4, 2, 2)
+        asm.xor(5, 2, 2)
+    asm.halt()
+    mem = FlatMemory(1 << 14)
+    plugin = OperandPackingPlugin()
+    config = CPUConfig(num_alu_ports=1, issue_width=4, dispatch_width=4,
+                       fetch_width=4, commit_width=4)
+    cpu = CPU(asm.assemble(), MemoryHierarchy(mem, l1=Cache()),
+              config=config, plugins=[plugin])
+    cpu.run()
+    return cpu, plugin
+
+
+def test_packing_improves_throughput_for_narrow_values():
+    narrow_cpu, narrow_plugin = run_alu_burst(7)
+    wide_cpu, wide_plugin = run_alu_burst(1 << 30)
+    assert narrow_plugin.stats["packs"] > wide_plugin.stats["packs"]
+    assert narrow_cpu.stats.cycles < wide_cpu.stats.cycles
+    assert narrow_cpu.stats.packed_alu_pairs > 0
+
+
+def test_packing_does_not_change_results():
+    narrow_cpu, _ = run_alu_burst(7, pairs=4)
+    assert narrow_cpu.arch_reg(3) == 14
+
+
+def test_early_terminating_multiplier_latency_ordering():
+    plugin = EarlyTerminatingMultiplierPlugin(digit_bytes=2)
+    small = make_dyn(Op.MUL, 3, 0xFF)
+    large = make_dyn(Op.MUL, 3, 0xFFFFFFFFFFFF)
+    lat_small = plugin.execute_latency(small, 8)
+    lat_large = plugin.execute_latency(large, 8)
+    assert lat_small < lat_large <= 8
+    assert plugin.stats["early_terminations"] >= 1
+
+
+def test_early_termination_only_for_mul():
+    plugin = EarlyTerminatingMultiplierPlugin()
+    dyn = make_dyn(Op.ADD, 1, 1)
+    assert plugin.execute_latency(dyn, 8) == 8
+
+
+def test_early_termination_never_exceeds_default():
+    plugin = EarlyTerminatingMultiplierPlugin(digit_bytes=1)
+    wide = make_dyn(Op.MUL, 3, (1 << 64) - 1)
+    assert plugin.execute_latency(wide, 4) == 4

@@ -1,0 +1,112 @@
+"""Register-file compression: credits, pool plumbing, variants."""
+
+import pytest
+
+from repro.isa.assembler import Assembler
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.optimizations.register_file_compression import (
+    RegisterFileCompressionPlugin,
+)
+from repro.pipeline.config import CPUConfig
+from repro.pipeline.cpu import CPU
+
+
+def run(asm, variant="zero-one", num_phys_regs=40, pool_size=8):
+    mem = FlatMemory(1 << 14)
+    plugin = RegisterFileCompressionPlugin(variant=variant,
+                                           pool_size=pool_size)
+    config = CPUConfig(num_phys_regs=num_phys_regs, rob_size=64,
+                       rs_size=48, dispatch_width=4, fetch_width=4,
+                       issue_width=4)
+    cpu = CPU(asm.assemble(), MemoryHierarchy(mem, l1=Cache()),
+              config=config, plugins=[plugin])
+    cpu.run()
+    return cpu, plugin
+
+
+def producer_burst(value, count=16):
+    asm = Assembler()
+    asm.li(1, value)
+    for index in range(count):
+        asm.add(2 + (index % 4), 1, 0)
+    asm.halt()
+    return asm
+
+
+def test_variant_validation():
+    with pytest.raises(ValueError):
+        RegisterFileCompressionPlugin(variant="bogus")
+
+
+def test_zero_one_variant_earns_credits_for_flags():
+    _cpu, plugin = run(producer_burst(1))
+    assert plugin.stats["compressible_results"] >= 16
+
+
+def test_zero_one_variant_ignores_wide_values():
+    _cpu, plugin = run(producer_burst(12345))
+    # only the initial LI of small constants may contribute
+    assert plugin.stats["compressible_results"] <= 2
+
+
+def test_any_variant_detects_duplicates():
+    _cpu, plugin = run(producer_burst(0xDEAD), variant="any")
+    # every copy after the first duplicates a recent value
+    assert plugin.stats["compressible_results"] >= 14
+
+
+def test_any_variant_distinct_values_no_credits():
+    asm = Assembler()
+    asm.li(1, 3)
+    value = 1
+    for index in range(12):
+        asm.li(2 + (index % 4), 1000 + 7 * index)
+    asm.halt()
+    _cpu, plugin = run(asm, variant="any")
+    assert plugin.stats["compressible_results"] == 0
+
+
+def test_pool_grant_and_reclaim_cycle():
+    """Pool registers handed out during pressure come back on free."""
+    asm = producer_burst(1, count=24)
+    cpu, plugin = run(asm, num_phys_regs=36, pool_size=8)
+    grants = plugin.stats["pool_grants"]
+    reclaims = plugin.stats["pool_reclaims"]
+    assert grants > 0
+    # Pool registers still holding live architectural values at HALT
+    # are not reclaimed; conservation must hold exactly.
+    assert reclaims <= grants
+    assert len(plugin._pool) == plugin.pool_size - (grants - reclaims)
+
+
+def test_credits_capped_at_pool_size():
+    _cpu, plugin = run(producer_burst(0, count=32), pool_size=4)
+    assert plugin.credits <= 4
+
+
+def test_compression_relieves_rename_stalls():
+    compressible, comp_plugin = run(producer_burst(1, count=32),
+                                    num_phys_regs=36)
+    wide, wide_plugin = run(producer_burst(99999, count=32),
+                            num_phys_regs=36)
+    assert comp_plugin.stats["pool_grants"] > 0
+    assert (compressible.stats.dispatch_stalls["preg"]
+            <= wide.stats.dispatch_stalls["preg"])
+
+
+def test_architectural_results_unchanged():
+    for value in (0, 1, 99999):
+        cpu, _ = run(producer_burst(value, count=8))
+        assert cpu.arch_reg(2) == value
+
+
+def test_plugin_pool_extends_prf():
+    asm = producer_burst(1, count=4)
+    mem = FlatMemory(1 << 14)
+    plugin = RegisterFileCompressionPlugin(pool_size=6)
+    cpu = CPU(asm.assemble(), MemoryHierarchy(mem, l1=Cache()),
+              plugins=[plugin])
+    assert len(cpu.prf_value) == cpu.config.num_phys_regs + 6
+    cpu.run()

@@ -1,0 +1,189 @@
+"""Out-of-order core vs the golden-model interpreter.
+
+The central correctness property of the whole reproduction: the
+pipeline (with or without optimizations) may change *when*, never
+*what*.  Random-program differential testing drives this hard.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import Assembler
+from repro.isa.interpreter import run_program
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.config import CPUConfig
+from repro.pipeline.cpu import CPU, SimulationError
+
+SCRATCH = 0x1000
+
+
+def run_both(program, init_mem=(), config=None, plugins=()):
+    """Run on interpreter and CPU; return (interp_state, cpu)."""
+    mem_a = FlatMemory(1 << 16)
+    mem_b = FlatMemory(1 << 16)
+    for addr, value in init_mem:
+        mem_a.write(addr, value)
+        mem_b.write(addr, value)
+    state = run_program(program, memory=mem_a)
+    hierarchy = MemoryHierarchy(mem_b, l1=Cache(num_sets=16, ways=4))
+    cpu = CPU(program, hierarchy, config=config, plugins=list(plugins))
+    cpu.run()
+    return state, cpu
+
+
+def assert_same_arch_state(state, cpu, regs=range(1, 16),
+                           mem_range=(SCRATCH, SCRATCH + 256)):
+    for reg in regs:
+        assert state.read_reg(reg) == cpu.arch_reg(reg), f"x{reg} differs"
+    lo, hi = mem_range
+    assert (state.memory.read_bytes(lo, hi - lo)
+            == cpu.memory.read_bytes(lo, hi - lo))
+
+
+def test_alu_program_matches():
+    asm = Assembler()
+    asm.li(1, 1000)
+    asm.li(2, 77)
+    asm.mul(3, 1, 2)
+    asm.div(4, 3, 2)
+    asm.rem(5, 3, 1)
+    asm.xor(6, 3, 4)
+    asm.halt()
+    state, cpu = run_both(asm.assemble())
+    assert_same_arch_state(state, cpu)
+    assert cpu.stats.retired == 7
+
+
+def test_loop_with_memory_matches():
+    asm = Assembler()
+    asm.li(1, SCRATCH)
+    asm.li(2, 0)
+    asm.li(3, 12)
+    asm.label("loop")
+    asm.slli(4, 2, 3)
+    asm.add(4, 4, 1)
+    asm.load(5, 4, 0)
+    asm.addi(5, 5, 3)
+    asm.store(5, 4, 128)
+    asm.addi(2, 2, 1)
+    asm.blt(2, 3, "loop")
+    asm.halt()
+    init = [(SCRATCH + 8 * i, i * i) for i in range(12)]
+    state, cpu = run_both(asm.assemble(), init_mem=init)
+    assert_same_arch_state(state, cpu)
+
+
+def test_infinite_loop_raises_simulation_error():
+    asm = Assembler()
+    asm.label("spin")
+    asm.jmp("spin")
+    mem = FlatMemory(1 << 12)
+    cpu = CPU(asm.assemble(), MemoryHierarchy(mem, l1=Cache()))
+    with pytest.raises(SimulationError):
+        cpu.run(max_cycles=500)
+
+
+def test_program_without_halt_terminates():
+    asm = Assembler()
+    asm.li(1, 5)
+    asm.addi(1, 1, 1)
+    state, cpu = run_both_no_halt(asm)
+    assert cpu.arch_reg(1) == 6
+
+
+def run_both_no_halt(asm):
+    program = asm.assemble()
+    mem = FlatMemory(1 << 12)
+    cpu = CPU(program, MemoryHierarchy(mem, l1=Cache()))
+    cpu.run(max_cycles=10_000)
+    return None, cpu
+
+
+def test_rdcycle_is_monotonic():
+    asm = Assembler()
+    asm.rdcycle(1)
+    asm.fence()
+    asm.li(9, 3)
+    asm.mul(2, 9, 9)
+    asm.fence()
+    asm.rdcycle(3)
+    asm.halt()
+    _state, cpu = run_both(asm.assemble())
+    assert cpu.arch_reg(3) > cpu.arch_reg(1)
+
+
+def test_ipc_and_stat_sanity():
+    asm = Assembler()
+    for index in range(20):
+        asm.addi(1, 1, 1)
+    asm.halt()
+    _state, cpu = run_both(asm.assemble())
+    assert cpu.stats.retired == 21
+    assert 0 < cpu.stats.ipc <= 4
+    assert cpu.stats.dispatched >= cpu.stats.retired
+
+
+# ---------------------------------------------------------------------------
+# random differential testing
+# ---------------------------------------------------------------------------
+
+OPS = ("add", "sub", "and_", "or_", "xor", "sll", "srl", "mul", "div",
+       "slt", "sltu")
+
+
+@st.composite
+def random_programs(draw):
+    """Random but always-terminating programs over a scratch region."""
+    asm = Assembler()
+    asm.li(1, SCRATCH)
+    for reg in range(2, 8):
+        asm.li(reg, draw(st.integers(0, 2 ** 32)))
+    body = draw(st.lists(st.tuples(
+        st.sampled_from(OPS + ("load", "store")),
+        st.integers(2, 7), st.integers(2, 7), st.integers(2, 7),
+        st.integers(0, 15)), min_size=1, max_size=40))
+    use_loop = draw(st.booleans())
+    trips = draw(st.integers(1, 4)) if use_loop else 1
+    if use_loop:
+        asm.li(8, 0)
+        asm.li(9, trips)
+        asm.label("loop")
+    for op, rd, rs1, rs2, slot in body:
+        if op == "load":
+            asm.load(rd, 1, 8 * slot)
+        elif op == "store":
+            asm.store(rs1, 1, 8 * slot)
+        else:
+            getattr(asm, op)(rd, rs1, rs2)
+    if use_loop:
+        asm.addi(8, 8, 1)
+        asm.blt(8, 9, "loop")
+    asm.halt()
+    return asm.assemble()
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_programs())
+def test_random_programs_match_interpreter(program):
+    init = [(SCRATCH + 8 * i, (i * 2654435761) % (1 << 62))
+            for i in range(16)]
+    state, cpu = run_both(program, init_mem=init)
+    assert_same_arch_state(state, cpu, regs=range(1, 10),
+                           mem_range=(SCRATCH, SCRATCH + 128))
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_programs())
+def test_random_programs_match_with_narrow_core(program):
+    """Same property under a tiny, stall-prone configuration."""
+    config = CPUConfig(fetch_width=1, dispatch_width=1, issue_width=1,
+                       commit_width=1, rob_size=8, rs_size=4,
+                       store_queue_size=2, load_queue_size=2,
+                       num_phys_regs=40)
+    init = [(SCRATCH + 8 * i, i + 1) for i in range(16)]
+    state, cpu = run_both(program, init_mem=init, config=config)
+    assert_same_arch_state(state, cpu, regs=range(1, 10),
+                           mem_range=(SCRATCH, SCRATCH + 128))

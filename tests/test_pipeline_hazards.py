@@ -1,0 +1,137 @@
+"""Memory-ordering hazards: forwarding, disambiguation, SQ drain."""
+
+from repro.isa.assembler import Assembler
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.config import CPUConfig
+from repro.pipeline.cpu import CPU
+
+
+def run(asm, init_mem=(), config=None):
+    mem = FlatMemory(1 << 16)
+    for addr, value in init_mem:
+        mem.write(addr, value)
+    cpu = CPU(asm.assemble(), MemoryHierarchy(mem, l1=Cache()),
+              config=config)
+    cpu.run()
+    return cpu
+
+
+def test_store_to_load_forwarding_value():
+    asm = Assembler()
+    asm.li(1, 0x1000)
+    asm.li(2, 1234)
+    asm.store(2, 1, 0)
+    asm.load(3, 1, 0)      # must see the in-flight store's data
+    asm.halt()
+    cpu = run(asm)
+    assert cpu.arch_reg(3) == 1234
+    assert cpu.stats.loads_forwarded >= 1
+
+
+def test_forwarding_masks_to_load_width():
+    asm = Assembler()
+    asm.li(1, 0x1000)
+    asm.li(2, 0xAABBCCDD)
+    asm.store(2, 1, 0, width=8)
+    asm.load(3, 1, 0, width=1)
+    asm.halt()
+    cpu = run(asm)
+    assert cpu.arch_reg(3) == 0xDD
+
+
+def test_partial_overlap_waits_for_store_to_perform():
+    """A load overlapping (but not matching) an older store must get
+    the post-store memory image, not a stale or forwarded value."""
+    asm = Assembler()
+    asm.li(1, 0x1000)
+    asm.li(2, 0xFF)
+    asm.store(2, 1, 2, width=1)   # writes byte 2
+    asm.load(3, 1, 0, width=8)    # overlaps bytes 0..7
+    asm.halt()
+    cpu = run(asm, init_mem=[(0x1000, 0)])
+    assert cpu.arch_reg(3) == 0xFF0000
+
+
+def test_unknown_store_address_blocks_younger_load():
+    """Conservative disambiguation: the load can't issue until the
+    older store's address (dependent on a slow divide) resolves."""
+    asm = Assembler()
+    asm.li(1, 0x2000)
+    asm.li(2, 2)
+    asm.div(3, 1, 2)              # 0x1000, slowly
+    asm.li(4, 99)
+    asm.store(4, 3, 0)            # address unknown for many cycles
+    asm.li(5, 0x1000)
+    asm.load(6, 5, 0)             # same address once resolved
+    asm.halt()
+    cpu = run(asm, init_mem=[(0x1000, 1)])
+    assert cpu.arch_reg(6) == 99
+
+
+def test_stores_drain_before_halt():
+    asm = Assembler()
+    asm.li(1, 0x1000)
+    for index in range(6):
+        asm.li(2, index + 1)
+        asm.store(2, 1, 8 * index)
+    asm.halt()
+    cpu = run(asm)
+    for index in range(6):
+        assert cpu.memory.read(0x1000 + 8 * index) == index + 1
+
+
+def test_fence_serializes():
+    """Work after a fence starts only after earlier stores performed."""
+    asm = Assembler()
+    asm.li(1, 0x3000)          # cold line: store pays a miss on dequeue
+    asm.li(2, 7)
+    asm.store(2, 1, 0)
+    asm.fence()
+    asm.rdcycle(3)
+    asm.halt()
+    cpu = run(asm)
+    # rdcycle executed after the fence, which waited for the store's
+    # line fill (memory latency 120).
+    assert cpu.arch_reg(3) >= 120
+
+
+def test_small_store_queue_backpressure():
+    config = CPUConfig(store_queue_size=2)
+    asm = Assembler()
+    asm.li(1, 0x1000)
+    for index in range(8):
+        asm.store(1, 1, 8 * index)
+    asm.halt()
+    cpu = run(asm, config=config)
+    assert cpu.stats.dispatch_stalls["sq"] > 0
+    assert cpu.stats.stores_performed == 8
+
+
+def test_loads_to_same_line_hit_after_first_miss():
+    asm = Assembler()
+    asm.li(1, 0x1000)
+    asm.load(2, 1, 0)
+    asm.fence()
+    asm.rdcycle(3)
+    asm.load(4, 1, 8)     # same 64B line: L1 hit
+    asm.fence()
+    asm.rdcycle(5)
+    asm.halt()
+    cpu = run(asm)
+    first_window = cpu.arch_reg(3)
+    second_window = cpu.arch_reg(5) - cpu.arch_reg(3)
+    assert first_window > 100          # paid the miss
+    assert second_window < 40          # hit
+
+
+def test_store_then_load_different_addresses_no_alias():
+    asm = Assembler()
+    asm.li(1, 0x1000)
+    asm.li(2, 55)
+    asm.store(2, 1, 0)
+    asm.load(3, 1, 64)
+    asm.halt()
+    cpu = run(asm, init_mem=[(0x1040, 77)])
+    assert cpu.arch_reg(3) == 77

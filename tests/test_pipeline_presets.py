@@ -1,0 +1,46 @@
+"""Named configurations behave as advertised."""
+
+from repro.isa.assembler import Assembler
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.cpu import CPU
+from repro.pipeline.presets import PRESETS, figure6_core, narrow_inorder_like
+
+
+def busy_program():
+    asm = Assembler()
+    asm.li(1, 0x1000)
+    asm.li(2, 7)
+    for index in range(12):
+        asm.mul(3, 2, 2)
+        asm.store(3, 1, 8 * index)
+        asm.load(4, 1, 8 * index)
+    asm.halt()
+    return asm.assemble()
+
+
+def run(config):
+    cpu = CPU(busy_program(),
+              MemoryHierarchy(FlatMemory(1 << 14), l1=Cache()),
+              config=config)
+    cpu.run()
+    return cpu
+
+
+def test_every_preset_runs_programs_correctly():
+    for name, factory in PRESETS.items():
+        cpu = run(factory())
+        assert cpu.arch_reg(3) == 49, name
+        assert cpu.memory.read(0x1000 + 8 * 11) == 49, name
+
+
+def test_figure6_core_matches_paper_parameters():
+    assert figure6_core().store_queue_size == 5
+
+
+def test_narrow_core_is_slower_than_baseline():
+    narrow = run(narrow_inorder_like())
+    baseline = run(PRESETS["baseline-server"]())
+    assert narrow.stats.cycles > baseline.stats.cycles
+    assert sum(narrow.stats.dispatch_stalls.values()) > 0

@@ -1,0 +1,145 @@
+"""The SMT model: lockstep correctness, shared-resource contention."""
+
+from repro.attacks.smt_attack import (
+    SMTContentionAttack, SMTPackingAttack,
+)
+from repro.isa.assembler import Assembler
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.optimizations.value_prediction import ValuePredictionPlugin
+from repro.pipeline.config import CPUConfig
+from repro.pipeline.cpu import CPU
+from repro.pipeline.smt import SMTCore
+
+
+def counting_program(base, count):
+    asm = Assembler()
+    asm.li(1, base)
+    asm.li(2, 0)
+    asm.li(3, count)
+    asm.label("loop")
+    asm.store(2, 1, 0)
+    asm.addi(2, 2, 1)
+    asm.blt(2, 3, "loop")
+    asm.halt()
+    return asm.assemble()
+
+
+def test_both_threads_compute_correctly():
+    memory = FlatMemory(1 << 16)
+    hierarchy = MemoryHierarchy(memory, l1=Cache())
+    core = SMTCore(counting_program(0x1000, 10),
+                   counting_program(0x2000, 14), hierarchy)
+    stats_a, stats_b = core.run()
+    assert memory.read(0x1000) == 9
+    assert memory.read(0x2000) == 13
+    assert stats_a.retired > 0 and stats_b.retired > 0
+
+
+def test_threads_may_halt_at_different_times():
+    memory = FlatMemory(1 << 16)
+    hierarchy = MemoryHierarchy(memory, l1=Cache())
+    core = SMTCore(counting_program(0x1000, 2),
+                   counting_program(0x2000, 40), hierarchy)
+    core.run()
+    assert core.thread_a.stats.cycles < core.thread_b.stats.cycles
+
+
+def test_port_sharing_slows_co_resident_threads():
+    """Two ALU-hungry threads on one shared port run slower than one
+    alone — the contention that makes SMT a channel at all."""
+    def alu_program():
+        asm = Assembler()
+        asm.li(1, 3)
+        for _ in range(40):
+            asm.add(2, 1, 1)
+        asm.halt()
+        return asm.assemble()
+
+    config = CPUConfig(num_alu_ports=1, issue_width=4,
+                       dispatch_width=4, fetch_width=4, commit_width=4)
+    memory = FlatMemory(1 << 16)
+    solo = CPU(alu_program(), MemoryHierarchy(memory, l1=Cache()),
+               config=config)
+    solo.run()
+    memory2 = FlatMemory(1 << 16)
+    core = SMTCore(alu_program(), alu_program(),
+                   MemoryHierarchy(memory2, l1=Cache()),
+                   config_a=config, config_b=config)
+    stats_a, stats_b = core.run()
+    assert stats_a.cycles > solo.stats.cycles
+    assert stats_b.cycles > solo.stats.cycles
+
+
+def test_round_robin_priority_is_fair():
+    def alu_program():
+        asm = Assembler()
+        asm.li(1, 3)
+        for _ in range(40):
+            asm.add(2, 1, 1)
+        asm.halt()
+        return asm.assemble()
+
+    config = CPUConfig(num_alu_ports=1, issue_width=2,
+                       dispatch_width=2, commit_width=2)
+    memory = FlatMemory(1 << 16)
+    core = SMTCore(alu_program(), alu_program(),
+                   MemoryHierarchy(memory, l1=Cache()),
+                   config_a=config, config_b=config)
+    stats_a, stats_b = core.run()
+    assert abs(stats_a.cycles - stats_b.cycles) <= 4
+
+
+def test_shared_predictor_state_cross_thread_priming():
+    """One value-prediction table attached to both threads: thread A's
+    training applies to thread B's loads at aliasing PCs (the IV-C4
+    cross-context preconditioning)."""
+    def load_loop(addr, trips):
+        asm = Assembler()
+        asm.li(1, addr)
+        asm.li(2, 0)
+        asm.li(3, trips)
+        asm.label("loop")
+        asm.load(4, 1, 0)
+        asm.addi(2, 2, 1)
+        asm.blt(2, 3, "loop")
+        asm.halt()
+        return asm.assemble()
+
+    memory = FlatMemory(1 << 16)
+    memory.write(0x1000, 42)
+    memory.write(0x2000, 42)        # same value at B's address
+    plugin = ValuePredictionPlugin(threshold=2)
+    hierarchy = MemoryHierarchy(memory, l1=Cache())
+    # Identical programs => identical load PCs: cross-thread aliasing.
+    core = SMTCore(load_loop(0x1000, 12), load_loop(0x2000, 12),
+                   hierarchy, plugins_a=[plugin], plugins_b=[plugin])
+    core.run()
+    assert plugin.stats["predictions"] > 0
+    # Predictions in thread B verified against thread A's training.
+    assert plugin.stats["incorrect"] == 0
+
+
+def test_smt_packing_attack():
+    attack = SMTPackingAttack()
+    assert attack.victim_operand_is_narrow(42)
+    assert not attack.victim_operand_is_narrow(1 << 30)
+
+
+def test_smt_packing_signal_is_attacker_side_only():
+    attack = SMTPackingAttack()
+    narrow = attack.measure(5)
+    wide = attack.measure(1 << 30)
+    assert narrow.attacker_cycles < wide.attacker_cycles
+
+
+def test_smt_contention_attack():
+    attack = SMTContentionAttack()
+    assert attack.victim_operand_is_zero(0)
+    assert not attack.victim_operand_is_zero(55)
+    zero = attack.measure(0)
+    nonzero = attack.measure(123)
+    # The victim's simplified divides free the shared unit: a large
+    # attacker-visible difference.
+    assert nonzero.attacker_cycles - zero.attacker_cycles > 100

@@ -1,0 +1,151 @@
+"""Branch prediction, squash recovery, and value-prediction squashes."""
+
+from repro.isa.assembler import Assembler
+from repro.isa.interpreter import run_program
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.branch_predictor import BranchPredictor
+from repro.pipeline.config import CPUConfig
+from repro.pipeline.cpu import CPU
+from repro.optimizations.value_prediction import ValuePredictionPlugin
+
+
+def run(asm, init_mem=(), config=None, plugins=()):
+    mem = FlatMemory(1 << 16)
+    for addr, value in init_mem:
+        mem.write(addr, value)
+    cpu = CPU(asm.assemble(), MemoryHierarchy(mem, l1=Cache()),
+              config=config, plugins=list(plugins))
+    cpu.run()
+    return cpu
+
+
+def loop_program(trips):
+    asm = Assembler()
+    asm.li(1, 0)
+    asm.li(2, trips)
+    asm.li(3, 0)
+    asm.label("loop")
+    asm.addi(3, 3, 2)
+    asm.addi(1, 1, 1)
+    asm.blt(1, 2, "loop")
+    asm.halt()
+    return asm
+
+
+def test_loop_result_correct_despite_speculation():
+    cpu = run(loop_program(20))
+    assert cpu.arch_reg(3) == 40
+    assert cpu.stats.branch_squashes > 0      # at least the exit
+
+
+def test_predictor_learns_loops():
+    """After warm-up the only mispredict per loop is the exit."""
+    short = run(loop_program(4)).stats
+    long = run(loop_program(40)).stats
+    # Mispredicts don't scale with trip count once trained.
+    assert long.branch_squashes <= short.branch_squashes + 3
+
+
+def test_predictor_disabled_squashes_every_taken_branch():
+    config = CPUConfig(use_branch_predictor=False)
+    cpu = run(loop_program(10), config=config)
+    assert cpu.stats.branch_squashes >= 9   # every taken back-edge
+    assert cpu.arch_reg(3) == 20
+
+
+def test_architectural_state_recovers_after_mispredict():
+    """Squashed wrong-path writes must not be visible."""
+    asm = Assembler()
+    asm.li(1, 5)
+    asm.li(2, 5)
+    asm.li(3, 111)
+    asm.bne(1, 2, "wrong")     # never taken, but predicted either way
+    asm.li(3, 222)
+    asm.jmp("end")
+    asm.label("wrong")
+    asm.li(3, 333)
+    asm.label("end")
+    asm.halt()
+    cpu = run(asm)
+    assert cpu.arch_reg(3) == 222
+
+
+def test_wrong_path_stores_never_perform():
+    asm = Assembler()
+    asm.li(1, 0x1000)
+    asm.li(2, 1)
+    asm.beq(2, 2, "skip")      # always taken; cold predictor says NT
+    asm.li(4, 66)
+    asm.store(4, 1, 0)         # wrong path!
+    asm.label("skip")
+    asm.halt()
+    cpu = run(asm, init_mem=[(0x1000, 0)])
+    assert cpu.memory.read(0x1000) == 0
+
+
+def test_matches_interpreter_on_branchy_program():
+    asm = Assembler()
+    asm.li(1, 0)
+    asm.li(2, 30)
+    asm.li(3, 0)
+    asm.label("loop")
+    asm.andi(4, 1, 1)
+    asm.beq(4, 0, "even")
+    asm.addi(3, 3, 5)
+    asm.jmp("next")
+    asm.label("even")
+    asm.addi(3, 3, 1)
+    asm.label("next")
+    asm.addi(1, 1, 1)
+    asm.blt(1, 2, "loop")
+    asm.halt()
+    program = asm.assemble()
+    state = run_program(program)
+    mem = FlatMemory(1 << 16)
+    cpu = CPU(program, MemoryHierarchy(mem, l1=Cache()))
+    cpu.run()
+    assert cpu.arch_reg(3) == state.read_reg(3)
+
+
+def test_vp_mispredict_squash_recovers_state():
+    """A wrong value prediction squashes dependents; final state and
+    memory must still be architecturally correct."""
+    asm = Assembler()
+    asm.li(1, 0x1000)
+    asm.li(5, 0)
+    asm.li(6, 4)
+    asm.label("loop")
+    asm.load(2, 1, 0)          # predictable after warm-up ...
+    asm.addi(3, 2, 1)
+    asm.store(3, 1, 8)
+    asm.addi(5, 5, 1)
+    asm.load(4, 1, 16)         # pointer to next value cell
+    asm.store(4, 1, 0)         # changes the predicted load's value!
+    asm.blt(5, 6, "loop")
+    asm.halt()
+    init = [(0x1000, 10), (0x1010, 999)]
+    plugin = ValuePredictionPlugin(threshold=1)
+    cpu = run(asm, init_mem=init, plugins=[plugin])
+    # Interpreter comparison.
+    mem = FlatMemory(1 << 16)
+    for addr, value in init:
+        mem.write(addr, value)
+    asm2_state = run_program(cpu.program, memory=mem)
+    assert cpu.arch_reg(3) == asm2_state.read_reg(3)
+    assert cpu.memory.read(0x1008) == mem.read(0x1008)
+
+
+def test_branch_predictor_unit():
+    predictor = BranchPredictor()
+    taken, target = predictor.predict(10)
+    assert not taken and target is None
+    for _ in range(3):
+        predictor.update(10, taken=True, target=50, mispredicted=True)
+    taken, target = predictor.predict(10)
+    assert taken and target == 50
+    predictor.update(10, taken=False, target=50, mispredicted=True)
+    predictor.update(10, taken=False, target=50, mispredicted=False)
+    taken, _ = predictor.predict(10)
+    assert not taken

@@ -1,0 +1,94 @@
+"""The pipeline tracer: passive observation, Figure-4-style timelines."""
+
+from repro.isa.assembler import Assembler
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.optimizations.silent_stores import SilentStorePlugin
+from repro.pipeline.cpu import CPU
+from repro.pipeline.trace import PipelineTracer
+
+
+def run_traced(asm, init_mem=(), extra_plugins=()):
+    memory = FlatMemory(1 << 16)
+    for addr, value in init_mem:
+        memory.write(addr, value)
+    tracer = PipelineTracer()
+    cpu = CPU(asm.assemble(), MemoryHierarchy(memory, l1=Cache()),
+              plugins=list(extra_plugins) + [tracer])
+    cpu.run()
+    return cpu, tracer
+
+
+def simple_store_program(value):
+    asm = Assembler()
+    asm.li(1, 0x1000)
+    asm.load(2, 1, 0)
+    asm.li(3, value)
+    asm.store(3, 1, 0)
+    asm.halt()
+    return asm
+
+
+def test_event_order_is_causal():
+    asm = Assembler()
+    asm.li(1, 7)
+    asm.mul(2, 1, 1)
+    asm.halt()
+    _cpu, tracer = run_traced(asm)
+    for record in tracer.records.values():
+        events = dict(record.event_pairs())
+        if "issue" in events and "dispatch" in events:
+            assert events["dispatch"] <= events["issue"]
+        if "complete" in events and "issue" in events:
+            assert events["issue"] <= events["complete"]
+        if "commit" in events and "complete" in events:
+            assert events["complete"] <= events["commit"]
+
+
+def test_store_timeline_records_figure4_events():
+    cpu, tracer = run_traced(simple_store_program(42),
+                             init_mem=[(0x1000, 42)],
+                             extra_plugins=[SilentStorePlugin()])
+    assert cpu.stats.silent_stores == 1
+    lines = tracer.store_timelines()
+    assert len(lines) == 1
+    assert "address_resolves" in lines[0]
+    assert "silent_dequeue" in lines[0]
+
+
+def test_nonsilent_store_timeline():
+    _cpu, tracer = run_traced(simple_store_program(7),
+                              init_mem=[(0x1000, 42)],
+                              extra_plugins=[SilentStorePlugin()])
+    line = tracer.store_timelines()[0]
+    assert "performed_nonsilent" in line
+    assert "dequeue" in line
+
+
+def test_tracer_changes_nothing():
+    asm = simple_store_program(42)
+    baseline = run_traced(asm, init_mem=[(0x1000, 42)])[0].stats.cycles
+    memory = FlatMemory(1 << 16)
+    memory.write(0x1000, 42)
+    cpu = CPU(asm.assemble(), MemoryHierarchy(memory, l1=Cache()))
+    cpu.run()
+    assert cpu.stats.cycles == baseline
+
+
+def test_record_cap():
+    asm = Assembler()
+    for _ in range(20):
+        asm.addi(1, 1, 1)
+    asm.halt()
+    memory = FlatMemory(1 << 14)
+    tracer = PipelineTracer(max_records=5)
+    cpu = CPU(asm.assemble(), MemoryHierarchy(memory, l1=Cache()),
+              plugins=[tracer])
+    cpu.run()
+    assert len(tracer.records) == 5
+
+
+def test_untraced_timeline_message():
+    tracer = PipelineTracer()
+    assert "not traced" in tracer.timeline(999)

@@ -1,0 +1,78 @@
+"""The sandbox bytecode builder and array declarations."""
+
+import pytest
+
+from repro.sandbox.ebpf import (
+    BpfArray, BpfOp, BpfProgram, BpfProgramError,
+)
+
+
+def test_array_validation():
+    with pytest.raises(ValueError):
+        BpfArray("A", elem_size=12, length=4)
+    array = BpfArray("A", elem_size=64, length=4)
+    assert array.size_bytes == 256
+    assert array.shift == 6
+
+
+def test_duplicate_array_rejected():
+    program = BpfProgram(arrays=(BpfArray("A", 8, 4),))
+    with pytest.raises(BpfProgramError):
+        program.declare(BpfArray("A", 8, 4))
+
+
+def test_unknown_array_lookup_rejected():
+    program = BpfProgram()
+    with pytest.raises(BpfProgramError, match="unknown array"):
+        program.lookup(1, "nope", 2)
+
+
+def test_register_range_checked():
+    program = BpfProgram()
+    with pytest.raises(BpfProgramError):
+        program.mov_imm(10, 0)
+    with pytest.raises(BpfProgramError):
+        program.mov_imm(-1, 0)
+
+
+def test_label_resolution():
+    program = BpfProgram()
+    program.mov_imm(1, 0)
+    program.jmp("end")
+    program.mov_imm(1, 99)
+    program.label("end")
+    program.exit()
+    program.finalize()
+    assert program.instructions[1].target == 3
+
+
+def test_unresolved_label_rejected():
+    program = BpfProgram()
+    program.jmp("nowhere")
+    with pytest.raises(BpfProgramError, match="unresolved"):
+        program.finalize()
+
+
+def test_duplicate_label_rejected():
+    program = BpfProgram()
+    program.label("a")
+    with pytest.raises(BpfProgramError):
+        program.label("a")
+
+
+def test_builder_chains_and_records():
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),))
+    program.mov_imm(1, 5).add_imm(1, 2).lookup(2, "Z", 1)
+    assert [inst.op for inst in program.instructions] == [
+        BpfOp.MOV_IMM, BpfOp.ADD_IMM, BpfOp.LOOKUP]
+
+
+def test_listing_is_readable():
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),))
+    program.label("start")
+    program.mov_imm(1, 0)
+    program.lookup(2, "Z", 1)
+    program.exit()
+    text = program.listing()
+    assert "start:" in text
+    assert "lookup" in text

@@ -1,0 +1,144 @@
+"""JIT lowering: Figure 7b semantics and the "no extra accesses" property."""
+
+from repro.isa.interpreter import run_program
+from repro.isa.opcodes import Op
+from repro.memory.flatmem import FlatMemory
+from repro.sandbox.ebpf import BpfArray, BpfOp, BpfProgram
+from repro.sandbox.jit import Jit, machine_reg
+
+
+def compile_and_run(program, layout, memory=None):
+    jit = Jit(program, layout)
+    machine = jit.compile()
+    memory = memory if memory is not None else FlatMemory(1 << 16)
+    state = run_program(machine, memory=memory)
+    return state, jit, machine
+
+
+def test_in_bounds_lookup_computes_element_address():
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),))
+    program.mov_imm(1, 2)
+    program.lookup(2, "Z", 1)
+    program.exit()
+    program.finalize()
+    state, _jit, _machine = compile_and_run(program, {"Z": 0x1000})
+    assert state.read_reg(machine_reg(2)) == 0x1000 + 2 * 8
+
+
+def test_out_of_bounds_lookup_yields_null():
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),))
+    program.mov_imm(1, 4)           # == length: out of bounds
+    program.lookup(2, "Z", 1)
+    program.exit()
+    program.finalize()
+    state, _jit, _machine = compile_and_run(program, {"Z": 0x1000})
+    assert state.read_reg(machine_reg(2)) == 0
+
+
+def test_unsigned_bounds_check_catches_negative_indices():
+    """Figure 7b uses an unsigned compare (jae): -1 is huge, not small."""
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),))
+    program.mov_imm(1, -1)
+    program.lookup(2, "Z", 1)
+    program.exit()
+    program.finalize()
+    state, _jit, _machine = compile_and_run(program, {"Z": 0x1000})
+    assert state.read_reg(machine_reg(2)) == 0
+
+
+def test_large_element_scale_uses_shift():
+    program = BpfProgram(arrays=(BpfArray("X", 64, 8),))
+    program.mov_imm(1, 3)
+    program.lookup(2, "X", 1)
+    program.exit()
+    program.finalize()
+    state, _jit, machine = compile_and_run(program, {"X": 0x4000})
+    assert state.read_reg(machine_reg(2)) == 0x4000 + 3 * 64
+    assert any(inst.op is Op.SLLI and inst.imm == 6 for inst in machine)
+
+
+def test_load_through_pointer():
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),))
+    program.mov_imm(1, 1)
+    program.lookup(2, "Z", 1)
+    program.jeq_imm(2, 0, "out")
+    program.load(3, 2, 0)
+    program.label("out")
+    program.exit()
+    program.finalize()
+    memory = FlatMemory(1 << 16)
+    memory.write(0x1008, 777)
+    state, _jit, _machine = compile_and_run(program, {"Z": 0x1000},
+                                            memory)
+    assert state.read_reg(machine_reg(3)) == 777
+
+
+def test_loop_executes_correct_trip_count():
+    program = BpfProgram()
+    program.mov_imm(1, 0)
+    program.mov_imm(2, 0)
+    program.label("loop")
+    program.add_imm(2, 3)
+    program.add_imm(1, 1)
+    program.jlt_imm(1, 5, "loop")
+    program.exit()
+    program.finalize()
+    state, _jit, _machine = compile_and_run(program, {})
+    assert state.read_reg(machine_reg(2)) == 15
+
+
+def test_no_extra_memory_accesses_between_indirections():
+    """Section V-B1: the JIT inserts no loads/stores beyond the BPF
+    program's own LOADs — the prefetcher sees the raw pattern."""
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 8),
+                                 BpfArray("Y", 8, 8)))
+    program.mov_imm(1, 0)
+    program.lookup(2, "Z", 1)
+    program.jeq_imm(2, 0, "out")
+    program.load(3, 2, 0)
+    program.lookup(4, "Y", 3)
+    program.jeq_imm(4, 0, "out")
+    program.load(5, 4, 0)
+    program.label("out")
+    program.exit()
+    program.finalize()
+    jit = Jit(program, {"Z": 0x1000, "Y": 0x2000})
+    machine = jit.compile()
+    machine_loads = [inst for inst in machine if inst.op is Op.LOAD]
+    bpf_loads = [inst for inst in program.instructions
+                 if inst.op is BpfOp.LOAD]
+    assert len(machine_loads) == len(bpf_loads)
+    assert not any(inst.op is Op.STORE for inst in machine)
+
+
+def test_pc_map_and_load_pcs_recorded():
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),))
+    program.mov_imm(1, 0)
+    program.lookup(2, "Z", 1)
+    program.jeq_imm(2, 0, "out")
+    program.load(3, 2, 0)
+    program.label("out")
+    program.exit()
+    program.finalize()
+    jit = Jit(program, {"Z": 0x1000})
+    machine = jit.compile()
+    assert set(jit.pc_map) == set(range(len(program.instructions)))
+    assert list(jit.load_pcs) == [3]
+    load_pc = jit.load_pcs[3]
+    assert machine[load_pc].op is Op.LOAD
+
+
+def test_alu_lowering_semantics():
+    program = BpfProgram()
+    program.mov_imm(1, 0xF0)
+    program.mov_imm(2, 0x0F)
+    program.xor_reg(1, 2)
+    program.lsh_imm(1, 4)
+    program.rsh_imm(1, 2)
+    program.and_imm(1, 0xFFF)
+    program.sub_imm(1, 1)
+    program.exit()
+    program.finalize()
+    state, _jit, _machine = compile_and_run(program, {})
+    expected = ((((0xF0 ^ 0x0F) << 4) >> 2) & 0xFFF) - 1
+    assert state.read_reg(machine_reg(1)) == expected

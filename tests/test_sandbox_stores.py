@@ -1,0 +1,91 @@
+"""In-sandbox map stores: verifier discipline, JIT semantics."""
+
+import pytest
+
+from repro.isa.interpreter import run_program
+from repro.memory.flatmem import FlatMemory
+from repro.sandbox.ebpf import BpfArray, BpfProgram
+from repro.sandbox.interpreter import BpfInterpreter, BpfRuntimeError
+from repro.sandbox.jit import Jit
+from repro.sandbox.verifier import Verifier, VerifierError
+
+
+def store_program(checked=True, off=0, width=8):
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),))
+    program.mov_imm(1, 2)
+    program.mov_imm(2, 777)
+    program.lookup(3, "Z", 1)
+    if checked:
+        program.jeq_imm(3, 0, "out")
+    program.store(3, 2, off=off, width=width)
+    program.label("out")
+    program.exit()
+    return program
+
+
+def test_verifier_accepts_checked_store():
+    Verifier().verify(store_program())
+
+
+def test_verifier_rejects_unchecked_store():
+    with pytest.raises(VerifierError, match="possibly-NULL"):
+        Verifier().verify(store_program(checked=False))
+
+
+def test_verifier_rejects_out_of_element_store():
+    with pytest.raises(VerifierError, match="outside element"):
+        Verifier().verify(store_program(off=4, width=8))
+
+
+def test_verifier_rejects_pointer_store():
+    """Storing a pointer to a map would leak kernel addresses."""
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),))
+    program.mov_imm(1, 0)
+    program.lookup(2, "Z", 1)
+    program.jeq_imm(2, 0, "out")
+    program.store(2, 2)          # *(ptr) = ptr
+    program.label("out")
+    program.exit()
+    with pytest.raises(VerifierError, match="pointer leak"):
+        Verifier().verify(program)
+
+
+def test_jit_store_semantics():
+    program = store_program()
+    program.finalize()
+    machine = Jit(program, {"Z": 0x1000}).compile()
+    memory = FlatMemory(1 << 14)
+    run_program(machine, memory=memory)
+    assert memory.read(0x1000 + 2 * 8) == 777
+    assert memory.read(0x1000) == 0          # neighbours untouched
+
+
+def test_reference_interpreter_store_semantics():
+    program = store_program()
+    memory = FlatMemory(1 << 14)
+    BpfInterpreter(program, {"Z": 0x1000}, memory).run()
+    assert memory.read(0x1000 + 2 * 8) == 777
+
+
+def test_reference_interpreter_rejects_null_store():
+    program = store_program(checked=False)
+    program.instructions[0].imm = 9          # out-of-bounds index
+    memory = FlatMemory(1 << 14)
+    with pytest.raises(BpfRuntimeError, match="NULL"):
+        BpfInterpreter(program, {"Z": 0x1000}, memory).run()
+
+
+def test_store_then_load_roundtrip_through_sandbox():
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),))
+    program.mov_imm(1, 1)
+    program.mov_imm(2, 4242)
+    program.lookup(3, "Z", 1)
+    program.jeq_imm(3, 0, "out")
+    program.store(3, 2)
+    program.load(4, 3, 0)
+    program.label("out")
+    program.exit()
+    Verifier().verify(program)
+    memory = FlatMemory(1 << 14)
+    regs = BpfInterpreter(program, {"Z": 0x1000}, memory).run()
+    assert regs[4] == 4242

@@ -1,0 +1,142 @@
+"""The sandbox verifier: NULL-check discipline, bounds, termination."""
+
+import pytest
+
+from repro.attacks.dmp_attack import build_attacker_program
+from repro.sandbox.ebpf import BpfArray, BpfProgram
+from repro.sandbox.verifier import Verifier, VerifierError
+
+
+def checked_lookup_program(width=8, off=0):
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),))
+    program.mov_imm(1, 0)
+    program.lookup(2, "Z", 1)
+    program.jeq_imm(2, 0, "out")
+    program.load(3, 2, off=off, width=width)
+    program.label("out")
+    program.exit()
+    return program
+
+
+def test_accepts_null_checked_dereference():
+    states = Verifier().verify(checked_lookup_program())
+    assert states > 0
+
+
+def test_rejects_unchecked_dereference():
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),))
+    program.mov_imm(1, 0)
+    program.lookup(2, "Z", 1)
+    program.load(3, 2, 0)
+    program.exit()
+    with pytest.raises(VerifierError, match="possibly-NULL"):
+        Verifier().verify(program)
+
+
+def test_jne_null_check_also_works():
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),))
+    program.mov_imm(1, 0)
+    program.lookup(2, "Z", 1)
+    program.jne_imm(2, 0, "deref")
+    program.exit()
+    program.label("deref")
+    program.load(3, 2, 0)
+    program.exit()
+    Verifier().verify(program)
+
+
+def test_rejects_access_outside_element():
+    with pytest.raises(VerifierError, match="outside element"):
+        Verifier().verify(checked_lookup_program(width=8, off=4))
+    # in-bounds narrower access fine:
+    Verifier().verify(checked_lookup_program(width=4, off=4))
+
+
+def test_rejects_pointer_arithmetic():
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),))
+    program.mov_imm(1, 0)
+    program.lookup(2, "Z", 1)
+    program.jeq_imm(2, 0, "out")
+    program.add_imm(2, 8)          # pointer arithmetic!
+    program.load(3, 2, 0)
+    program.label("out")
+    program.exit()
+    with pytest.raises(VerifierError, match="pointer"):
+        Verifier().verify(program)
+
+
+def test_rejects_dereference_of_scalar():
+    program = BpfProgram()
+    program.mov_imm(1, 0x1000)
+    program.load(2, 1, 0)
+    program.exit()
+    with pytest.raises(VerifierError, match="non-pointer"):
+        Verifier().verify(program)
+
+
+def test_rejects_fallthrough_off_the_end():
+    program = BpfProgram()
+    program.mov_imm(1, 0)
+    with pytest.raises(VerifierError, match="falls off"):
+        Verifier().verify(program)
+
+
+def test_rejects_empty_program():
+    with pytest.raises(VerifierError, match="empty"):
+        Verifier().verify(BpfProgram())
+
+
+def test_accepts_constant_bounded_loop():
+    program = BpfProgram()
+    program.mov_imm(1, 0)
+    program.label("loop")
+    program.add_imm(1, 1)
+    program.jlt_imm(1, 16, "loop")
+    program.exit()
+    Verifier().verify(program)
+
+
+def test_rejects_unbounded_state_explosion():
+    """A loop on an unknown scalar explores both paths forever until
+    the state budget trips — "program too complex", as real eBPF says."""
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),))
+    program.mov_imm(1, 0)
+    program.lookup(2, "Z", 1)
+    program.jeq_imm(2, 0, "out")
+    program.load(3, 2, 0)           # unknown scalar
+    program.label("loop")
+    program.add_imm(3, 1)           # unknown + 1 = unknown...
+    program.jlt_imm(3, 10, "loop")  # ...so this never converges
+    program.label("out")
+    program.exit()
+    with pytest.raises(VerifierError):
+        Verifier(state_budget=10_000).verify(program)
+
+
+def test_branch_on_pointer_without_null_compare_rejected():
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),))
+    program.mov_imm(1, 0)
+    program.lookup(2, "Z", 1)
+    program.jeq_imm(2, 5, "out")    # comparing a pointer against 5
+    program.label("out")
+    program.exit()
+    with pytest.raises(VerifierError, match="NULL comparison"):
+        Verifier().verify(program)
+
+
+def test_mov_reg_propagates_pointer_type():
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),))
+    program.mov_imm(1, 0)
+    program.lookup(2, "Z", 1)
+    program.mov_reg(4, 2)          # copy the maybe-null pointer
+    program.load(3, 4, 0)          # deref the copy: still unchecked!
+    program.exit()
+    with pytest.raises(VerifierError, match="possibly-NULL"):
+        Verifier().verify(program)
+
+
+def test_the_papers_attacker_program_verifies():
+    """Figure 7a with its NULL checks passes; without them it fails."""
+    Verifier().verify(build_attacker_program(16, null_checks=True))
+    with pytest.raises(VerifierError):
+        Verifier().verify(build_attacker_program(16, null_checks=False))
