@@ -7,55 +7,48 @@ Sweeps the two design parameters DESIGN.md calls out:
 * store-queue size — head-of-line blocking needs the SQ to fill; the
   gap persists across sizes because the end-of-program drain (fence)
   already serializes on the store, with backpressure adding on top.
+
+The whole grid is one engine batch: every (latency, SQ, match) point
+is a spec, and repeat invocations hit the persistent result cache.
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
-from repro.attacks.amplification import (
-    GadgetLayout, build_timing_probe, plant_flush_pointer,
-)
-from repro.memory.cache import Cache
-from repro.memory.flatmem import FlatMemory
-from repro.memory.hierarchy import MemoryHierarchy, MemoryLatencies
-from repro.optimizations.silent_stores import SilentStorePlugin
-from repro.pipeline.config import CPUConfig
-from repro.pipeline.cpu import CPU
+from repro.attacks.amplification import amplified_probe_spec
+from repro.engine import run_batch
+
+SECRET = 0x1234
+LATENCIES = (60, 120, 240, 480)
+SQ_SIZES = (2, 5, 8, 16)
 
 
-def measure(matches, mem_latency=120, sq_size=5):
-    memory = FlatMemory(1 << 20)
-    memory.write(0x8000, 0x1234, 2)
-    l1 = Cache(num_sets=64, ways=4)
-    hierarchy = MemoryHierarchy(
-        memory, l1=l1, latencies=MemoryLatencies(memory=mem_latency))
-    layout = GadgetLayout(target_addr=0x8000, delay_ptr_addr=0x4_0000,
-                          flush_area_base=0x5_0000)
-    plant_flush_pointer(memory, layout, l1)
-    program = build_timing_probe(layout, l1,
-                                 0x1234 if matches else 0x4321)
-    cpu = CPU(program, hierarchy,
-              config=CPUConfig(store_queue_size=sq_size),
-              plugins=[SilentStorePlugin()])
-    cpu.run()
-    return cpu.stats.cycles
-
-
-def run_sweeps():
-    latency_sweep = {}
-    for latency in (60, 120, 240, 480):
-        gap = measure(False, mem_latency=latency) - \
-            measure(True, mem_latency=latency)
-        latency_sweep[latency] = gap
-    sq_sweep = {}
-    for sq_size in (2, 5, 8, 16):
-        gap = measure(False, sq_size=sq_size) - \
-            measure(True, sq_size=sq_size)
-        sq_sweep[sq_size] = gap
+def run_sweeps(cache=None):
+    specs = []
+    for latency in LATENCIES:
+        for matches in (False, True):
+            specs.append(amplified_probe_spec(
+                SECRET, SECRET if matches else 0x4321,
+                mem_latency=latency,
+                label=f"lat/{latency}/{int(matches)}"))
+    for sq_size in SQ_SIZES:
+        for matches in (False, True):
+            specs.append(amplified_probe_spec(
+                SECRET, SECRET if matches else 0x4321,
+                store_queue_size=sq_size,
+                label=f"sq/{sq_size}/{int(matches)}"))
+    cycles = {result.label: result.cycles
+              for result in run_batch(specs, cache=cache)}
+    latency_sweep = {
+        latency: cycles[f"lat/{latency}/0"] - cycles[f"lat/{latency}/1"]
+        for latency in LATENCIES}
+    sq_sweep = {
+        sq_size: cycles[f"sq/{sq_size}/0"] - cycles[f"sq/{sq_size}/1"]
+        for sq_size in SQ_SIZES}
     return latency_sweep, sq_sweep
 
 
-def test_ablation_gadget_sweep(once):
-    latency_sweep, sq_sweep = once(run_sweeps)
+def test_ablation_gadget_sweep(once, results_cache):
+    latency_sweep, sq_sweep = once(run_sweeps, results_cache)
     lines = ["memory latency sweep (SQ=5):",
              f"  {'latency':>8s} {'gap':>6s}"]
     for latency, gap in latency_sweep.items():
@@ -65,10 +58,12 @@ def test_ablation_gadget_sweep(once):
     for sq_size, gap in sq_sweep.items():
         lines.append(f"  {sq_size:8d} {gap:6d}")
     emit("ablation_gadget_sweep", "\n".join(lines))
+    emit_json("ablation_gadget_sweep",
+              {"latency_sweep": {str(k): v
+                                 for k, v in latency_sweep.items()},
+               "sq_sweep": {str(k): v for k, v in sq_sweep.items()}})
 
     # The gap tracks the miss latency ~1:1.
-    gaps = list(latency_sweep.values())
-    latencies = list(latency_sweep.keys())
     for (l1_, g1), (l2_, g2) in zip(latency_sweep.items(),
                                     list(latency_sweep.items())[1:]):
         assert g2 > g1                       # monotone

@@ -6,19 +6,15 @@ The paper's security-conscious-microarchitecture example: the Sv scheme
 leaking only control-flow-class information.  Measured here on two
 workloads (a loop-invariant divide, where both variants hit, and the
 value-equality pattern only Sv can catch) plus the attack outcome
-against each variant.
+against each variant.  The performance grid runs as one engine batch.
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.attacks.reuse_attack import ComputationReuseAttack
+from repro.engine import HierarchySpec, PluginSpec, SimSpec, run_batch
 from repro.isa.assembler import Assembler
-from repro.memory.cache import Cache
-from repro.memory.flatmem import FlatMemory
-from repro.memory.hierarchy import MemoryHierarchy
-from repro.optimizations.computation_reuse import ComputationReusePlugin
 from repro.pipeline.config import CPUConfig
-from repro.pipeline.cpu import CPU
 
 
 def invariant_div_loop(trips=24):
@@ -52,28 +48,29 @@ def value_equal_rewritten_loop(trips=24):
     return asm.assemble()
 
 
-def run_workload(program, variant):
-    plugin = None
-    plugins = []
-    if variant != "baseline":
-        plugin = ComputationReusePlugin(variant=variant)
-        plugins = [plugin]
-    cpu = CPU(program, MemoryHierarchy(FlatMemory(1 << 14), l1=Cache()),
-              config=CPUConfig(latency_div=20), plugins=plugins)
-    cpu.run()
-    hit_rate = plugin.hit_rate if plugin else 0.0
-    return cpu.stats.cycles, hit_rate
+def workload_spec(program, variant, label):
+    plugins = () if variant == "baseline" else (
+        PluginSpec.of("computation-reuse", variant=variant),)
+    return SimSpec(program=program, config=CPUConfig(latency_div=20),
+                   hierarchy=HierarchySpec(memory_size=1 << 14),
+                   plugins=plugins, label=label)
 
 
-def run_ablation():
+def run_ablation(cache=None):
     workloads = {
         "invariant-div": invariant_div_loop(),
         "value-equal-rewritten": value_equal_rewritten_loop(),
     }
+    specs = [workload_spec(program, variant, f"{name}/{variant}")
+             for name, program in workloads.items()
+             for variant in ("baseline", "sv", "sn")]
     perf = {}
-    for name, program in workloads.items():
-        for variant in ("baseline", "sv", "sn"):
-            perf[(name, variant)] = run_workload(program, variant)
+    for result in run_batch(specs, cache=cache):
+        name, variant = result.label.split("/")
+        reuse = result.observations["plugins"].get("computation-reuse")
+        hit_rate = (reuse["hits"] / reuse["lookups"]
+                    if reuse and reuse["lookups"] else 0.0)
+        perf[(name, variant)] = (result.cycles, hit_rate)
     security = {}
     for variant in ("sv", "sn"):
         attack = ComputationReuseAttack(secret_value=123,
@@ -83,8 +80,8 @@ def run_ablation():
     return perf, security
 
 
-def test_ablation_reuse_variants(once):
-    perf, security = once(run_ablation)
+def test_ablation_reuse_variants(once, results_cache):
+    perf, security = once(run_ablation, results_cache)
     lines = [f"{'workload':24s} {'variant':9s} {'cycles':>7s} "
              f"{'hit rate':>9s}"]
     for (name, variant), (cycles, hit_rate) in perf.items():
@@ -96,6 +93,12 @@ def test_ablation_reuse_variants(once):
         f"attack recovers secret operand under Sn: {security['sn']}",
     ]
     emit("ablation_reuse_variants", "\n".join(lines))
+    emit_json("ablation_reuse_variants",
+              {"perf": {f"{name}/{variant}": {"cycles": cycles,
+                                              "hit_rate": hit_rate}
+                        for (name, variant), (cycles, hit_rate)
+                        in perf.items()},
+               "security": security})
 
     # Performance shape: both variants speed up the invariant loop;
     # only Sv speeds up the rewritten-register loop.

@@ -6,34 +6,31 @@ input-independent on the Baseline core, each broken by a studied
 optimization: the trivial-op simplifier leaks how far a ct-memcmp's
 inputs agree, the zero-skip multiplier leaks a ct-select's condition,
 and Sv computation reuse leaks whether a ct-lookup's index repeated.
+
+Stateless probes are declarative engine specs run as one batch; the
+Sv-reuse pair needs a plug-in whose reuse table survives across two
+calls, so it goes through the engine's persistent-parts session.
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.crypto.ct_primitives import (
     A_BASE, TABLE_BASE, build_ct_compare, build_ct_lookup,
     build_ct_select,
 )
+from repro.engine import HierarchySpec, PluginSpec, Session, SimSpec, \
+    run_batch
 from repro.isa.opcodes import Op
-from repro.memory.cache import Cache
-from repro.memory.flatmem import FlatMemory
-from repro.memory.hierarchy import MemoryHierarchy
 from repro.optimizations.computation_reuse import ComputationReusePlugin
-from repro.optimizations.computation_simplification import (
-    ComputationSimplificationPlugin,
-)
 from repro.pipeline.config import CPUConfig
-from repro.pipeline.cpu import CPU
+
+MEMORY = HierarchySpec(memory_size=1 << 16)
 
 
-def run(program, memory_writes, plugins=(), config=None):
-    memory = FlatMemory(1 << 16)
-    for addr, value, width in memory_writes:
-        memory.write(addr, value, width)
-    cpu = CPU(program, MemoryHierarchy(memory, l1=Cache()),
-              config=config, plugins=list(plugins))
-    cpu.run()
-    return cpu.stats.cycles
+def probe(program, memory_writes, plugins=(), config=None, label=""):
+    return SimSpec(program=program, config=config, hierarchy=MEMORY,
+                   plugins=tuple(plugins),
+                   mem_writes=tuple(memory_writes), label=label)
 
 
 def compare_writes(a, b):
@@ -44,34 +41,46 @@ def compare_writes(a, b):
 
 def run_experiment():
     report = {}
+    specs = []
     # 1. ct_compare vs trivial bitwise simplification.
     program = build_ct_compare(8)
     config = CPUConfig(num_alu_ports=1, latency_alu=3)
     secret = b"SECRETAA"
-    baseline = {pl: run(program, compare_writes(
-        secret, secret[:pl] + b"\xee" * (8 - pl)), config=config)
-        for pl in (0, 4, 8)}
-    attacked = {pl: run(program, compare_writes(
-        secret, secret[:pl] + b"\xee" * (8 - pl)),
-        plugins=[ComputationSimplificationPlugin(
-            rules=("trivial_bitwise",))], config=config)
-        for pl in (0, 4, 8)}
-    report["ct_compare / trivial ops"] = (baseline, attacked)
+    simplify = PluginSpec.of("computation-simplification",
+                             rules=("trivial_bitwise",))
+    for pl in (0, 4, 8):
+        writes = compare_writes(secret,
+                                secret[:pl] + b"\xee" * (8 - pl))
+        specs.append(probe(program, writes, config=config,
+                           label=f"compare/base/{pl}"))
+        specs.append(probe(program, writes, plugins=(simplify,),
+                           config=config, label=f"compare/attack/{pl}"))
 
     # 2. ct_select vs zero-skip multiply.
     program = build_ct_select()
     config = CPUConfig(latency_mul=8, num_mul_units=1)
+    zero_skip = PluginSpec.of("computation-simplification",
+                              rules=("zero_skip_mul",))
     select_writes = lambda c: [(A_BASE, c, 8), (A_BASE + 8, 0, 8),
                                (A_BASE + 16, 222, 8)]
-    baseline = {c: run(program, select_writes(c), config=config)
-                for c in (0, 1)}
-    attacked = {c: run(program, select_writes(c),
-                       plugins=[ComputationSimplificationPlugin(
-                           rules=("zero_skip_mul",))], config=config)
-                for c in (0, 1)}
-    report["ct_select / zero-skip mul"] = (baseline, attacked)
+    for c in (0, 1):
+        specs.append(probe(program, select_writes(c), config=config,
+                           label=f"select/base/{c}"))
+        specs.append(probe(program, select_writes(c),
+                           plugins=(zero_skip,), config=config,
+                           label=f"select/attack/{c}"))
+    cycles = {result.label: result.cycles
+              for result in run_batch(specs)}
+    report["ct_compare / trivial ops"] = (
+        {pl: cycles[f"compare/base/{pl}"] for pl in (0, 4, 8)},
+        {pl: cycles[f"compare/attack/{pl}"] for pl in (0, 4, 8)})
+    report["ct_select / zero-skip mul"] = (
+        {c: cycles[f"select/base/{c}"] for c in (0, 1)},
+        {c: cycles[f"select/attack/{c}"] for c in (0, 1)})
 
     # 3. ct_lookup vs Sv computation reuse (replay across two calls).
+    # The reuse table must persist across the pair of calls, so the
+    # plug-in object is shared between two persistent-parts sessions.
     program = build_ct_lookup(8)
     config = CPUConfig(latency_mul=10, num_mul_units=1)
     entries = [(i * i + 3) for i in range(8)]
@@ -82,12 +91,17 @@ def run_experiment():
                    for i, v in enumerate(entries)]
         return writes
 
+    def lookup_call(k, plugins):
+        spec = probe(program, lookup_writes(k))
+        session = Session.from_parts(
+            program, MEMORY.build(memory=spec.build_memory()),
+            config=config, plugins=plugins)
+        return session.run().cycles
+
     def second_call(first_k, second_k, plugins):
         if plugins:
-            run(program, lookup_writes(first_k), plugins=plugins,
-                config=config)
-        return run(program, lookup_writes(second_k), plugins=plugins,
-                   config=config)
+            lookup_call(first_k, plugins)
+        return lookup_call(second_k, plugins)
 
     baseline = {"repeat": second_call(5, 5, []),
                 "change": second_call(4, 5, [])}
@@ -110,6 +124,12 @@ def test_constant_time_break(once):
         lines.append(f"  attacked cycles: {attacked}")
         lines.append("")
     emit("constant_time_break", "\n".join(lines))
+    emit_json("constant_time_break",
+              {name: {"baseline": {str(k): v
+                                   for k, v in baseline.items()},
+                      "attacked": {str(k): v
+                                   for k, v in attacked.items()}}
+               for name, (baseline, attacked) in report.items()})
 
     compare_base, compare_attacked = report["ct_compare / trivial ops"]
     assert len(set(compare_base.values())) == 1          # CT holds

@@ -8,25 +8,21 @@ outcome bookkeeping plus run time:
 * Case C — no free load port at address resolution → no candidacy.
 * Case D — SS-Load would return after the store performed (cold line,
   no-allocate port steal) → no candidacy.
+
+Each case is a declarative engine spec; the tracer rides along as a
+registered plug-in so the session exposes its Figure-4 timelines.
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
+from repro.engine import HierarchySpec, PluginSpec, Session, SimSpec
 from repro.isa.assembler import Assembler
-from repro.memory.cache import Cache
-from repro.memory.flatmem import FlatMemory
-from repro.memory.hierarchy import MemoryHierarchy
-from repro.optimizations.silent_stores import SilentStorePlugin
 from repro.pipeline.config import CPUConfig
-from repro.pipeline.cpu import CPU
-from repro.pipeline.trace import PipelineTracer
 
 
-def run_case(case):
+def case_spec(case):
     asm = Assembler()
     config = CPUConfig()
-    memory = FlatMemory(1 << 16)
-    memory.write(0x1000, 42)
     asm.li(1, 0x1000)
     if case in ("A", "B"):
         asm.load(2, 1, 0)            # warm line: SS-Load will hit
@@ -49,24 +45,26 @@ def run_case(case):
         asm.li(3, 42)
         asm.store(3, 1, 0)
     asm.halt()
-    plugin = SilentStorePlugin()
-    tracer = PipelineTracer()
-    cpu = CPU(asm.assemble(), MemoryHierarchy(memory, l1=Cache()),
-              config=config, plugins=[plugin, tracer])
-    cpu.run()
-    return cpu, plugin, tracer
+    return SimSpec(
+        program=asm.assemble(), config=config,
+        hierarchy=HierarchySpec(memory_size=1 << 16),
+        plugins=(PluginSpec.of("silent-stores"),
+                 PluginSpec.of("pipeline-tracer")),
+        mem_writes=((0x1000, 42, 8),), label=case)
 
 
 def run_all_cases():
     results = {}
     for case in "ABCD":
-        cpu, plugin, tracer = run_case(case)
+        session = Session.from_spec(case_spec(case))
+        run = session.run()
         results[case] = {
-            "cycles": cpu.stats.cycles,
-            "silent": cpu.stats.silent_stores,
-            "performed": cpu.stats.stores_performed,
-            "stats": dict(plugin.stats),
-            "timelines": tracer.store_timelines(),
+            "cycles": run.cycles,
+            "silent": run.stats["silent_stores"],
+            "performed": run.stats["stores_performed"],
+            "stats": run.observations["plugins"]["silent-stores"],
+            "timelines": session.plugin(
+                "pipeline-tracer").store_timelines(),
         }
     return results
 
@@ -88,6 +86,11 @@ def test_fig4_store_cases(benchmark):
         for timeline in row["timelines"]:
             lines.append(f"  case {case}: {timeline}")
     emit("fig4_store_cases", "\n".join(lines))
+    emit_json("fig4_store_cases",
+              {case: {key: row[key]
+                      for key in ("cycles", "silent", "performed",
+                                  "stats", "timelines")}
+               for case, row in results.items()})
 
     assert results["A"]["silent"] == 1 and results["A"]["performed"] == 0
     assert results["B"]["silent"] == 0 and results["B"]["performed"] == 1
@@ -95,6 +98,3 @@ def test_fig4_store_cases(benchmark):
         results["C"]["silent"] == 1
     assert results["D"]["stats"]["case_d_late"] == 1
     assert results["D"]["performed"] == 1
-    for case in "ABCD":
-        # Architectural state identical across all four cases.
-        pass

@@ -5,65 +5,31 @@ preconditions, reporting how the silent/non-silent timing difference is
 manufactured: without the gadget, silence is worth almost nothing; with
 it, a non-silent store pays a full memory round trip plus store-queue
 head-of-line blocking.
+
+All four probes are declarative engine specs run as one batch.
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
-from repro.attacks.amplification import (
-    GadgetLayout, build_timing_probe, plant_flush_pointer,
-)
-from repro.isa.assembler import Assembler
-from repro.memory.cache import Cache
-from repro.memory.flatmem import FlatMemory
-from repro.memory.hierarchy import MemoryHierarchy
-from repro.optimizations.silent_stores import SilentStorePlugin
-from repro.pipeline.config import CPUConfig
-from repro.pipeline.cpu import CPU
+from repro.attacks.amplification import amplified_probe_spec
+from repro.engine import run_batch
 
-
-def measure_with_gadget(matches):
-    memory = FlatMemory(1 << 20)
-    memory.write(0x8000, 0x1234, 2)
-    l1 = Cache(num_sets=64, ways=4)
-    hierarchy = MemoryHierarchy(memory, l1=l1)
-    layout = GadgetLayout(target_addr=0x8000, delay_ptr_addr=0x4_0000,
-                          flush_area_base=0x5_0000)
-    plant_flush_pointer(memory, layout, l1)
-    program = build_timing_probe(layout, l1,
-                                 0x1234 if matches else 0x4321)
-    cpu = CPU(program, hierarchy, config=CPUConfig(store_queue_size=5),
-              plugins=[SilentStorePlugin()])
-    cpu.run()
-    return cpu.stats.cycles
-
-
-def measure_without_gadget(matches):
-    memory = FlatMemory(1 << 20)
-    memory.write(0x8000, 0x1234, 2)
-    l1 = Cache(num_sets=64, ways=4)
-    hierarchy = MemoryHierarchy(memory, l1=l1)
-    asm = Assembler()
-    asm.li(1, 0x8000)
-    asm.load(2, 1, 0)
-    asm.fence()
-    asm.li(6, 0x1234 if matches else 0x4321)
-    asm.store(6, 1, 0, width=2)
-    asm.fence()
-    asm.halt()
-    cpu = CPU(asm.assemble(), hierarchy,
-              config=CPUConfig(store_queue_size=5),
-              plugins=[SilentStorePlugin()])
-    cpu.run()
-    return cpu.stats.cycles
+SECRET = 0x1234
 
 
 def run_experiment():
-    return {
-        "gadget_silent": measure_with_gadget(True),
-        "gadget_nonsilent": measure_with_gadget(False),
-        "plain_silent": measure_without_gadget(True),
-        "plain_nonsilent": measure_without_gadget(False),
-    }
+    specs = [
+        amplified_probe_spec(SECRET, SECRET, gadget=True,
+                             label="gadget_silent"),
+        amplified_probe_spec(SECRET, 0x4321, gadget=True,
+                             label="gadget_nonsilent"),
+        amplified_probe_spec(SECRET, SECRET, gadget=False,
+                             label="plain_silent"),
+        amplified_probe_spec(SECRET, 0x4321, gadget=False,
+                             label="plain_nonsilent"),
+    ]
+    return {result.label: result.cycles
+            for result in run_batch(specs)}
 
 
 def test_fig5_amplification(benchmark):
@@ -81,6 +47,9 @@ def test_fig5_amplification(benchmark):
         f"amplified timing difference:   {gadget_gap} cycles",
     ]
     emit("fig5_amplification", "\n".join(lines))
+    emit_json("fig5_amplification",
+              {"cycles": rows, "amplified_gap": gadget_gap,
+               "plain_gap": plain_gap})
 
     # Paper: out-of-order execution hides a lone store's silence; the
     # gadget manufactures a > 100-cycle difference.

@@ -12,7 +12,7 @@ simulate the spill stage), but the separation — the figure's takeaway —
 is reproduced, including under injected receiver noise.
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.analysis.histogram import TimingHistogram, apply_receiver_noise
 from repro.attacks.bsaes_attack import (
@@ -23,15 +23,15 @@ VICTIM_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
 ATTACKER_KEY = bytes(range(16, 32))
 
 
-def run_histogram(runs_per_type=20):
+def run_histogram(runs_per_type=20, cache=None):
     server = BSAESVictimServer(VICTIM_KEY, b"public-header-00")
     attack = BSAESSilentStoreAttack(server, ATTACKER_KEY)
     return attack.histogram_runs(runs_per_type=runs_per_type,
-                                 target_slot=4)
+                                 target_slot=4, cache=cache)
 
 
-def test_fig6_bsaes_histogram(once):
-    samples = once(run_histogram)
+def test_fig6_bsaes_histogram(once, results_cache):
+    samples = once(run_histogram, cache=results_cache)
     histogram = TimingHistogram()
     histogram.extend("correct", samples["correct"])
     histogram.extend("incorrect", samples["incorrect"])
@@ -55,6 +55,12 @@ def test_fig6_bsaes_histogram(once):
         f"{noisy.overlap_count('correct', 'incorrect')}",
     ]
     emit("fig6_bsaes_histogram", "\n".join(lines))
+    emit_json("fig6_bsaes_histogram",
+              {"samples": samples, "separation": separation,
+               "misclassified": histogram.overlap_count(
+                   "correct", "incorrect"),
+               "misclassified_noisy": noisy.overlap_count(
+                   "correct", "incorrect")})
 
     assert separation > 100
     assert histogram.overlap_count("correct", "incorrect") == 0

@@ -9,7 +9,7 @@ amplification-gadget channel.
 
 import statistics
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.attacks.bsaes_attack import (
     BSAESSilentStoreAttack, BSAESVictimServer, NUM_SLOTS,
@@ -47,6 +47,11 @@ def test_key_recovery(once):
         f"{confirmed}/{NUM_SLOTS} ({timed_queries} timed runs)",
     ]
     emit("key_recovery", "\n".join(lines))
+    emit_json("key_recovery",
+              {"recovered": key == VICTIM_KEY, "key": key.hex(),
+               "per_slot_tries": list(tries), "total_tries": total,
+               "confirmed_slots": confirmed,
+               "timed_queries": timed_queries})
 
     assert key == VICTIM_KEY
     assert confirmed == NUM_SLOTS

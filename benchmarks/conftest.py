@@ -5,8 +5,16 @@ the same rows/series the paper reports (run with ``-s`` to see them,
 or read ``benchmarks/results/*.txt`` afterwards) and asserts the
 *shape* claims — who wins, by roughly what factor, where crossovers
 fall — per EXPERIMENTS.md.
+
+Benches additionally persist structured results: ``emit_json`` writes
+``benchmarks/results/<name>.json`` next to the rendered ``.txt``, so
+downstream tooling can diff runs without re-parsing tables.
+``results_cache`` hands benches a shared on-disk
+:class:`repro.engine.ResultCache` under ``benchmarks/results/cache/``
+(delete the directory to force full re-simulation).
 """
 
+import json
 import os
 
 import pytest
@@ -23,6 +31,16 @@ def emit(name, text):
         handle.write(text + "\n")
 
 
+def emit_json(name, payload):
+    """Persist a bench's structured result as JSON."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 @pytest.fixture
 def once(benchmark):
     """Run an expensive experiment exactly once under the benchmark."""
@@ -30,3 +48,10 @@ def once(benchmark):
         return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                                   rounds=1, iterations=1)
     return runner
+
+
+@pytest.fixture
+def results_cache():
+    """A persistent engine result cache shared by the benches."""
+    from repro.engine import ResultCache
+    return ResultCache(path=os.path.join(RESULTS_DIR, "cache"))

@@ -5,10 +5,11 @@ Run:  python examples/quickstart.py
 """
 
 from repro.core import render_table
+from repro.engine import HierarchySpec, PluginSpec, SimSpec, run_batch
 from repro.isa import Assembler
-from repro.memory import Cache, FlatMemory, MemoryHierarchy
-from repro.optimizations import ComputationSimplificationPlugin
-from repro.pipeline import CPU, CPUConfig
+from repro.pipeline import CPUConfig
+
+SECRETS = (0, 1, 0xDEAD)
 
 
 def build_program(secret):
@@ -24,13 +25,12 @@ def build_program(secret):
     return asm.assemble()
 
 
-def run(secret, plugins=()):
-    memory = FlatMemory(1 << 16)
-    hierarchy = MemoryHierarchy(memory, l1=Cache())
-    cpu = CPU(build_program(secret), hierarchy,
-              config=CPUConfig(latency_mul=6), plugins=list(plugins))
-    cpu.run()
-    return cpu.stats
+def kernel_spec(secret, plugins=()):
+    """One declarative simulation: program + config + plug-ins."""
+    return SimSpec(program=build_program(secret),
+                   config=CPUConfig(latency_mul=6),
+                   hierarchy=HierarchySpec(memory_size=1 << 16),
+                   plugins=tuple(plugins), label=f"{secret:#x}")
 
 
 def main():
@@ -39,11 +39,14 @@ def main():
     print(render_table())
 
     print("\n=== Zero-skip multiplication vs constant-time code ===\n")
+    simplify = PluginSpec.of("computation-simplification")
     for label, plugins in (("baseline", ()),
                            ("with computation simplification",
-                            (ComputationSimplificationPlugin(),))):
-        cycles = {secret: run(secret, plugins).cycles
-                  for secret in (0, 1, 0xDEAD)}
+                            (simplify,))):
+        results = run_batch([kernel_spec(secret, plugins)
+                             for secret in SECRETS])
+        cycles = {secret: result.cycles
+                  for secret, result in zip(SECRETS, results)}
         print(f"{label}:")
         for secret, count in cycles.items():
             print(f"  secret={secret:#8x}  ->  {count} cycles")

@@ -4,8 +4,15 @@ Microarchitectural attacks are active: the attacker runs many
 experiments, varying its preconditioning, and aggregates observations.
 These helpers standardize that loop for the repo's timing attacks and
 collect the statistics the benches report.
+
+:func:`run_replay` is an engine client: a ``measure`` that returns a
+:class:`repro.engine.SimSpec` (instead of a cycle count) is executed
+through :func:`repro.engine.run_batch` — fanning trials across worker
+processes when ``workers > 1`` and reusing cached results — while the
+plain ``measure(precondition) -> cycles`` form keeps working unchanged.
 """
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 
@@ -29,19 +36,40 @@ class ReplaySeries:
         """Preconditionings whose timing stands apart from the mode.
 
         For equality-transmitter optimizations the matching
-        precondition is the lone fast outlier.
+        precondition is the lone fast outlier.  When several cycle
+        counts tie for the mode, the *smallest* such count is taken as
+        the mode — a deterministic choice (``Counter.most_common``
+        alone would break ties by insertion order).
         """
-        from collections import Counter
         counts = Counter(cycles for _p, cycles in self.observations)
-        mode_cycles, _n = counts.most_common(1)[0]
+        top = max(counts.values())
+        mode_cycles = min(cycles for cycles, n in counts.items()
+                          if n == top)
         return [(p, c) for p, c in self.observations if c != mode_cycles]
 
 
-def run_replay(measure, preconditions, name="replay"):
-    """Run ``measure(precondition) -> cycles`` over preconditions."""
+def run_replay(measure, preconditions, name="replay", workers=1,
+               cache=None):
+    """Run ``measure(precondition)`` over preconditions.
+
+    ``measure`` may return either a cycle count (measured inline) or a
+    :class:`repro.engine.SimSpec`, in which case the engine runs the
+    batch — in parallel across ``workers`` processes, through the
+    optional result ``cache`` — and the series records each spec's
+    total cycles.
+    """
+    from repro.engine import SimSpec, run_batch
+
     series = ReplaySeries(name=name)
-    for precondition in preconditions:
-        series.add(precondition, measure(precondition))
+    preconditions = list(preconditions)
+    produced = [measure(precondition) for precondition in preconditions]
+    if produced and isinstance(produced[0], SimSpec):
+        results = run_batch(produced, workers=workers, cache=cache)
+        for precondition, result in zip(preconditions, results):
+            series.add(precondition, result.cycles)
+    else:
+        for precondition, cycles in zip(preconditions, produced):
+            series.add(precondition, cycles)
     return series
 
 

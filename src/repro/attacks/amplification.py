@@ -22,7 +22,11 @@ Figure 5.
 
 from dataclasses import dataclass
 
+from repro.engine import (
+    CacheSpec, HierarchySpec, LatencySpec, PluginSpec, SimSpec,
+)
 from repro.isa.assembler import Assembler
+from repro.pipeline.config import CPUConfig
 
 
 @dataclass
@@ -51,11 +55,18 @@ class GadgetLayout:
         return [first + way * way_stride for way in range(cache.ways)]
 
 
+def flush_pointer_write(layout, cache):
+    """The flush-pointer precondition as an ``(addr, value, width)``
+    memory write (Figure 5's planted ``A`` cell), spec-friendly."""
+    addresses = layout.flush_addresses(cache)
+    return (layout.delay_ptr_addr, addresses[0], 8)
+
+
 def plant_flush_pointer(memory, layout, cache):
     """Write the flush pointer at ``A`` (precondition of Figure 5)."""
-    addresses = layout.flush_addresses(cache)
-    memory.write(layout.delay_ptr_addr, addresses[0])
-    return addresses
+    addr, value, width = flush_pointer_write(layout, cache)
+    memory.write(addr, value, width)
+    return layout.flush_addresses(cache)
 
 
 def emit_gadget(asm, layout, cache, ptr_reg=4, value_reg=5):
@@ -111,3 +122,52 @@ def build_timing_probe(layout, cache, store_value, warm_addresses=(),
     asm.fence()
     asm.halt()
     return asm.assemble()
+
+
+DEFAULT_LAYOUT = GadgetLayout(target_addr=0x8000,
+                              delay_ptr_addr=0x4_0000,
+                              flush_area_base=0x5_0000)
+
+
+def amplified_probe_spec(secret_value, store_value, *, width=2,
+                         store_queue_size=5, layout=None,
+                         cache_spec=None, mem_latency=120,
+                         memory_size=1 << 20, warm_addresses=(),
+                         backpressure_stores=4, gadget=True,
+                         seed=0, label=""):
+    """One amplified timing probe as an engine :class:`SimSpec`.
+
+    The secret (``secret_value``) sits at the layout's target address;
+    the probe stores ``store_value`` over it through the gadget (or a
+    bare store+fence sequence with ``gadget=False``) and the total
+    cycle count is the measurement.  Everything — program, memory
+    image, geometry — is captured declaratively, so probes fan out
+    across workers and hit the result cache.
+    """
+    layout = layout if layout is not None else DEFAULT_LAYOUT
+    cache_spec = cache_spec if cache_spec is not None else CacheSpec()
+    l1 = cache_spec.build()
+    mem_writes = [(layout.target_addr, secret_value, width)]
+    if gadget:
+        program = build_timing_probe(
+            layout, l1, store_value, warm_addresses=warm_addresses,
+            backpressure_stores=backpressure_stores)
+        mem_writes.append(flush_pointer_write(layout, l1))
+    else:
+        asm = Assembler()
+        asm.li(1, layout.target_addr)
+        asm.load(2, 1, 0)
+        asm.fence()
+        asm.li(6, store_value)
+        asm.store(6, 1, 0, width=width)
+        asm.fence()
+        asm.halt()
+        program = asm.assemble()
+    return SimSpec(
+        program=program,
+        config=CPUConfig(store_queue_size=store_queue_size),
+        hierarchy=HierarchySpec(
+            memory_size=memory_size, l1=cache_spec,
+            latencies=LatencySpec(memory=mem_latency)),
+        plugins=(PluginSpec.of("silent-stores"),),
+        mem_writes=tuple(mem_writes), seed=seed, label=label)

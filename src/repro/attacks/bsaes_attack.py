@@ -26,17 +26,17 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.attacks.amplification import GadgetLayout, emit_gadget, \
-    plant_flush_pointer
+    flush_pointer_write
 from repro.crypto.aes import encrypt_block
 from repro.crypto.batch import batch_last_round_planes, random_plaintexts
 from repro.crypto.bsaes import last_round_planes, recover_key_from_planes
+from repro.engine import (
+    CacheSpec, HierarchySpec, LatencySpec, PluginSpec, Session, SimSpec,
+    derive_seed, run_batch,
+)
 from repro.isa.assembler import Assembler
-from repro.memory.cache import Cache
-from repro.memory.flatmem import FlatMemory
-from repro.memory.hierarchy import MemoryHierarchy, MemoryLatencies
-from repro.optimizations.silent_stores import SilentStorePlugin
+from repro.memory.hierarchy import MemoryLatencies
 from repro.pipeline.config import CPUConfig
-from repro.pipeline.cpu import CPU
 
 NUM_SLOTS = 8
 
@@ -120,9 +120,9 @@ class BSAESSilentStoreAttack:
         asm.halt()
         return asm.assemble(), layout
 
-    def measure(self, attacker_planes, target_slot,
-                leftover_planes=None):
-        """One timed "encryption call": returns total cycles.
+    def measure_spec(self, attacker_planes, target_slot,
+                     leftover_planes=None, label="", trial_seed=0):
+        """One timed "encryption call" as a declarative engine spec.
 
         ``leftover_planes`` defaults to the victim's stack leftovers
         (the real attack); calibration passes attacker-known values.
@@ -130,24 +130,37 @@ class BSAESSilentStoreAttack:
         cfg = self.config
         if leftover_planes is None:
             leftover_planes = self.server.leftover_planes
-        memory = FlatMemory(cfg.memory_size)
-        for slot in range(NUM_SLOTS):
-            memory.write(cfg.slot_addr(slot), leftover_planes[slot],
-                         width=2)
-        l1 = Cache(num_sets=cfg.num_l1_sets, ways=cfg.l1_ways,
-                   line_size=cfg.line_size)
-        hierarchy = MemoryHierarchy(memory, l1=l1,
-                                    latencies=cfg.latencies)
+        l1_spec = CacheSpec(num_sets=cfg.num_l1_sets, ways=cfg.l1_ways,
+                            line_size=cfg.line_size)
+        l1 = l1_spec.build()
         program, layout = self._build_program(
             [int(p) for p in attacker_planes], target_slot, l1)
-        plant_flush_pointer(memory, layout, l1)
-        cpu_config = CPUConfig(store_queue_size=cfg.store_queue_size)
-        cpu = CPU(program, hierarchy, config=cpu_config,
-                  plugins=[SilentStorePlugin()])
-        cpu.run()
+        mem_writes = [(cfg.slot_addr(slot), int(leftover_planes[slot]), 2)
+                      for slot in range(NUM_SLOTS)]
+        mem_writes.append(flush_pointer_write(layout, l1))
+        return SimSpec(
+            program=program,
+            config=CPUConfig(store_queue_size=cfg.store_queue_size),
+            hierarchy=HierarchySpec(
+                memory_size=cfg.memory_size, l1=l1_spec,
+                latencies=LatencySpec.from_latencies(cfg.latencies)),
+            plugins=(PluginSpec.of("silent-stores"),),
+            mem_writes=tuple(mem_writes), seed=trial_seed, label=label)
+
+    def measure(self, attacker_planes, target_slot,
+                leftover_planes=None):
+        """One timed "encryption call": returns total cycles."""
+        # Successive timed calls see fresh (but reproducible) DRAM
+        # jitter, as successive encryptions on a real machine would.
+        trial_seed = (derive_seed(self.seed, self.timed_queries)
+                      if self.config.latencies.jitter else 0)
+        session = Session.from_spec(self.measure_spec(
+            attacker_planes, target_slot, leftover_planes,
+            trial_seed=trial_seed))
+        result = session.run()
         self.timed_queries += 1
-        self.last_cpu = cpu
-        return cpu.stats.cycles
+        self.last_cpu = session.cpu
+        return result.cycles
 
     # ------------------------------------------------------------------
     # oracle
@@ -257,25 +270,45 @@ class BSAESSilentStoreAttack:
     # Figure 6: the runtime histogram
     # ------------------------------------------------------------------
 
-    def histogram_runs(self, runs_per_type=30, target_slot=4, seed=7):
-        """Timed runs for correct vs incorrect guesses (Figure 6).
+    def histogram_specs(self, runs_per_type=30, target_slot=4, seed=7):
+        """The Figure 6 trial batch as engine specs (label: guess type).
 
-        Returns ``{"correct": [cycles...], "incorrect": [cycles...]}``.
         Non-target slots vary across runs, as they would across real
         encryption calls.
         """
         rng = np.random.default_rng(seed)
         victim = self.server.leftover_planes
-        results = {"correct": [], "incorrect": []}
-        for _run in range(runs_per_type):
+        jitter = bool(self.config.latencies.jitter)
+        specs = []
+        for run in range(runs_per_type):
             noise = rng.integers(0, 1 << 16, size=NUM_SLOTS)
             correct = list(noise)
             correct[target_slot] = victim[target_slot]
-            results["correct"].append(
-                self.measure(correct, target_slot))
+            specs.append(self.measure_spec(
+                correct, target_slot, label=f"correct/{run}",
+                trial_seed=derive_seed(seed, 2 * run) if jitter else 0))
             incorrect = list(noise)
             incorrect[target_slot] = victim[target_slot] ^ int(
                 rng.integers(1, 1 << 16))
-            results["incorrect"].append(
-                self.measure(incorrect, target_slot))
+            specs.append(self.measure_spec(
+                incorrect, target_slot, label=f"incorrect/{run}",
+                trial_seed=(derive_seed(seed, 2 * run + 1)
+                            if jitter else 0)))
+        return specs
+
+    def histogram_runs(self, runs_per_type=30, target_slot=4, seed=7,
+                       workers=1, cache=None):
+        """Timed runs for correct vs incorrect guesses (Figure 6).
+
+        Returns ``{"correct": [cycles...], "incorrect": [cycles...]}``.
+        The trials are independent replays, so ``workers > 1`` fans
+        them across processes with identical aggregated results.
+        """
+        specs = self.histogram_specs(runs_per_type=runs_per_type,
+                                     target_slot=target_slot, seed=seed)
+        outcomes = run_batch(specs, workers=workers, cache=cache)
+        self.timed_queries += len(outcomes)
+        results = {"correct": [], "incorrect": []}
+        for spec, outcome in zip(specs, outcomes):
+            results[spec.label.split("/")[0]].append(outcome.cycles)
         return results

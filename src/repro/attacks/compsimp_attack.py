@@ -14,18 +14,9 @@ Two probes:
 
 from dataclasses import dataclass
 
+from repro.engine import HierarchySpec, PluginSpec, SimSpec, run_spec
 from repro.isa.assembler import Assembler
-from repro.memory.cache import Cache
-from repro.memory.flatmem import FlatMemory
-from repro.memory.hierarchy import MemoryHierarchy
-from repro.optimizations.computation_simplification import (
-    ComputationSimplificationPlugin,
-)
-from repro.optimizations.pipeline_compression import (
-    EarlyTerminatingMultiplierPlugin,
-)
 from repro.pipeline.config import CPUConfig
-from repro.pipeline.cpu import CPU
 
 SECRET_ADDR = 0x1000
 CONTROLLED_ADDR = 0x2000
@@ -62,17 +53,19 @@ class ZeroSkipAttack:
         self.program = build_multiply_chain(chain_length)
         self.config = CPUConfig(latency_mul=mul_latency)
 
+    def measure_spec(self, secret, controlled):
+        return SimSpec(
+            program=self.program, config=self.config,
+            hierarchy=HierarchySpec(memory_size=1 << 16),
+            plugins=(PluginSpec.of("computation-simplification",
+                                   rules=("zero_skip_mul",)),),
+            mem_writes=((SECRET_ADDR, secret, 8),
+                        (CONTROLLED_ADDR, controlled, 8)))
+
     def measure(self, secret, controlled):
-        memory = FlatMemory(1 << 16)
-        memory.write(SECRET_ADDR, secret)
-        memory.write(CONTROLLED_ADDR, controlled)
-        hierarchy = MemoryHierarchy(memory, l1=Cache())
-        plugin = ComputationSimplificationPlugin(rules=("zero_skip_mul",))
-        cpu = CPU(self.program, hierarchy, config=self.config,
-                  plugins=[plugin])
-        cpu.run()
+        result = run_spec(self.measure_spec(secret, controlled))
         return ZeroSkipProbeResult(secret=secret, controlled=controlled,
-                                   cycles=cpu.stats.cycles)
+                                   cycles=result.cycles)
 
     def secret_is_zero(self, secret, controlled=1):
         """With a non-zero controlled operand, the skip keys on the
@@ -99,16 +92,15 @@ class SignificanceProbe:
         self.digit_bytes = digit_bytes
 
     def measure(self, secret, controlled):
-        memory = FlatMemory(1 << 16)
-        memory.write(SECRET_ADDR, controlled)   # multiplier order swapped:
-        memory.write(CONTROLLED_ADDR, secret)   # rs2 drives termination
-        hierarchy = MemoryHierarchy(memory, l1=Cache())
-        plugin = EarlyTerminatingMultiplierPlugin(
-            digit_bytes=self.digit_bytes)
-        cpu = CPU(self.program, hierarchy, config=self.config,
-                  plugins=[plugin])
-        cpu.run()
-        return cpu.stats.cycles
+        spec = SimSpec(
+            program=self.program, config=self.config,
+            hierarchy=HierarchySpec(memory_size=1 << 16),
+            plugins=(PluginSpec.of("early-terminating-multiplier",
+                                   digit_bytes=self.digit_bytes),),
+            # Multiplier order swapped: rs2 drives termination.
+            mem_writes=((SECRET_ADDR, controlled, 8),
+                        (CONTROLLED_ADDR, secret, 8)))
+        return run_spec(spec).cycles
 
     def significance_curve(self, byte_widths=(1, 2, 3, 4, 5, 6)):
         """Cycles as a function of the secret's significant bytes."""

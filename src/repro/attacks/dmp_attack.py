@@ -24,10 +24,7 @@ universal read gadget.
 from dataclasses import dataclass, field
 
 from repro.attacks.covert_channel import PrimeProbeReceiver
-from repro.memory.cache import Cache
-from repro.memory.flatmem import FlatMemory
-from repro.memory.hierarchy import MemoryHierarchy
-from repro.optimizations.dmp import IndirectMemoryPrefetcher
+from repro.engine import CacheSpec, HierarchySpec, PluginSpec
 from repro.sandbox.ebpf import BpfArray, BpfProgram
 from repro.sandbox.runtime import SandboxRuntime
 
@@ -122,16 +119,18 @@ class DMPSandboxAttack:
     def __init__(self, config=None):
         self.config = config if config is not None else URGAttackConfig()
         cfg = self.config
-        memory = FlatMemory(cfg.memory_size)
-        l1 = Cache(num_sets=cfg.num_l1_sets, ways=cfg.l1_ways,
-                   line_size=cfg.line_size, policy=cfg.l1_policy)
-        l2 = None
-        if cfg.use_l2:
-            l2 = Cache(num_sets=2 * cfg.num_l1_sets, ways=8,
-                       line_size=cfg.line_size)
-        self.hierarchy = MemoryHierarchy(
-            memory, l1=l1, l2=l2,
+        # The hierarchy persists across attack phases (the Prime+Probe
+        # receiver's set state *is* the channel), so it is built once
+        # from a declarative engine spec and then owned by the attack.
+        self.hierarchy_spec = HierarchySpec(
+            memory_size=cfg.memory_size,
+            l1=CacheSpec(num_sets=cfg.num_l1_sets, ways=cfg.l1_ways,
+                         line_size=cfg.line_size, policy=cfg.l1_policy),
+            l2=(CacheSpec(num_sets=2 * cfg.num_l1_sets, ways=8,
+                          line_size=cfg.line_size)
+                if cfg.use_l2 else None),
             prefetch_buffer_size=cfg.prefetch_buffer_size)
+        self.hierarchy = self.hierarchy_spec.build()
         self.runtime = SandboxRuntime(self.hierarchy,
                                       sandbox_base=cfg.sandbox_base)
         self.program = build_attacker_program(cfg.n_iterations)
@@ -195,8 +194,9 @@ class DMPSandboxAttack:
         cfg = self.config
         self.install_training_data(target_addr - self.base_y,
                                    training_bytes)
-        imp = IndirectMemoryPrefetcher(levels=cfg.imp_levels,
-                                       delta=cfg.imp_delta)
+        imp = PluginSpec.of("indirect-memory-prefetcher",
+                            levels=cfg.imp_levels,
+                            delta=cfg.imp_delta).build()
         self.hierarchy.flush_all()
         self.receiver.prime()
         cpu = self.runtime.run(plugins=[imp], max_cycles=max_cycles)

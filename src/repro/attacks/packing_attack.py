@@ -12,13 +12,9 @@ condition the SMT scenario creates.
 
 from dataclasses import dataclass
 
+from repro.engine import HierarchySpec, PluginSpec, SimSpec, run_spec
 from repro.isa.assembler import Assembler
-from repro.memory.cache import Cache
-from repro.memory.flatmem import FlatMemory
-from repro.memory.hierarchy import MemoryHierarchy
-from repro.optimizations.pipeline_compression import OperandPackingPlugin
 from repro.pipeline.config import CPUConfig
-from repro.pipeline.cpu import CPU
 
 VICTIM_ADDR = 0x1000
 
@@ -64,17 +60,20 @@ class OperandPackingAttack:
                                 dispatch_width=4, fetch_width=4,
                                 commit_width=4)
 
+    def measure_spec(self, victim_value):
+        return SimSpec(
+            program=self.program, config=self.config,
+            hierarchy=HierarchySpec(memory_size=1 << 16),
+            plugins=(PluginSpec.of("operand-packing"),),
+            mem_writes=((VICTIM_ADDR, victim_value, 8),),
+            label=f"victim={victim_value:#x}")
+
     def measure(self, victim_value):
-        memory = FlatMemory(1 << 16)
-        memory.write(VICTIM_ADDR, victim_value)
-        hierarchy = MemoryHierarchy(memory, l1=Cache())
-        plugin = OperandPackingPlugin()
-        cpu = CPU(self.program, hierarchy, config=self.config,
-                  plugins=[plugin])
-        cpu.run()
+        result = run_spec(self.measure_spec(victim_value))
+        packs = result.observations["plugins"]["operand-packing"]["packs"]
         return PackingProbeResult(victim_value=victim_value,
-                                  cycles=cpu.stats.cycles,
-                                  packs=plugin.stats["packs"])
+                                  cycles=result.cycles,
+                                  packs=packs)
 
     def classify(self, victim_value, narrow_reference=5,
                  wide_reference=1 << 20):

@@ -17,14 +17,12 @@ width; the search strategies below work against any equality oracle.
 from dataclasses import dataclass, field
 
 from repro.attacks.amplification import GadgetLayout, emit_gadget, \
-    plant_flush_pointer
+    flush_pointer_write
+from repro.engine import (
+    CacheSpec, HierarchySpec, PluginSpec, SimSpec, run_spec,
+)
 from repro.isa.assembler import Assembler
-from repro.memory.cache import Cache
-from repro.memory.flatmem import FlatMemory
-from repro.memory.hierarchy import MemoryHierarchy, MemoryLatencies
-from repro.optimizations.silent_stores import SilentStorePlugin
 from repro.pipeline.config import CPUConfig
-from repro.pipeline.cpu import CPU
 
 
 @dataclass
@@ -47,13 +45,14 @@ class SilentStoreWidthOracle:
 
     def __init__(self, secret, secret_width=4, mode="fast",
                  slot_addr=0x8000, delay_ptr_addr=0x4_0000,
-                 flush_area_base=0x5_0000):
+                 flush_area_base=0x5_0000, result_cache=None):
         self.secret = secret & ((1 << (8 * secret_width)) - 1)
         self.secret_width = secret_width
         self.mode = mode
         self.slot_addr = slot_addr
         self.delay_ptr_addr = delay_ptr_addr
         self.flush_area_base = flush_area_base
+        self.result_cache = result_cache
         self.stats = OracleStats()
         self._threshold = None
 
@@ -65,17 +64,13 @@ class SilentStoreWidthOracle:
 
     # -- timed path --------------------------------------------------------
 
-    def _measure(self, guess, offset, width, secret_override=None):
-        memory = FlatMemory(1 << 20)
+    def _measure_spec(self, guess, offset, width, secret_override=None):
         secret = self.secret if secret_override is None else secret_override
-        memory.write(self.slot_addr, secret, self.secret_width)
-        l1 = Cache(num_sets=64, ways=4)
-        hierarchy = MemoryHierarchy(memory, l1=l1,
-                                    latencies=MemoryLatencies())
+        l1_spec = CacheSpec(num_sets=64, ways=4)
+        l1 = l1_spec.build()
         layout = GadgetLayout(target_addr=self.slot_addr + offset,
                               delay_ptr_addr=self.delay_ptr_addr,
                               flush_area_base=self.flush_area_base)
-        plant_flush_pointer(memory, layout, l1)
         asm = Assembler()
         asm.li(1, self.slot_addr + offset)
         asm.load(2, 1, 0)
@@ -85,12 +80,22 @@ class SilentStoreWidthOracle:
         asm.store(6, 1, 0, width=width)
         asm.fence()
         asm.halt()
-        cpu = CPU(asm.assemble(), hierarchy,
-                  config=CPUConfig(store_queue_size=5),
-                  plugins=[SilentStorePlugin()])
-        cpu.run()
-        self.stats.timed_queries += 1
-        return cpu.stats.cycles
+        return SimSpec(
+            program=asm.assemble(),
+            config=CPUConfig(store_queue_size=5),
+            hierarchy=HierarchySpec(memory_size=1 << 20, l1=l1_spec),
+            plugins=(PluginSpec.of("silent-stores"),),
+            mem_writes=((self.slot_addr, secret, self.secret_width),
+                        flush_pointer_write(layout, l1)),
+            label=f"query/{offset}/{width}/{guess:#x}")
+
+    def _measure(self, guess, offset, width, secret_override=None):
+        spec = self._measure_spec(guess, offset, width,
+                                  secret_override=secret_override)
+        result = run_spec(spec, cache=self.result_cache)
+        if not result.cached:
+            self.stats.timed_queries += 1
+        return result.cycles
 
     def _calibrate(self):
         silent = self._measure(0x11, 0, 1, secret_override=0x11)

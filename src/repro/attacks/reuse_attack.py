@@ -14,12 +14,8 @@ the operand *values*, so the attack learns nothing.
 
 from dataclasses import dataclass
 
+from repro.engine import HierarchySpec, PluginSpec, SimSpec, run_spec
 from repro.isa.assembler import Assembler
-from repro.memory.cache import Cache
-from repro.memory.flatmem import FlatMemory
-from repro.memory.hierarchy import MemoryHierarchy
-from repro.optimizations.computation_reuse import ComputationReusePlugin
-from repro.pipeline.cpu import CPU
 
 GUESS_ADDR = 0x1000
 SECRET_ADDR = 0x2000
@@ -67,16 +63,20 @@ class ComputationReuseAttack:
         self.variant = variant
         self.program = build_shared_division_program(repeat)
 
+    def measure_spec(self, guess):
+        return SimSpec(
+            program=self.program,
+            hierarchy=HierarchySpec(memory_size=1 << 16),
+            plugins=(PluginSpec.of("computation-reuse",
+                                   variant=self.variant),),
+            mem_writes=((GUESS_ADDR, guess, 8),
+                        (SECRET_ADDR, self.secret_value, 8)),
+            label=f"guess={guess:#x}")
+
     def measure(self, guess):
-        memory = FlatMemory(1 << 16)
-        memory.write(GUESS_ADDR, guess)
-        memory.write(SECRET_ADDR, self.secret_value)
-        hierarchy = MemoryHierarchy(memory, l1=Cache())
-        plugin = ComputationReusePlugin(variant=self.variant)
-        cpu = CPU(self.program, hierarchy, plugins=[plugin])
-        cpu.run()
-        return ReuseAttackResult(guess=guess, cycles=cpu.stats.cycles,
-                                 reuse_hits=cpu.stats.reuse_hits)
+        result = run_spec(self.measure_spec(guess))
+        return ReuseAttackResult(guess=guess, cycles=result.cycles,
+                                 reuse_hits=result.stats["reuse_hits"])
 
     def distinguishes(self, guess_equal, guess_different):
         """Cycle counts for an equal vs a different guess."""

@@ -13,15 +13,9 @@ flag bits are 0/1 (compressible) or random words.
 
 from dataclasses import dataclass
 
+from repro.engine import HierarchySpec, PluginSpec, SimSpec, run_spec
 from repro.isa.assembler import Assembler
-from repro.memory.cache import Cache
-from repro.memory.flatmem import FlatMemory
-from repro.memory.hierarchy import MemoryHierarchy
-from repro.optimizations.register_file_compression import (
-    RegisterFileCompressionPlugin,
-)
 from repro.pipeline.config import CPUConfig
-from repro.pipeline.cpu import CPU
 
 VICTIM_ADDR = 0x1000
 COLD_ADDR = 0xC000
@@ -83,18 +77,23 @@ class RegisterFileCompressionAttack:
                                 issue_width=4, commit_width=4,
                                 num_mul_units=1, latency_mul=4)
 
+    def measure_spec(self, victim_value):
+        return SimSpec(
+            program=self.program, config=self.config,
+            hierarchy=HierarchySpec(memory_size=1 << 16),
+            plugins=(PluginSpec.of("register-file-compression",
+                                   variant=self.variant),),
+            mem_writes=((VICTIM_ADDR, victim_value, 8),),
+            label=f"victim={victim_value:#x}")
+
     def measure(self, victim_value):
-        memory = FlatMemory(1 << 16)
-        memory.write(VICTIM_ADDR, victim_value)
-        hierarchy = MemoryHierarchy(memory, l1=Cache())
-        plugin = RegisterFileCompressionPlugin(variant=self.variant)
-        cpu = CPU(self.program, hierarchy, config=self.config,
-                  plugins=[plugin])
-        cpu.run()
+        result = run_spec(self.measure_spec(victim_value))
+        rfc_stats = result.observations["plugins"][
+            "register-file-compression"]
         return RFCProbeResult(
-            victim_value=victim_value, cycles=cpu.stats.cycles,
-            pool_grants=plugin.stats["pool_grants"],
-            preg_stalls=cpu.stats.dispatch_stalls["preg"])
+            victim_value=victim_value, cycles=result.cycles,
+            pool_grants=rfc_stats["pool_grants"],
+            preg_stalls=result.stats["dispatch_stalls"]["preg"])
 
     def classify_compressible(self, victim_value):
         """Was the victim's register-file content 0/1-compressible?

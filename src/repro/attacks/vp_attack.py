@@ -14,12 +14,8 @@ whether ``secret == guess``, and 256 replays recover a secret byte.
 
 from dataclasses import dataclass
 
+from repro.engine import HierarchySpec, PluginSpec, SimSpec, run_spec
 from repro.isa.assembler import Assembler
-from repro.memory.cache import Cache
-from repro.memory.flatmem import FlatMemory
-from repro.memory.hierarchy import MemoryHierarchy
-from repro.optimizations.value_prediction import ValuePredictionPlugin
-from repro.pipeline.cpu import CPU
 
 TRAIN_ADDR = 0x1000
 SECRET_ADDR = 0x2000
@@ -71,20 +67,25 @@ class ValuePredictionAttack:
         self.threshold = threshold
         self.program = build_aliasing_program(iterations)
 
+    def measure_spec(self, guess):
+        writes = [(TRAIN_ADDR, guess, 8),
+                  (SECRET_ADDR, self.secret_value, 8)]
+        for i in range(self.iterations - 1):
+            writes.append((TABLE_ADDR + 8 * i, TRAIN_ADDR, 8))
+        writes.append((TABLE_ADDR + 8 * (self.iterations - 1),
+                       SECRET_ADDR, 8))
+        return SimSpec(
+            program=self.program,
+            hierarchy=HierarchySpec(memory_size=1 << 16),
+            plugins=(PluginSpec.of("value-prediction",
+                                   threshold=self.threshold),),
+            mem_writes=tuple(writes), label=f"guess={guess:#x}")
+
     def measure(self, guess):
         """One experiment: train with ``guess``, then victim load."""
-        memory = FlatMemory(1 << 16)
-        memory.write(TRAIN_ADDR, guess)
-        memory.write(SECRET_ADDR, self.secret_value)
-        for i in range(self.iterations - 1):
-            memory.write(TABLE_ADDR + 8 * i, TRAIN_ADDR)
-        memory.write(TABLE_ADDR + 8 * (self.iterations - 1), SECRET_ADDR)
-        hierarchy = MemoryHierarchy(memory, l1=Cache())
-        plugin = ValuePredictionPlugin(threshold=self.threshold)
-        cpu = CPU(self.program, hierarchy, plugins=[plugin])
-        cpu.run()
-        return VPAttackResult(guess=guess, cycles=cpu.stats.cycles,
-                              vp_squashes=cpu.stats.vp_squashes)
+        result = run_spec(self.measure_spec(guess))
+        return VPAttackResult(guess=guess, cycles=result.cycles,
+                              vp_squashes=result.stats["vp_squashes"])
 
     def calibrate(self):
         """Timing for a known non-matching guess vs a matching one."""

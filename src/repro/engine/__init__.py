@@ -1,0 +1,45 @@
+"""The experiment engine: one way to build and run every simulation.
+
+Three layers (Section II-2's replay-attack structure, industrialized):
+
+* **Specs** (:mod:`repro.engine.specs`) — :class:`SimSpec` and friends:
+  a declarative, picklable, content-hashable description of one
+  simulation (program + :class:`CPUConfig` + hierarchy + plug-ins +
+  memory image + registers + seed).
+* **Sessions** (:mod:`repro.engine.session`) — :class:`Session` builds
+  a spec into a ready core and packages each run as a structured,
+  JSON-serializable :class:`RunResult`.
+* **Runner + cache** (:mod:`repro.engine.runner`,
+  :mod:`repro.engine.cache`) — :func:`run_batch` fans independent
+  trials across worker processes with deterministic per-trial seeds
+  and an optional content-addressed :class:`ResultCache`.
+
+Typical use::
+
+    from repro.engine import SimSpec, PluginSpec, run_batch
+
+    specs = [SimSpec(program=program,
+                     plugins=(PluginSpec.of("silent-stores"),),
+                     mem_writes=((0x8000, guess, 2),),
+                     label=f"guess={guess:#x}")
+             for guess in range(256)]
+    results = run_batch(specs, workers=4)
+    cycles = [result.cycles for result in results]
+"""
+
+from repro.engine.cache import ResultCache
+from repro.engine.runner import (
+    derive_seed, execute_spec, run_batch, run_spec, run_trials,
+)
+from repro.engine.session import RunResult, Session
+from repro.engine.specs import (
+    CacheSpec, HierarchySpec, LatencySpec, PluginSpec, SimSpec,
+    SpecError, TLBSpec, register_plugin,
+)
+
+__all__ = [
+    "CacheSpec", "HierarchySpec", "LatencySpec", "PluginSpec",
+    "ResultCache", "RunResult", "Session", "SimSpec", "SpecError",
+    "TLBSpec", "derive_seed", "execute_spec", "register_plugin",
+    "run_batch", "run_spec", "run_trials",
+]

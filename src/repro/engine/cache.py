@@ -1,0 +1,69 @@
+"""Content-addressed result cache.
+
+Replay experiments re-simulate identical points constantly: a bench
+sweep re-runs the grid every invocation, key-recovery calibration
+repeats the same two probes per slot, and narrowing searches re-query
+overlapping prefixes.  Since a :class:`~repro.engine.specs.SimSpec`
+fingerprint covers *everything* that determines a run's outcome
+(program bytes, core config, hierarchy geometry, plug-ins, memory
+image, registers, seed), a finished :class:`RunResult` can be reused
+for any spec with the same fingerprint.
+
+The cache is in-memory by default; give it a directory and every
+result is also persisted as ``<fingerprint>.json``, surviving across
+processes and sessions (bench re-runs skip already-simulated points).
+"""
+
+import dataclasses
+import os
+
+from repro.engine.session import RunResult
+
+
+class ResultCache:
+    """Maps spec fingerprints to :class:`RunResult` records."""
+
+    def __init__(self, path=None):
+        self.path = path
+        self._results = {}
+        self.hits = 0
+        self.misses = 0
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+
+    def __len__(self):
+        return len(self._results)
+
+    def __contains__(self, fingerprint):
+        return self.get(fingerprint) is not None
+
+    def _file_for(self, fingerprint):
+        return os.path.join(self.path, f"{fingerprint}.json")
+
+    def get(self, fingerprint):
+        """The cached result (marked ``cached=True``), or None."""
+        result = self._results.get(fingerprint)
+        if result is None and self.path is not None:
+            file_path = self._file_for(fingerprint)
+            if os.path.exists(file_path):
+                with open(file_path) as handle:
+                    result = RunResult.from_json(handle.read())
+                self._results[fingerprint] = result
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return dataclasses.replace(result, cached=True)
+
+    def put(self, result):
+        if not result.fingerprint:
+            return  # from_parts sessions are not content-addressed
+        self._results[result.fingerprint] = result
+        if self.path is not None:
+            with open(self._file_for(result.fingerprint), "w") as handle:
+                handle.write(result.to_json())
+
+    def clear(self):
+        self._results.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,131 @@
+"""Simulation sessions and structured run results.
+
+A :class:`Session` is one ready-to-run simulation: the built memory,
+hierarchy, plug-ins and core.  Sessions come from two places:
+
+* :meth:`Session.from_spec` — the declarative path: a picklable
+  :class:`~repro.engine.specs.SimSpec` is instantiated from scratch
+  (this is what the trial runner ships to worker processes);
+* :meth:`Session.from_parts` — the escape hatch for callers that must
+  run on a *persistent* hierarchy (the sandbox runtime's Prime+Probe
+  receiver state lives in the hierarchy across phases).
+
+``Session.run`` returns a :class:`RunResult`: the cycle count, the
+core's statistics, and a generic observation record (hierarchy
+counters, plug-in counters, requested architectural registers) that is
+JSON-serializable — the unit the result cache stores and benches dump
+under ``benchmarks/results/*.json``.
+"""
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+
+from repro.isa.bits import mask
+from repro.pipeline.cpu import CPU
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run, serializable to JSON."""
+
+    fingerprint: str
+    label: str
+    cycles: int
+    stats: dict
+    observations: dict = field(default_factory=dict)
+    cached: bool = False
+
+    def to_json(self, **kwargs):
+        return json.dumps(dataclasses.asdict(self), sort_keys=True,
+                          **kwargs)
+
+    @classmethod
+    def from_json(cls, text):
+        data = json.loads(text)
+        return cls(**{f.name: data[f.name]
+                      for f in dataclasses.fields(cls) if f.name in data})
+
+
+class Session:
+    """One built simulation: program + memory system + core + plug-ins."""
+
+    def __init__(self, cpu, spec=None, fingerprint=""):
+        self.cpu = cpu
+        self.spec = spec
+        self._fingerprint = fingerprint
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec):
+        memory = spec.build_memory()
+        hierarchy = spec.hierarchy.build(memory=memory,
+                                         extra_seed=spec.seed)
+        plugins = [plugin_spec.build() for plugin_spec in spec.plugins]
+        cpu = CPU(spec.program, hierarchy, config=spec.config,
+                  plugins=plugins)
+        for index, value in spec.regs:
+            cpu.prf_value[cpu.rename_map[index]] = mask(value)
+        return cls(cpu, spec=spec, fingerprint=spec.fingerprint())
+
+    @classmethod
+    def from_parts(cls, program, hierarchy, config=None, plugins=(),
+                   label=""):
+        """Wrap pre-built simulator parts (persistent-state callers)."""
+        cpu = CPU(program, hierarchy, config=config,
+                  plugins=list(plugins))
+        session = cls(cpu)
+        session._label = label
+        return session
+
+    # -- conveniences --------------------------------------------------
+
+    @property
+    def hierarchy(self):
+        return self.cpu.hierarchy
+
+    @property
+    def memory(self):
+        return self.cpu.memory
+
+    @property
+    def plugins(self):
+        return self.cpu.plugins
+
+    def plugin(self, name):
+        """The attached plug-in with registry ``name`` (or None)."""
+        for plugin in self.cpu.plugins:
+            if plugin.name == name:
+                return plugin
+        return None
+
+    def arch_reg(self, index):
+        return self.cpu.arch_reg(index)
+
+    # -- running -------------------------------------------------------
+
+    def run(self, max_cycles=None):
+        """Run to completion and package a :class:`RunResult`."""
+        spec = self.spec
+        if max_cycles is None and spec is not None:
+            max_cycles = spec.max_cycles
+        stats = self.cpu.run(max_cycles=max_cycles)
+        observations = {
+            "hierarchy": dict(self.hierarchy.stats),
+            "plugins": {plugin.name: dict(plugin.stats)
+                        for plugin in self.cpu.plugins
+                        if isinstance(getattr(plugin, "stats", None),
+                                      dict)},
+        }
+        if spec is not None and spec.record_regs:
+            observations["regs"] = {
+                str(index): self.cpu.arch_reg(index)
+                for index in spec.record_regs}
+        return RunResult(
+            fingerprint=self._fingerprint,
+            label=(spec.label if spec is not None
+                   else getattr(self, "_label", "")),
+            cycles=stats.cycles,
+            stats=stats.as_dict(),
+            observations=observations)

@@ -1,0 +1,273 @@
+"""Declarative simulation specifications.
+
+Every experiment in the repo is a *replay* attack: thousands of
+independent simulator runs, each fully described by (program, core
+config, memory-hierarchy geometry, optimization plug-ins, initial
+memory image, initial registers).  :class:`SimSpec` captures exactly
+that description as plain, picklable data so that one spec can be
+
+* **built** into a ready-to-run core (:meth:`SimSpec.build` via
+  :class:`repro.engine.session.Session`),
+* **shipped** to a worker process by the trial runner
+  (:mod:`repro.engine.runner`), and
+* **fingerprinted** into a stable content hash that keys the result
+  cache (:mod:`repro.engine.cache`).
+
+Specs never hold live simulator objects — caches, hierarchies and
+plug-ins are described by small frozen dataclasses and only
+instantiated at build time, so a spec is cheap to copy, hash and
+pickle.
+"""
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.isa.assembler import Program
+from repro.memory.cache import Cache
+from repro.memory.flatmem import FlatMemory
+from repro.memory.hierarchy import MemoryHierarchy, MemoryLatencies
+from repro.memory.tlb import TLB
+from repro.pipeline.config import CPUConfig
+
+
+class SpecError(Exception):
+    """Raised for malformed specs (unknown plug-ins, bad geometry)."""
+
+
+# ----------------------------------------------------------------------
+# hierarchy description
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry of one cache level (see :class:`repro.memory.Cache`)."""
+
+    num_sets: int = 64
+    ways: int = 4
+    line_size: int = 64
+    policy: str = "lru"
+    seed: int = 0
+
+    def build(self, extra_seed=0):
+        return Cache(num_sets=self.num_sets, ways=self.ways,
+                     line_size=self.line_size, policy=self.policy,
+                     seed=self.seed ^ extra_seed)
+
+
+@dataclass(frozen=True)
+class TLBSpec:
+    """Geometry of the optional TLB (see :class:`repro.memory.TLB`)."""
+
+    entries: int = 64
+    page_size: int = 4096
+    walk_latency: int = 30
+
+    def build(self):
+        return TLB(entries=self.entries, page_size=self.page_size,
+                   walk_latency=self.walk_latency)
+
+
+@dataclass(frozen=True)
+class LatencySpec:
+    """Picklable mirror of :class:`repro.memory.MemoryLatencies`.
+
+    The live class carries a lazily-created RNG; this spec carries only
+    the numbers, so it hashes and pickles cleanly.
+    """
+
+    l1_hit: int = 2
+    l2_hit: int = 12
+    memory: int = 120
+    store_perform: int = 1
+    jitter: int = 0
+    seed: int = 0
+
+    @classmethod
+    def from_latencies(cls, latencies):
+        """Lift a live :class:`MemoryLatencies` into a spec."""
+        if isinstance(latencies, cls) or latencies is None:
+            return latencies if latencies is not None else cls()
+        return cls(l1_hit=latencies.l1_hit, l2_hit=latencies.l2_hit,
+                   memory=latencies.memory,
+                   store_perform=latencies.store_perform,
+                   jitter=latencies.jitter, seed=latencies.seed)
+
+    def build(self, extra_seed=0):
+        return MemoryLatencies(
+            l1_hit=self.l1_hit, l2_hit=self.l2_hit, memory=self.memory,
+            store_perform=self.store_perform, jitter=self.jitter,
+            seed=self.seed ^ extra_seed)
+
+
+@dataclass(frozen=True)
+class HierarchySpec:
+    """Full memory-system description: backing memory + caches + TLB."""
+
+    memory_size: int = 1 << 20
+    l1: CacheSpec = CacheSpec()
+    l2: object = None                 # CacheSpec or None
+    latencies: LatencySpec = LatencySpec()
+    prefetch_buffer_size: int = 0
+    tlb: object = None                # TLBSpec or None
+
+    def build(self, memory=None, extra_seed=0):
+        """Instantiate a :class:`MemoryHierarchy` (and its memory)."""
+        if memory is None:
+            memory = FlatMemory(self.memory_size)
+        l2 = self.l2.build(extra_seed) if self.l2 is not None else None
+        tlb = self.tlb.build() if self.tlb is not None else None
+        return MemoryHierarchy(
+            memory, l1=self.l1.build(extra_seed), l2=l2,
+            latencies=self.latencies.build(extra_seed),
+            prefetch_buffer_size=self.prefetch_buffer_size, tlb=tlb)
+
+
+# ----------------------------------------------------------------------
+# plug-in description
+# ----------------------------------------------------------------------
+
+#: Registry of plug-in factories keyed by the plug-in class ``name``
+#: attribute.  Populated lazily (to keep import order flexible) plus
+#: via :func:`register_plugin` for out-of-tree plug-ins.
+_PLUGIN_REGISTRY = {}
+
+
+def _builtin_plugins():
+    from repro import optimizations as opt
+    from repro.pipeline.trace import PipelineTracer
+    return {
+        "pipeline-tracer": PipelineTracer,
+        "silent-stores": opt.SilentStorePlugin,
+        "computation-reuse": opt.ComputationReusePlugin,
+        "computation-simplification": opt.ComputationSimplificationPlugin,
+        "value-prediction": opt.ValuePredictionPlugin,
+        "register-file-compression": opt.RegisterFileCompressionPlugin,
+        "operand-packing": opt.OperandPackingPlugin,
+        "early-terminating-multiplier": opt.EarlyTerminatingMultiplierPlugin,
+        "indirect-memory-prefetcher": opt.IndirectMemoryPrefetcher,
+    }
+
+
+def register_plugin(name, factory):
+    """Register an out-of-tree plug-in factory for :class:`PluginSpec`."""
+    _PLUGIN_REGISTRY[name] = factory
+
+
+def plugin_factory(name):
+    if not _PLUGIN_REGISTRY:
+        _PLUGIN_REGISTRY.update(_builtin_plugins())
+    try:
+        return _PLUGIN_REGISTRY[name]
+    except KeyError:
+        raise SpecError(f"unknown plug-in {name!r}; known: "
+                        f"{sorted(_PLUGIN_REGISTRY)}") from None
+
+
+@dataclass(frozen=True)
+class PluginSpec:
+    """An optimization plug-in by registry name + constructor kwargs."""
+
+    name: str
+    kwargs: tuple = ()      # sorted (key, value) pairs
+
+    @classmethod
+    def of(cls, name, **kwargs):
+        return cls(name=name, kwargs=tuple(sorted(kwargs.items())))
+
+    def build(self):
+        return plugin_factory(self.name)(**dict(self.kwargs))
+
+
+# ----------------------------------------------------------------------
+# the simulation spec
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SimSpec:
+    """One complete, picklable simulation description.
+
+    ``mem_writes`` are word-granular ``(addr, value, width)`` writes and
+    ``mem_blobs`` are ``(addr, bytes)`` images; together they form the
+    initial memory image.  ``regs`` preloads architectural registers.
+    ``seed`` perturbs every seeded randomness source in the built
+    simulation (latency jitter, random-replacement caches), which is
+    how the trial runner derives independent-but-reproducible trials.
+    ``record_regs`` names architectural registers whose final values
+    are captured into the run's observations.  ``label`` and ``meta``
+    are presentation-only and excluded from the fingerprint.
+    """
+
+    program: Program
+    config: object = None             # CPUConfig or None for defaults
+    hierarchy: HierarchySpec = HierarchySpec()
+    plugins: tuple = ()               # PluginSpec instances
+    mem_writes: tuple = ()            # (addr, value, width)
+    mem_blobs: tuple = ()             # (addr, bytes)
+    regs: tuple = ()                  # (arch_index, value)
+    max_cycles: object = None
+    seed: int = 0
+    record_regs: tuple = ()
+    label: str = ""
+    meta: tuple = ()                  # free-form (key, value) pairs
+
+    def replace(self, **changes):
+        return dataclasses.replace(self, **changes)
+
+    # -- building ------------------------------------------------------
+
+    def build_memory(self):
+        memory = FlatMemory(self.hierarchy.memory_size)
+        for addr, data in self.mem_blobs:
+            memory.write_bytes(addr, bytes(data))
+        for addr, value, width in self.mem_writes:
+            memory.write(addr, value, width)
+        return memory
+
+    def build(self):
+        """Instantiate a ready :class:`repro.engine.session.Session`."""
+        from repro.engine.session import Session
+        return Session.from_spec(self)
+
+    # -- fingerprinting ------------------------------------------------
+
+    def fingerprint(self):
+        """Stable content hash of everything that affects the run."""
+        payload = {
+            "program": self.program.encode().hex(),
+            "config": _canonical(self.config if self.config is not None
+                                 else CPUConfig()),
+            "hierarchy": _canonical(self.hierarchy),
+            "plugins": _canonical(self.plugins),
+            "mem_writes": _canonical(self.mem_writes),
+            "mem_blobs": [[addr, bytes(data).hex()]
+                          for addr, data in self.mem_blobs],
+            "regs": _canonical(self.regs),
+            "max_cycles": self.max_cycles,
+            "seed": self.seed,
+            "record_regs": _canonical(self.record_regs),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _canonical(obj):
+    """Canonical JSON-able form for fingerprinting nested specs."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {f.name: _canonical(getattr(obj, f.name))
+                  for f in dataclasses.fields(obj)
+                  if not f.name.startswith("_")}
+        return {"__type__": type(obj).__name__, **fields}
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, (bytes, bytearray)):
+        return bytes(obj).hex()
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise SpecError(f"cannot fingerprint {type(obj).__name__}: {obj!r}")

@@ -52,6 +52,20 @@ class Program:
     def __iter__(self):
         return iter(self.instructions)
 
+    def encode(self):
+        """Stable byte encoding of the program's semantics.
+
+        Covers every field that affects execution (opcode, registers,
+        immediate, width, resolved target) but not annotations; used by
+        the experiment engine to content-address simulations.
+        """
+        records = []
+        for inst in self.instructions:
+            target = -1 if inst.target is None else int(inst.target)
+            records.append(f"{inst.op.value},{inst.rd},{inst.rs1},"
+                           f"{inst.rs2},{inst.imm},{inst.width},{target}")
+        return "\n".join(records).encode()
+
     def listing(self):
         """Human-readable disassembly, one line per instruction."""
         pc_to_labels = {}

@@ -6,7 +6,7 @@ specific structures — e.g. Figure 6 uses a 5-entry store queue so that a
 single long-to-dequeue store head-of-line blocks the pipeline.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 
 @dataclass
@@ -56,3 +56,7 @@ class CPUConfig:
 
     # Free-form bag for optimization plug-ins to stash settings.
     plugin_options: dict = field(default_factory=dict)
+
+    def as_dict(self):
+        """Plain-dict form, used for serialization and fingerprinting."""
+        return asdict(self)

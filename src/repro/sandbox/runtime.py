@@ -14,7 +14,7 @@ Models the kernel side of the eBPF scenario (Section V-B):
   the attack).
 """
 
-from repro.pipeline.cpu import CPU
+from repro.engine import Session
 from repro.sandbox.jit import Jit
 from repro.sandbox.verifier import Verifier
 
@@ -43,6 +43,7 @@ class SandboxRuntime:
         self.machine_program = None
         self.jit = None
         self.verifier_states = None
+        self.last_result = None
 
     # ------------------------------------------------------------------
     # loading
@@ -114,10 +115,17 @@ class SandboxRuntime:
     # ------------------------------------------------------------------
 
     def run(self, plugins=(), config=None, max_cycles=None):
-        """Execute the loaded program; returns the finished CPU."""
+        """Execute the loaded program; returns the finished CPU.
+
+        Goes through an engine :class:`Session` over the runtime's
+        *persistent* hierarchy — sandbox state (arrays, receiver cache
+        sets) must survive across runs, so the session wraps existing
+        parts instead of building from a spec.
+        """
         if self.machine_program is None:
             raise SandboxError("no program loaded")
-        cpu = CPU(self.machine_program, self.hierarchy, config=config,
-                  plugins=plugins)
-        cpu.run(max_cycles=max_cycles)
-        return cpu
+        session = Session.from_parts(self.machine_program,
+                                     self.hierarchy, config=config,
+                                     plugins=plugins)
+        self.last_result = session.run(max_cycles=max_cycles)
+        return session.cpu

@@ -72,6 +72,20 @@ def test_replay_series_outliers():
     assert series.outliers() == [(5, 140)]
 
 
+def test_replay_series_outliers_tie_break():
+    # Two cycle counts tie for the mode; the smallest one is the mode,
+    # so only the slower group is reported as outlying — regardless of
+    # insertion order.
+    series = ReplaySeries("tie")
+    for precondition, cycles in ((0, 300), (1, 140), (2, 300), (3, 140)):
+        series.add(precondition, cycles)
+    assert series.outliers() == [(0, 300), (2, 300)]
+    reversed_series = ReplaySeries("tie-reversed")
+    for precondition, cycles in ((0, 140), (1, 300), (2, 140), (3, 300)):
+        reversed_series.add(precondition, cycles)
+    assert reversed_series.outliers() == [(1, 300), (3, 300)]
+
+
 def test_run_replay_driver():
     series = run_replay(lambda p: 100 + p % 2, [0, 1, 2, 3])
     assert series.slowest()[1] == 101

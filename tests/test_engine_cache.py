@@ -1,0 +1,113 @@
+"""Content-addressed result cache: hits, misses, bypass, persistence."""
+
+import dataclasses
+
+from repro.engine import (
+    CacheSpec, HierarchySpec, PluginSpec, ResultCache, SimSpec,
+    run_batch, run_spec,
+)
+from repro.isa.assembler import Assembler
+from repro.pipeline.config import CPUConfig
+
+
+def probe_spec(**changes):
+    asm = Assembler()
+    asm.li(1, 0x2000)
+    asm.load(2, 1, 0)
+    asm.fence()
+    asm.li(3, 9)
+    asm.store(3, 1, 0)
+    asm.halt()
+    spec = SimSpec(program=asm.assemble(),
+                   config=CPUConfig(store_queue_size=5),
+                   hierarchy=HierarchySpec(memory_size=1 << 16),
+                   plugins=(PluginSpec.of("silent-stores"),),
+                   mem_writes=((0x2000, 9, 8),))
+    return dataclasses.replace(spec, **changes) if changes else spec
+
+
+def test_hit_on_identical_spec():
+    cache = ResultCache()
+    first = run_spec(probe_spec(), cache=cache)
+    second = run_spec(probe_spec(), cache=cache)
+    assert not first.cached
+    assert second.cached
+    assert cache.hits == 1 and len(cache) == 1
+    assert second.cycles == first.cycles
+    assert second.observations == first.observations
+
+
+def test_miss_on_any_meaningful_change():
+    base = probe_spec()
+    changed = [
+        probe_spec(config=CPUConfig(store_queue_size=8)),
+        probe_spec(plugins=()),
+        probe_spec(plugins=(PluginSpec.of("silent-stores"),
+                            PluginSpec.of("operand-packing"))),
+        probe_spec(mem_writes=((0x2000, 10, 8),)),
+        probe_spec(mem_blobs=((0x3000, b"\x01\x02"),)),
+        probe_spec(regs=((4, 1),)),
+        probe_spec(seed=1),
+        probe_spec(hierarchy=HierarchySpec(
+            memory_size=1 << 16, l1=CacheSpec(ways=8))),
+    ]
+    # A different program text also misses.
+    asm = Assembler()
+    asm.li(1, 0x2000)
+    asm.halt()
+    changed.append(probe_spec(program=asm.assemble()))
+
+    fingerprints = {spec.fingerprint() for spec in changed}
+    fingerprints.add(base.fingerprint())
+    assert len(fingerprints) == len(changed) + 1  # all distinct
+
+    cache = ResultCache()
+    run_spec(base, cache=cache)
+    for spec in changed:
+        assert run_spec(spec, cache=cache).cached is False
+
+
+def test_label_and_meta_do_not_affect_fingerprint():
+    base = probe_spec()
+    relabeled = probe_spec(label="x", meta=(("k", "v"),))
+    assert base.fingerprint() == relabeled.fingerprint()
+    cache = ResultCache()
+    run_spec(base, cache=cache)
+    assert run_spec(relabeled, cache=cache).cached
+
+
+def test_bypass_flag_skips_lookup_but_refreshes():
+    cache = ResultCache()
+    run_spec(probe_spec(), cache=cache)
+    fresh = run_spec(probe_spec(), cache=cache, bypass_cache=True)
+    assert not fresh.cached
+    assert cache.hits == 0
+    # The bypassing run still deposits its (re-computed) result.
+    assert run_spec(probe_spec(), cache=cache).cached
+
+
+def test_batch_mixes_hits_and_misses():
+    cache = ResultCache()
+    run_spec(probe_spec(), cache=cache)
+    results = run_batch([probe_spec(), probe_spec(seed=2)], cache=cache)
+    assert [r.cached for r in results] == [True, False]
+    assert len(cache) == 2
+
+
+def test_persistent_cache_survives_reload(tmp_path):
+    path = str(tmp_path / "cache")
+    first = run_spec(probe_spec(), cache=ResultCache(path=path))
+    reloaded = ResultCache(path=path)
+    hit = run_spec(probe_spec(), cache=reloaded)
+    assert hit.cached
+    assert hit.cycles == first.cycles
+    assert hit.stats == first.stats
+    assert hit.observations == first.observations
+
+
+def test_clear_empties_cache():
+    cache = ResultCache()
+    run_spec(probe_spec(), cache=cache)
+    cache.clear()
+    assert len(cache) == 0
+    assert not run_spec(probe_spec(), cache=cache).cached
