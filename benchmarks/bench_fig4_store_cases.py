@@ -63,6 +63,7 @@ def run_all_cases():
             "silent": run.stats["silent_stores"],
             "performed": run.stats["stores_performed"],
             "stats": run.observations["plugins"]["silent-stores"],
+            "metrics": run.metrics,
             "timelines": session.plugin(
                 "pipeline-tracer").store_timelines(),
         }
@@ -87,10 +88,12 @@ def test_fig4_store_cases(benchmark):
             lines.append(f"  case {case}: {timeline}")
     emit("fig4_store_cases", "\n".join(lines))
     emit_json("fig4_store_cases",
-              {case: {key: row[key]
-                      for key in ("cycles", "silent", "performed",
-                                  "stats", "timelines")}
-               for case, row in results.items()})
+              {**{case: {key: row[key]
+                         for key in ("cycles", "silent", "performed",
+                                     "stats", "timelines")}
+                  for case, row in results.items()},
+               "stats": {case: row["metrics"]
+                         for case, row in results.items()}})
 
     assert results["A"]["silent"] == 1 and results["A"]["performed"] == 0
     assert results["B"]["silent"] == 0 and results["B"]["performed"] == 1

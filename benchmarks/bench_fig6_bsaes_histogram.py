@@ -23,15 +23,20 @@ VICTIM_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
 ATTACKER_KEY = bytes(range(16, 32))
 
 
-def run_histogram(runs_per_type=20, cache=None):
+def run_histogram(runs_per_type=20, cache=None, batch_stats=None):
     server = BSAESVictimServer(VICTIM_KEY, b"public-header-00")
     attack = BSAESSilentStoreAttack(server, ATTACKER_KEY)
-    return attack.histogram_runs(runs_per_type=runs_per_type,
-                                 target_slot=4, cache=cache)
+    samples = attack.histogram_runs(runs_per_type=runs_per_type,
+                                    target_slot=4, cache=cache,
+                                    batch_stats=batch_stats)
+    return samples, attack.last_histogram_stats
 
 
 def test_fig6_bsaes_histogram(once, results_cache):
-    samples = once(run_histogram, cache=results_cache)
+    from repro.engine import SimStats
+    batch_stats = SimStats()
+    samples, run_stats = once(run_histogram, cache=results_cache,
+                              batch_stats=batch_stats)
     histogram = TimingHistogram()
     histogram.extend("correct", samples["correct"])
     histogram.extend("incorrect", samples["incorrect"])
@@ -60,8 +65,19 @@ def test_fig6_bsaes_histogram(once, results_cache):
                "misclassified": histogram.overlap_count(
                    "correct", "incorrect"),
                "misclassified_noisy": noisy.overlap_count(
-                   "correct", "incorrect")})
+                   "correct", "incorrect"),
+               "stats": run_stats,
+               "engine_stats": batch_stats.as_dict()})
 
     assert separation > 100
     assert histogram.overlap_count("correct", "incorrect") == 0
     assert noisy.overlap_count("correct", "incorrect") == 0
+
+    # The separation is manufactured by store-queue head-of-line
+    # blocking: incorrect guesses (non-silent target store) accumulate
+    # far more stall cycles than correct ones (see bench_fig5 for the
+    # per-run attribution).
+    def hol(kind):
+        return run_stats[kind]["counters"].get(
+            "pipeline.sq.head_of_line_stall_cycles", 0)
+    assert hol("incorrect") > hol("correct")

@@ -1,0 +1,81 @@
+"""Overhead of the repro.stats layer on the Figure 6 workload.
+
+The stats subsystem is always compiled in; a run opts out per-spec via
+``collect_stats=False``, which swaps the record for the no-op
+``NULL_STATS`` singleton and lets the hot per-cycle paths skip
+recording behind a single ``enabled`` check.  This bench times the
+Figure 6 trial workload in both modes, interleaved to cancel thermal /
+scheduling drift, and asserts the disabled mode pays (at most) noise:
+its best-of run must be within 5% of the enabled mode's — i.e. the
+fast path really is free, and enabling metrics is the only cost.
+
+It also pins the determinism contract: both modes simulate the exact
+same machine, so cycle counts match and only the ``metrics`` payload
+differs.
+"""
+
+import time
+
+from conftest import emit, emit_json
+
+from repro.attacks.bsaes_attack import (
+    BSAESSilentStoreAttack, BSAESVictimServer,
+)
+from repro.engine import execute_spec
+
+VICTIM_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+ATTACKER_KEY = bytes(range(16, 32))
+
+
+def build_specs(collect_stats, runs_per_type=6):
+    server = BSAESVictimServer(VICTIM_KEY, b"public-header-00")
+    attack = BSAESSilentStoreAttack(server, ATTACKER_KEY)
+    return [spec.replace(collect_stats=collect_stats)
+            for spec in attack.histogram_specs(
+                runs_per_type=runs_per_type, target_slot=4)]
+
+
+def time_once(specs):
+    start = time.perf_counter()
+    cycles = [execute_spec(spec).cycles for spec in specs]
+    return time.perf_counter() - start, cycles
+
+
+def test_stats_overhead(benchmark):
+    enabled_specs = build_specs(True)
+    disabled_specs = build_specs(False)
+
+    def measure(repeats=3):
+        enabled_times, disabled_times = [], []
+        enabled_cycles = disabled_cycles = None
+        for _ in range(repeats):
+            elapsed, enabled_cycles = time_once(enabled_specs)
+            enabled_times.append(elapsed)
+            elapsed, disabled_cycles = time_once(disabled_specs)
+            disabled_times.append(elapsed)
+        return (min(enabled_times), min(disabled_times),
+                enabled_cycles, disabled_cycles)
+
+    enabled_s, disabled_s, enabled_cycles, disabled_cycles = \
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = enabled_s / disabled_s - 1
+    lines = [
+        f"fig6 workload, {len(enabled_specs)} trials, best of 3:",
+        f"  collect_stats=True   {enabled_s * 1e3:8.1f} ms",
+        f"  collect_stats=False  {disabled_s * 1e3:8.1f} ms",
+        f"  enabled-mode overhead: {overhead:+.1%}",
+    ]
+    emit("stats_overhead", "\n".join(lines))
+    emit_json("stats_overhead",
+              {"trials": len(enabled_specs),
+               "enabled_seconds": enabled_s,
+               "disabled_seconds": disabled_s,
+               "enabled_overhead": overhead})
+
+    # Metrics must never change the simulated machine.
+    assert enabled_cycles == disabled_cycles
+    # Disabled mode is the baseline: it may not cost more than noise
+    # relative to the mode that does strictly more work.
+    assert disabled_s <= enabled_s * 1.05
+    # And a disabled run carries no metrics payload at all.
+    assert execute_spec(disabled_specs[0]).metrics == {}

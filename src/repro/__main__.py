@@ -6,6 +6,8 @@ Commands
 ``urg``      run the Figures 1/7 universal-read-gadget demo
 ``fig6``     run the Figure 6 silent-store histogram
 ``audit``    show the MLD framework auditing a toy optimization
+``stats``    render the stats blocks in benchmarks/results/*.json
+             (or in explicitly listed result/RunResult JSON files)
 """
 
 import sys
@@ -59,8 +61,37 @@ def cmd_audit():
     runpy.run_path(path, run_name="__main__")
 
 
+def cmd_stats(*paths):
+    """Render stats blocks from results JSON (bench or RunResult)."""
+    import glob
+    import json
+    import os
+    from repro.stats import extract_stats_blocks, render_stats
+    paths = list(paths)
+    if not paths:
+        results_dir = os.path.join(
+            os.path.dirname(__file__), os.pardir, os.pardir,
+            "benchmarks", "results")
+        paths = sorted(glob.glob(os.path.join(results_dir, "*.json")))
+    if not paths:
+        print("no results JSON found; run the benches first:\n"
+              "  PYTHONPATH=src python -m pytest benchmarks -q")
+        return
+    shown = 0
+    for path in paths:
+        with open(path) as handle:
+            payload = json.load(handle)
+        name = os.path.splitext(os.path.basename(path))[0]
+        for label, block in extract_stats_blocks(payload, source=name):
+            print(render_stats(block, title=label))
+            print()
+            shown += 1
+    if not shown:
+        print("no stats blocks found in: " + ", ".join(paths))
+
+
 COMMANDS = {"tables": cmd_tables, "urg": cmd_urg, "fig6": cmd_fig6,
-            "audit": cmd_audit}
+            "audit": cmd_audit, "stats": cmd_stats}
 
 
 def main(argv=None):
@@ -69,7 +100,7 @@ def main(argv=None):
     if command not in COMMANDS:
         print(__doc__)
         return 1
-    COMMANDS[command]()
+    COMMANDS[command](*argv[1:])
     return 0
 
 

@@ -32,7 +32,7 @@ from repro.crypto.batch import batch_last_round_planes, random_plaintexts
 from repro.crypto.bsaes import last_round_planes, recover_key_from_planes
 from repro.engine import (
     CacheSpec, HierarchySpec, LatencySpec, PluginSpec, Session, SimSpec,
-    derive_seed, run_batch,
+    SimStats, derive_seed, run_batch,
 )
 from repro.isa.assembler import Assembler
 from repro.memory.hierarchy import MemoryLatencies
@@ -88,6 +88,7 @@ class BSAESSilentStoreAttack:
         self.seed = seed
         self.timed_queries = 0
         self.last_cpu = None
+        self.last_histogram_stats = None
         self._thresholds = {}
 
     # ------------------------------------------------------------------
@@ -297,18 +298,32 @@ class BSAESSilentStoreAttack:
         return specs
 
     def histogram_runs(self, runs_per_type=30, target_slot=4, seed=7,
-                       workers=1, cache=None):
+                       workers=1, cache=None, batch_stats=None):
         """Timed runs for correct vs incorrect guesses (Figure 6).
 
         Returns ``{"correct": [cycles...], "incorrect": [cycles...]}``.
         The trials are independent replays, so ``workers > 1`` fans
         them across processes with identical aggregated results.
+
+        ``batch_stats`` receives the engine's scheduling telemetry (see
+        :func:`repro.engine.run_batch`).  The per-guess-type simulator
+        metrics, merged across trials, land in
+        :attr:`last_histogram_stats` as ``{"correct": ..., "incorrect":
+        ...}`` ``as_dict`` payloads — the Figure 6 bench persists them
+        so the amplification mechanism (store-queue head-of-line stall
+        cycles) is auditable from the results JSON.
         """
         specs = self.histogram_specs(runs_per_type=runs_per_type,
                                      target_slot=target_slot, seed=seed)
-        outcomes = run_batch(specs, workers=workers, cache=cache)
+        outcomes = run_batch(specs, workers=workers, cache=cache,
+                             batch_stats=batch_stats)
         self.timed_queries += len(outcomes)
         results = {"correct": [], "incorrect": []}
+        merged = {"correct": SimStats(), "incorrect": SimStats()}
         for spec, outcome in zip(specs, outcomes):
-            results[spec.label.split("/")[0]].append(outcome.cycles)
+            kind = spec.label.split("/")[0]
+            results[kind].append(outcome.cycles)
+            merged[kind].merge(outcome.metrics)
+        self.last_histogram_stats = {
+            kind: record.as_dict() for kind, record in merged.items()}
         return results

@@ -36,10 +36,12 @@ from repro.engine.specs import (
     CacheSpec, HierarchySpec, LatencySpec, PluginSpec, SimSpec,
     SpecError, TLBSpec, register_plugin,
 )
+from repro.stats import SimStats, merge_all
 
 __all__ = [
     "CacheSpec", "HierarchySpec", "LatencySpec", "PluginSpec",
-    "ResultCache", "RunResult", "Session", "SimSpec", "SpecError",
-    "TLBSpec", "derive_seed", "execute_spec", "register_plugin",
-    "run_batch", "run_spec", "run_trials",
+    "ResultCache", "RunResult", "Session", "SimSpec", "SimStats",
+    "SpecError", "TLBSpec", "derive_seed", "execute_spec",
+    "merge_all", "register_plugin", "run_batch", "run_spec",
+    "run_trials",
 ]

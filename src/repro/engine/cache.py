@@ -12,10 +12,19 @@ for any spec with the same fingerprint.
 The cache is in-memory by default; give it a directory and every
 result is also persisted as ``<fingerprint>.json``, surviving across
 processes and sessions (bench re-runs skip already-simulated points).
+
+Persistence is safe under concurrency: several pooled workers (or
+several bench processes) may try to create the cache directory and
+write the same fingerprint at once, so directory creation is
+``exist_ok`` and every file write goes through a uniquely-named
+temporary file followed by an atomic :func:`os.replace` — readers
+never observe a partially-written JSON file, and the last writer of
+identical content wins harmlessly.
 """
 
 import dataclasses
 import os
+import tempfile
 
 from repro.engine.session import RunResult
 
@@ -45,9 +54,12 @@ class ResultCache:
         result = self._results.get(fingerprint)
         if result is None and self.path is not None:
             file_path = self._file_for(fingerprint)
-            if os.path.exists(file_path):
+            try:
                 with open(file_path) as handle:
                     result = RunResult.from_json(handle.read())
+            except FileNotFoundError:
+                result = None
+            else:
                 self._results[fingerprint] = result
         if result is None:
             self.misses += 1
@@ -60,8 +72,20 @@ class ResultCache:
             return  # from_parts sessions are not content-addressed
         self._results[result.fingerprint] = result
         if self.path is not None:
-            with open(self._file_for(result.fingerprint), "w") as handle:
-                handle.write(result.to_json())
+            os.makedirs(self.path, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.path, prefix=f".{result.fingerprint}.",
+                suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(result.to_json())
+                os.replace(tmp_path, self._file_for(result.fingerprint))
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except FileNotFoundError:
+                    pass
+                raise
 
     def clear(self):
         self._results.clear()

@@ -18,7 +18,12 @@ matter how the batch is scheduled.
 """
 
 import hashlib
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+
+#: Bin width (microseconds) of the ``engine.trial_wall_us`` histogram.
+_WALL_BIN_US = 10_000
 
 
 def derive_seed(base_seed, index):
@@ -31,6 +36,19 @@ def execute_spec(spec):
     """Build and run one spec (module-level: picklable for the pool)."""
     from repro.engine.session import Session
     return Session.from_spec(spec).run()
+
+
+def _timed_execute(spec):
+    """Like :func:`execute_spec`, plus (wall_us, worker pid) telemetry.
+
+    The telemetry never enters the :class:`RunResult` — wall time and
+    pids are scheduling-dependent, and results must stay bitwise
+    identical between serial and pooled runs.
+    """
+    start = time.perf_counter()
+    result = execute_spec(spec)
+    elapsed_us = int((time.perf_counter() - start) * 1e6)
+    return result, elapsed_us, os.getpid()
 
 
 def run_spec(spec, cache=None, bypass_cache=False):
@@ -46,36 +64,71 @@ def run_spec(spec, cache=None, bypass_cache=False):
 
 
 def run_batch(specs, workers=1, cache=None, bypass_cache=False,
-              chunksize=None):
+              chunksize=None, batch_stats=None):
     """Run ``specs`` and return their results in input order.
 
     ``workers > 1`` fans cache misses out across that many worker
     processes; ``workers <= 1`` (the default) runs everything in
     process.  Results are identical either way.
+
+    ``batch_stats`` (an optional :class:`~repro.stats.SimStats`)
+    receives *engine-level* telemetry: cache hits/misses, executed
+    trial count, a per-trial wall-time histogram and the number of
+    distinct worker processes used.  These quantities depend on
+    scheduling, which is exactly why they live here and never in a
+    :class:`RunResult`.
     """
     specs = list(specs)
     results = [None] * len(specs)
     pending = []
+    track = batch_stats is not None and batch_stats.enabled
     for index, spec in enumerate(specs):
         if cache is not None and not bypass_cache:
             hit = cache.get(spec.fingerprint())
             if hit is not None:
                 results[index] = hit
+                if track:
+                    batch_stats.inc("engine.cache_hits")
                 continue
         pending.append(index)
+    if track:
+        batch_stats.inc("engine.batches")
+        batch_stats.inc("engine.trials_executed", len(pending))
+        if cache is not None and not bypass_cache:
+            batch_stats.inc("engine.cache_misses", len(pending))
 
     if workers <= 1 or len(pending) <= 1:
         for index in pending:
-            results[index] = execute_spec(specs[index])
+            if track:
+                result, elapsed_us, _pid = _timed_execute(specs[index])
+                batch_stats.observe("engine.trial_wall_us", elapsed_us,
+                                    bin_width=_WALL_BIN_US)
+                results[index] = result
+            else:
+                results[index] = execute_spec(specs[index])
+        if track and pending:
+            batch_stats.peak("engine.workers_used", 1)
     else:
         if chunksize is None:
             chunksize = max(1, len(pending) // (4 * workers))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            fresh = pool.map(execute_spec,
-                             [specs[index] for index in pending],
-                             chunksize=chunksize)
-            for index, result in zip(pending, fresh):
-                results[index] = result
+            job = [specs[index] for index in pending]
+            if track:
+                pids = set()
+                fresh = pool.map(_timed_execute, job,
+                                 chunksize=chunksize)
+                for index, (result, elapsed_us, pid) in zip(pending,
+                                                            fresh):
+                    results[index] = result
+                    batch_stats.observe("engine.trial_wall_us",
+                                        elapsed_us,
+                                        bin_width=_WALL_BIN_US)
+                    pids.add(pid)
+                batch_stats.peak("engine.workers_used", len(pids))
+            else:
+                fresh = pool.map(execute_spec, job, chunksize=chunksize)
+                for index, result in zip(pending, fresh):
+                    results[index] = result
 
     if cache is not None:
         for index in pending:
@@ -84,7 +137,7 @@ def run_batch(specs, workers=1, cache=None, bypass_cache=False,
 
 
 def run_trials(make_spec, trials, workers=1, cache=None,
-               bypass_cache=False):
+               bypass_cache=False, batch_stats=None):
     """Map ``make_spec(trial) -> SimSpec`` over ``trials`` and run all.
 
     Convenience wrapper for replay loops: the caller supplies a spec
@@ -93,4 +146,4 @@ def run_trials(make_spec, trials, workers=1, cache=None,
     """
     return run_batch([make_spec(trial) for trial in trials],
                      workers=workers, cache=cache,
-                     bypass_cache=bypass_cache)
+                     bypass_cache=bypass_cache, batch_stats=batch_stats)

@@ -23,17 +23,26 @@ from dataclasses import dataclass, field
 
 from repro.isa.bits import mask
 from repro.pipeline.cpu import CPU
+from repro.stats import NULL_STATS, SimStats
 
 
 @dataclass
 class RunResult:
-    """Outcome of one simulation run, serializable to JSON."""
+    """Outcome of one simulation run, serializable to JSON.
+
+    ``metrics`` is the run's :class:`~repro.stats.SimStats` record in
+    ``as_dict`` form.  It holds only deterministic, simulation-derived
+    quantities (no wall time, no process ids), so results stay bitwise
+    identical across serial and pooled execution and across cache
+    replays.  Old cached results without the field load as ``{}``.
+    """
 
     fingerprint: str
     label: str
     cycles: int
     stats: dict
     observations: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
     cached: bool = False
 
     def to_json(self, **kwargs):
@@ -63,18 +72,22 @@ class Session:
         hierarchy = spec.hierarchy.build(memory=memory,
                                          extra_seed=spec.seed)
         plugins = [plugin_spec.build() for plugin_spec in spec.plugins]
+        metrics = SimStats() if spec.collect_stats else NULL_STATS
+        hierarchy.metrics = metrics
         cpu = CPU(spec.program, hierarchy, config=spec.config,
-                  plugins=plugins)
+                  plugins=plugins, metrics=metrics)
         for index, value in spec.regs:
             cpu.prf_value[cpu.rename_map[index]] = mask(value)
         return cls(cpu, spec=spec, fingerprint=spec.fingerprint())
 
     @classmethod
     def from_parts(cls, program, hierarchy, config=None, plugins=(),
-                   label=""):
+                   label="", metrics=None):
         """Wrap pre-built simulator parts (persistent-state callers)."""
+        if metrics is not None:
+            hierarchy.metrics = metrics
         cpu = CPU(program, hierarchy, config=config,
-                  plugins=list(plugins))
+                  plugins=list(plugins), metrics=metrics)
         session = cls(cpu)
         session._label = label
         return session
@@ -122,10 +135,15 @@ class Session:
             observations["regs"] = {
                 str(index): self.cpu.arch_reg(index)
                 for index in spec.record_regs}
+        metrics = self.cpu.metrics
+        if metrics.enabled:
+            metrics.inc("engine.trials")
+            self.hierarchy.snapshot_into(metrics)
         return RunResult(
             fingerprint=self._fingerprint,
             label=(spec.label if spec is not None
                    else getattr(self, "_label", "")),
             cycles=stats.cycles,
             stats=stats.as_dict(),
-            observations=observations)
+            observations=observations,
+            metrics=metrics.as_dict() if metrics.enabled else {})

@@ -26,6 +26,8 @@ import json
 from dataclasses import dataclass, field
 
 from repro.isa.assembler import Program
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
 from repro.memory.cache import Cache
 from repro.memory.flatmem import FlatMemory
 from repro.memory.hierarchy import MemoryHierarchy, MemoryLatencies
@@ -197,7 +199,10 @@ class SimSpec:
     how the trial runner derives independent-but-reproducible trials.
     ``record_regs`` names architectural registers whose final values
     are captured into the run's observations.  ``label`` and ``meta``
-    are presentation-only and excluded from the fingerprint.
+    are presentation-only and excluded from the fingerprint;
+    ``collect_stats`` toggles the run's :mod:`repro.stats` record and
+    never changes simulated behaviour (it enters the fingerprint only
+    when False — see :meth:`fingerprint`).
     """
 
     program: Program
@@ -212,6 +217,7 @@ class SimSpec:
     record_regs: tuple = ()
     label: str = ""
     meta: tuple = ()                  # free-form (key, value) pairs
+    collect_stats: bool = True
 
     def replace(self, **changes):
         return dataclasses.replace(self, **changes)
@@ -231,11 +237,91 @@ class SimSpec:
         from repro.engine.session import Session
         return Session.from_spec(self)
 
+    # -- serialization -------------------------------------------------
+
+    def to_json_dict(self):
+        """Canonical JSON-able form of the complete spec.
+
+        :meth:`from_json_dict` reconstructs a spec with the identical
+        :meth:`fingerprint`, so specs can be persisted, diffed and
+        shipped across machines without invalidating cached results.
+        Plug-in kwargs must themselves be JSON-able.
+        """
+        return {
+            "program": {
+                "instructions": [
+                    [inst.op.value, inst.rd, inst.rs1, inst.rs2,
+                     inst.imm, inst.width,
+                     -1 if inst.target is None else int(inst.target),
+                     inst.annotation]
+                    for inst in self.program],
+                "labels": dict(self.program.labels),
+            },
+            "config": (None if self.config is None
+                       else _canonical(self.config)),
+            "hierarchy": _canonical(self.hierarchy),
+            "plugins": _canonical(self.plugins),
+            "mem_writes": _canonical(self.mem_writes),
+            "mem_blobs": [[addr, bytes(data).hex()]
+                          for addr, data in self.mem_blobs],
+            "regs": _canonical(self.regs),
+            "max_cycles": self.max_cycles,
+            "seed": self.seed,
+            "record_regs": _canonical(self.record_regs),
+            "label": self.label,
+            "meta": _canonical(self.meta),
+            "collect_stats": self.collect_stats,
+        }
+
+    def to_json(self, **kwargs):
+        return json.dumps(self.to_json_dict(), sort_keys=True, **kwargs)
+
+    @classmethod
+    def from_json_dict(cls, data):
+        """Rebuild a spec from :meth:`to_json_dict` output."""
+        instructions = [
+            Instruction(op=Op(op), rd=rd, rs1=rs1, rs2=rs2, imm=imm,
+                        width=width,
+                        target=None if target == -1 else target,
+                        pc=pc, annotation=annotation)
+            for pc, (op, rd, rs1, rs2, imm, width, target, annotation)
+            in enumerate(data["program"]["instructions"])]
+        program = Program(instructions, data["program"]["labels"])
+        return cls(
+            program=program,
+            config=_from_canonical(data["config"]),
+            hierarchy=_from_canonical(data["hierarchy"]),
+            plugins=_from_canonical(data["plugins"]),
+            mem_writes=_from_canonical(data["mem_writes"]),
+            mem_blobs=tuple((addr, bytes.fromhex(blob))
+                            for addr, blob in data["mem_blobs"]),
+            regs=_from_canonical(data["regs"]),
+            max_cycles=data["max_cycles"],
+            seed=data["seed"],
+            record_regs=_from_canonical(data["record_regs"]),
+            label=data.get("label", ""),
+            meta=_from_canonical(data.get("meta", [])),
+            collect_stats=data.get("collect_stats", True))
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_json_dict(json.loads(text))
+
     # -- fingerprinting ------------------------------------------------
 
     def fingerprint(self):
-        """Stable content hash of everything that affects the run."""
+        """Stable content hash of everything that affects the run.
+
+        ``result_version`` stamps the :class:`RunResult` schema, not
+        the simulation: bumping it orphans persisted cache entries
+        whose payloads predate a new result field (version 2 added
+        ``metrics``).  ``collect_stats`` enters the hash only when
+        False, so the default keeps one fingerprint per simulation
+        while a metrics-less run can never satisfy a metrics-wanting
+        cache lookup.
+        """
         payload = {
+            "result_version": 2,
             "program": self.program.encode().hex(),
             "config": _canonical(self.config if self.config is not None
                                  else CPUConfig()),
@@ -249,6 +335,8 @@ class SimSpec:
             "seed": self.seed,
             "record_regs": _canonical(self.record_regs),
         }
+        if not self.collect_stats:
+            payload["collect_stats"] = False
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -271,3 +359,35 @@ def _canonical(obj):
     if obj is None or isinstance(obj, (bool, int, float, str)):
         return obj
     raise SpecError(f"cannot fingerprint {type(obj).__name__}: {obj!r}")
+
+
+def _spec_types():
+    from repro.pipeline.config import CPUConfig
+    return {cls.__name__: cls
+            for cls in (CacheSpec, TLBSpec, LatencySpec, HierarchySpec,
+                        PluginSpec, CPUConfig)}
+
+
+def _from_canonical(obj):
+    """Inverse of :func:`_canonical`.
+
+    Collapsed representations come back in the spec's native shape:
+    lists become tuples (every sequence field on a spec is a tuple) and
+    ``__type__``-tagged dicts become the named spec dataclass.  Enum
+    fields stay as their values — the spec classes accept those
+    wherever they accept the enum.
+    """
+    if isinstance(obj, dict):
+        if "__type__" in obj:
+            cls = _spec_types().get(obj["__type__"])
+            if cls is None:
+                raise SpecError(
+                    f"unknown spec type {obj['__type__']!r}")
+            return cls(**{name: _from_canonical(value)
+                          for name, value in obj.items()
+                          if name != "__type__"})
+        return {key: _from_canonical(value)
+                for key, value in obj.items()}
+    if isinstance(obj, list):
+        return tuple(_from_canonical(item) for item in obj)
+    return obj

@@ -1,11 +1,15 @@
-"""RISC-like ISA: opcodes, assembler, golden-model interpreter."""
+"""RISC-like ISA: opcodes, assembler, decoder, golden-model interpreter."""
 
 from repro.isa.assembler import Assembler, AssemblyError, Program, parse_reg
+from repro.isa.disassembler import (
+    DecodeError, decode_instruction, decode_program,
+)
 from repro.isa.instruction import Instruction
 from repro.isa.interpreter import ArchState, Interpreter, run_program
 from repro.isa.opcodes import Op
 
 __all__ = [
-    "Assembler", "AssemblyError", "Program", "parse_reg",
+    "Assembler", "AssemblyError", "DecodeError", "Program", "parse_reg",
     "Instruction", "ArchState", "Interpreter", "run_program", "Op",
+    "decode_instruction", "decode_program",
 ]

@@ -1,0 +1,55 @@
+"""Decoder for :meth:`Program.encode` blobs.
+
+:meth:`repro.isa.assembler.Program.encode` is the simulator's stable
+wire form — the engine content-addresses simulations by hashing it, and
+serialized :class:`~repro.engine.specs.SimSpec` payloads carry programs
+in the equivalent field-list form.  This module is its inverse: it
+rebuilds a :class:`Program` whose re-encoding is byte-identical, which
+is what the property-based round-trip tests pin down.
+
+Label names and annotations are presentation-only and not part of the
+encoding (branch targets are resolved instruction indices), so a
+decoded program carries an empty label map.
+"""
+
+from repro.isa.assembler import Program
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+class DecodeError(Exception):
+    """Raised for malformed encoded programs."""
+
+
+_OPS_BY_VALUE = {op.value: op for op in Op}
+_FIELDS = ("rd", "rs1", "rs2", "imm", "width", "target")
+
+
+def decode_instruction(record, pc=-1):
+    """Decode one ``op,rd,rs1,rs2,imm,width,target`` record."""
+    parts = record.split(",")
+    if len(parts) != 1 + len(_FIELDS):
+        raise DecodeError(
+            f"record {record!r} has {len(parts)} fields, "
+            f"expected {1 + len(_FIELDS)}")
+    op = _OPS_BY_VALUE.get(parts[0])
+    if op is None:
+        raise DecodeError(f"unknown opcode {parts[0]!r}")
+    try:
+        rd, rs1, rs2, imm, width, target = (int(part)
+                                            for part in parts[1:])
+    except ValueError as exc:
+        raise DecodeError(f"non-integer field in {record!r}") from exc
+    return Instruction(op=op, rd=rd, rs1=rs1, rs2=rs2, imm=imm,
+                       width=width,
+                       target=None if target == -1 else target, pc=pc)
+
+
+def decode_program(blob):
+    """Rebuild a :class:`Program` from :meth:`Program.encode` output."""
+    if isinstance(blob, (bytes, bytearray)):
+        blob = bytes(blob).decode()
+    if not blob:
+        return Program([], {})
+    return Program([decode_instruction(record, pc=pc)
+                    for pc, record in enumerate(blob.split("\n"))], {})

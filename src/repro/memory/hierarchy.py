@@ -12,6 +12,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.memory.cache import Cache
+from repro.stats import NULL_STATS
 
 
 @dataclass
@@ -55,7 +56,7 @@ class MemoryHierarchy:
     """
 
     def __init__(self, memory, l1=None, l2=None, latencies=None,
-                 prefetch_buffer_size=0, tlb=None):
+                 prefetch_buffer_size=0, tlb=None, metrics=None):
         self.memory = memory
         self.l1 = l1 if l1 is not None else Cache()
         self.l2 = l2
@@ -66,6 +67,10 @@ class MemoryHierarchy:
         #: Section IV-D2).
         self.tlb = tlb
         self._prefetch_buffer = []  # FIFO of line addresses
+        #: Shared :class:`repro.stats.SimStats`; the engine's Session
+        #: replaces this with the run's record.  The legacy ``stats``
+        #: dict below stays for existing callers/tests.
+        self.metrics = metrics if metrics is not None else NULL_STATS
         self.stats = {
             "reads": 0, "writes": 0, "prefetches": 0,
             "l1_hits": 0, "l2_hits": 0, "memory_accesses": 0,
@@ -101,16 +106,27 @@ class MemoryHierarchy:
         return latency
 
     def _access_for_latency(self, addr, fill):
-        translation = self.tlb.access(addr) if self.tlb is not None else 0
+        if self.tlb is not None:
+            translation = self.tlb.access(addr)
+            if self.metrics.enabled:
+                self.metrics.inc("mem.tlb.walks" if translation
+                                 else "mem.tlb.hits")
+        else:
+            translation = 0
         latency, level = self._cache_access(addr, fill)
         return translation + latency, level
 
     def _cache_access(self, addr, fill):
         lat = self.latencies
+        metrics_on = self.metrics.enabled
         if self.l1.contains(addr):
             self.l1.touch(addr)
             self.stats["l1_hits"] += 1
+            if metrics_on:
+                self.metrics.inc("mem.l1.hits")
             return lat.l1_hit, "l1"
+        if metrics_on:
+            self.metrics.inc("mem.l1.misses")
         line = self.l1.line_of(addr)
         if line in self._prefetch_buffer:
             # Promote from the prefetch buffer into L1.
@@ -118,19 +134,33 @@ class MemoryHierarchy:
             self._prefetch_buffer.remove(line)
             if fill:
                 self.l1.fill_line(addr)
+            if metrics_on:
+                self.metrics.inc("mem.pb.hits")
+                self.metrics.observe("mem.miss_latency", lat.l1_hit + 1,
+                                     bin_width=8)
             return lat.l1_hit + 1, "pb"
         if self.l2 is not None and self.l2.contains(addr):
             self.l2.touch(addr)
             self.stats["l2_hits"] += 1
             if fill:
                 self.l1.fill_line(addr)
+            if metrics_on:
+                self.metrics.inc("mem.l2.hits")
+                self.metrics.observe("mem.miss_latency", lat.l2_hit,
+                                     bin_width=8)
             return lat.l2_hit, "l2"
         self.stats["memory_accesses"] += 1
         if fill:
             if self.l2 is not None:
                 self.l2.fill_line(addr)
             self.l1.fill_line(addr)
-        return lat.memory_latency(), "mem"
+        latency = lat.memory_latency()
+        if metrics_on:
+            if self.l2 is not None:
+                self.metrics.inc("mem.l2.misses")
+            self.metrics.inc("mem.dram.accesses")
+            self.metrics.observe("mem.miss_latency", latency, bin_width=8)
+        return latency, "mem"
 
     def request_line_for_store(self, addr):
         """Bring ``addr``'s line into L1 for a store to perform.
@@ -148,6 +178,8 @@ class MemoryHierarchy:
     def write(self, addr, value, width=8):
         """Architecturally perform a store (line must already be in L1)."""
         self.stats["writes"] += 1
+        if self.metrics.enabled:
+            self.metrics.inc("mem.writes")
         self.memory.write(addr, value, width)
         self.l1.touch(addr)
 
@@ -163,8 +195,13 @@ class MemoryHierarchy:
         page-granularity footprints too.
         """
         self.stats["prefetches"] += 1
+        if self.metrics.enabled:
+            self.metrics.inc("mem.prefetches")
         if self.tlb is not None:
-            self.tlb.access(addr)
+            walk = self.tlb.access(addr)
+            if self.metrics.enabled:
+                self.metrics.inc("mem.tlb.walks" if walk
+                                 else "mem.tlb.hits")
         if self.l2 is not None:
             self.l2.fill_line(addr)
         if self.prefetch_buffer_size > 0:
@@ -177,6 +214,25 @@ class MemoryHierarchy:
             self.l1.fill_line(addr)
 
     # -- utilities --------------------------------------------------------------
+
+    def snapshot_into(self, metrics=None):
+        """Copy end-of-run structure counters into a stats record.
+
+        Eviction/fill totals live inside the per-level :class:`Cache`
+        (and :class:`TLB`) objects; snapshotting them once at the end
+        of a run keeps the per-access hot path free of extra writes.
+        Counters sum under merge, so per-trial snapshots aggregate
+        correctly across a batch.
+        """
+        metrics = metrics if metrics is not None else self.metrics
+        if not metrics.enabled:
+            return metrics
+        metrics.inc("mem.l1.evictions", self.l1.stats["evictions"])
+        if self.l2 is not None:
+            metrics.inc("mem.l2.evictions", self.l2.stats["evictions"])
+        if self.tlb is not None:
+            metrics.inc("mem.tlb.evictions", self.tlb.stats["evictions"])
+        return metrics
 
     def flush_all(self):
         self.l1.flush()

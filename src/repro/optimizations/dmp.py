@@ -253,6 +253,7 @@ class IndirectMemoryPrefetcher(OptimizationPlugin):
             ready_cycle=self.cpu.cycle + self.stage_latency)
         self._jobs.append(job)
         self.stats["jobs_launched"] += 1
+        self.metrics.inc("opt.imp.jobs_launched")
 
     def end_of_cycle(self, free_load_ports):
         if not self._jobs:
@@ -290,6 +291,7 @@ class IndirectMemoryPrefetcher(OptimizationPlugin):
     def _prefetch(self, job, addr):
         self.cpu.hierarchy.prefetch(addr)
         self.stats["prefetches"] += 1
+        self.metrics.inc("opt.imp.prefetches")
         self.prefetch_log.append((self.cpu.cycle, addr))
         if self.record_trace:
             job.trace.append(addr)

@@ -68,6 +68,7 @@ class SilentStorePlugin(OptimizationPlugin):
             elif self.cpu.cycle - resolved_cycle >= self.retry_cycles:
                 entry.silent = SilentState.NO_CANDIDATE
                 self.stats["case_c_no_port"] += 1
+                self.metrics.inc("opt.silent_stores.no_port")
             else:
                 keep.append((entry, resolved_cycle))
         self._pending = keep
@@ -76,6 +77,7 @@ class SilentStorePlugin(OptimizationPlugin):
     def _issue_ss_load(self, entry):
         entry.ss_load_issued = True
         self.stats["ss_loads_issued"] += 1
+        self.metrics.inc("opt.silent_stores.ss_loads_issued")
         hierarchy = self.cpu.hierarchy
         if hierarchy.line_in_l1(entry.addr):
             hierarchy.l1.touch(entry.addr)
@@ -98,9 +100,15 @@ class SilentStorePlugin(OptimizationPlugin):
         entry.ss_load_returned = True
 
     def on_store_performed(self, entry):
+        metrics = self.metrics
         if entry.silent is SilentState.SILENT:
             self.stats["case_a_silent"] += 1
+            # The paper's term for a detected-silent store: the write
+            # itself is squashed (dequeues without touching memory).
+            metrics.inc("opt.silent_stores.squashes")
         elif entry.silent is SilentState.NONSILENT:
             self.stats["case_b_nonsilent"] += 1
+            metrics.inc("opt.silent_stores.nonsilent")
         elif entry.ss_load_issued and not entry.ss_load_returned:
             self.stats["case_d_late"] += 1
+            metrics.inc("opt.silent_stores.late_ss_loads")

@@ -69,6 +69,7 @@ class ValuePredictionPlugin(OptimizationPlugin):
         self.cpu.prf_value[dyn.pdst] = prediction
         self.cpu.prf_ready[dyn.pdst] = True
         self.stats["predictions"] += 1
+        self.metrics.inc("opt.vp.predictions")
 
     def on_result(self, dyn, value):
         if dyn.inst.op not in self.ops or dyn.squashed:
@@ -96,8 +97,12 @@ class ValuePredictionPlugin(OptimizationPlugin):
         if dyn.vp_predicted:
             if value == dyn.vp_value:
                 self.stats["correct"] += 1
+                self.metrics.inc("opt.vp.correct")
             else:
+                # The mismatch squashes everything younger (the
+                # receiver-visible penalty the VP attack times).
                 self.stats["incorrect"] += 1
+                self.metrics.inc("opt.vp.mispredict_squashes")
 
     def prime(self, pc, value, confidence=None, stride=0):
         """Attacker preconditioning: install a prediction directly.

@@ -32,6 +32,7 @@ from repro.pipeline.config import CPUConfig
 from repro.pipeline.dyninst import (
     DynInst, InstState, LQEntry, SilentState, SQEntry,
 )
+from repro.stats import NULL_STATS
 
 NUM_ARCH_REGS = 32
 SILENT_DEQUEUE_WIDTH = 4  # consecutive silent stores retired per cycle
@@ -86,15 +87,21 @@ class CPU:
         A :class:`CPUConfig`; defaults model the paper's Baseline.
     plugins:
         Iterable of :class:`repro.pipeline.plugins.OptimizationPlugin`.
+    metrics:
+        A :class:`repro.stats.SimStats` shared with the hierarchy and
+        plug-ins; defaults to the disabled :data:`~repro.stats.NULL_STATS`
+        (per-cycle recording is skipped behind one ``enabled`` check).
     """
 
-    def __init__(self, program, hierarchy, config=None, plugins=()):
+    def __init__(self, program, hierarchy, config=None, plugins=(),
+                 metrics=None):
         self.program = program
         self.hierarchy = hierarchy
         self.memory = hierarchy.memory
         self.config = config if config is not None else CPUConfig()
         self.plugins = list(plugins)
         self.stats = CPUStats()
+        self.metrics = metrics if metrics is not None else NULL_STATS
         self.branch_predictor = BranchPredictor(self.config.use_branch_predictor)
 
         # Physical register file.  Plug-ins may carve extra hidden pregs
@@ -185,6 +192,8 @@ class CPU:
     def step(self):
         """Advance one cycle."""
         self.cycle += 1
+        if self.metrics.enabled:
+            self._record_cycle_metrics()
         if self._owns_ports:
             self.refill_ports()
         self._fire_events()
@@ -206,6 +215,31 @@ class CPU:
                 self.halted = True
                 self.stats.cycles = self.cycle
 
+    def _record_cycle_metrics(self):
+        """Per-cycle structure occupancy (enabled-mode only).
+
+        Occupancy integrals are counters (summed across merged trials)
+        paired with the ``pipeline.cycles`` counter, so a merged
+        record's average occupancy is ``integral / cycles``; high-water
+        marks merge by max.
+        """
+        metrics = self.metrics
+        rob = len(self.rob)
+        rs = len(self.rs)
+        lq = len(self.load_queue)
+        sq = len(self.store_queue)
+        metrics.inc("pipeline.cycles")
+        metrics.inc("pipeline.rob.occupancy_integral", rob)
+        metrics.inc("pipeline.rs.occupancy_integral", rs)
+        metrics.inc("pipeline.lq.occupancy_integral", lq)
+        metrics.inc("pipeline.sq.occupancy_integral", sq)
+        metrics.peak("pipeline.rob.high_water", rob)
+        metrics.peak("pipeline.rs.high_water", rs)
+        metrics.peak("pipeline.lq.high_water", lq)
+        metrics.peak("pipeline.sq.high_water", sq)
+        if sq and self.store_queue[0].committed:
+            metrics.inc("pipeline.sq.head_committed_cycles")
+
     # ------------------------------------------------------------------
     # squash / recovery
     # ------------------------------------------------------------------
@@ -215,6 +249,9 @@ class CPU:
             return
         seq, redirect = self._squash_req
         self._squash_req = None
+        if self.metrics.enabled:
+            self.metrics.inc("pipeline.flushes")
+        squashed_before = self.stats.squashed_instructions
         while self.rob and self.rob[-1].seq > seq:
             dyn = self.rob.pop()
             dyn.squashed = True
@@ -222,6 +259,10 @@ class CPU:
             if dyn.pdst is not None:
                 self.rename_map[dyn.inst.rd] = dyn.old_pdst
                 self._free_preg(dyn.pdst)
+        if self.metrics.enabled:
+            self.metrics.inc("pipeline.squashed_instructions",
+                             self.stats.squashed_instructions
+                             - squashed_before)
         self.rs = [d for d in self.rs if not d.squashed]
         self.load_queue = [e for e in self.load_queue if not e.dyn.squashed]
         self.store_queue = [e for e in self.store_queue
@@ -312,6 +353,7 @@ class CPU:
         # same cycle (Section V-A1); at most one store performs to memory.
         silent_budget = SILENT_DEQUEUE_WIDTH
         dequeue_delay = self.config.store_dequeue_delay
+        metrics_on = self.metrics.enabled
         while self.store_queue and self.store_queue[0].committed:
             head = self.store_queue[0]
             if self.cycle < head.committed_cycle + dequeue_delay:
@@ -323,18 +365,33 @@ class CPU:
                 head.performed = True
                 head.dequeue_cycle = self.cycle
                 self.stats.silent_stores += 1
+                if metrics_on:
+                    self.metrics.inc("pipeline.sq.silent_dequeues")
                 self.store_queue.pop(0)
                 for plugin in self.plugins:
                     plugin.on_store_performed(head)
                 continue
             # Non-silent (or not-yet-decided) store: needs its line in L1.
+            # Every cycle a committed head store spends waiting for its
+            # line is head-of-line blocking: nothing younger can dequeue
+            # behind it.  This counter is what attributes the Figure 5
+            # amplification to the store queue.
             if head.fill_requested:
                 if self.cycle < head.fill_ready_cycle:
+                    if metrics_on:
+                        self.metrics.inc(
+                            "pipeline.sq.head_of_line_stall_cycles")
                     break
             elif not self.hierarchy.line_in_l1(head.addr):
                 head.fill_requested = True
                 fill_latency = self.hierarchy.request_line_for_store(head.addr)
                 head.fill_ready_cycle = self.cycle + fill_latency
+                if metrics_on:
+                    self.metrics.inc("pipeline.sq.store_fills")
+                    self.metrics.inc(
+                        "pipeline.sq.head_of_line_stall_cycles")
+                    self.metrics.observe("pipeline.sq.store_fill_latency",
+                                         fill_latency, bin_width=8)
                 break
             if head.silent is SilentState.UNKNOWN:
                 head.silent = SilentState.NO_CANDIDATE
@@ -618,6 +675,11 @@ class CPU:
     # dispatch / rename
     # ------------------------------------------------------------------
 
+    def _dispatch_stall(self, kind):
+        self.stats.dispatch_stalls[kind] += 1
+        if self.metrics.enabled:
+            self.metrics.inc("pipeline.dispatch_stall." + kind)
+
     def _dispatch(self):
         cfg = self.config
         count = 0
@@ -625,21 +687,21 @@ class CPU:
             inst, pred_taken, pred_target = self.fetch_buffer[0]
             op = inst.op
             if len(self.rob) >= cfg.rob_size:
-                self.stats.dispatch_stalls["rob"] += 1
+                self._dispatch_stall("rob")
                 break
             if op is Op.FENCE:
                 if self.rob or self.store_queue:
-                    self.stats.dispatch_stalls["fence"] += 1
+                    self._dispatch_stall("fence")
                     break
             needs_rs = op not in (Op.NOP, Op.HALT, Op.FENCE, Op.JMP)
             if needs_rs and len(self.rs) >= cfg.rs_size:
-                self.stats.dispatch_stalls["rs"] += 1
+                self._dispatch_stall("rs")
                 break
             if is_load(op) and len(self.load_queue) >= cfg.load_queue_size:
-                self.stats.dispatch_stalls["lq"] += 1
+                self._dispatch_stall("lq")
                 break
             if is_store(op) and len(self.store_queue) >= cfg.store_queue_size:
-                self.stats.dispatch_stalls["sq"] += 1
+                self._dispatch_stall("sq")
                 break
             wants_dest = writes_register(op) and inst.rd != 0
             pdst = None
@@ -652,7 +714,7 @@ class CPU:
                         if pdst is not None:
                             break
                 if pdst is None:
-                    self.stats.dispatch_stalls["preg"] += 1
+                    self._dispatch_stall("preg")
                     break
             self.fetch_buffer.popleft()
             dyn = DynInst(self._seq, inst)

@@ -38,6 +38,13 @@ class OptimizationPlugin:
         """Called once when the plug-in is registered with a core."""
         self.cpu = cpu
 
+    @property
+    def metrics(self):
+        """The attached core's stats record (disabled when detached)."""
+        from repro.stats import NULL_STATS
+        cpu = self.cpu
+        return cpu.metrics if cpu is not None else NULL_STATS
+
     def reset(self):
         """Clear persistent microarchitectural state (Uarch inputs)."""
 

@@ -1,0 +1,44 @@
+"""One representative engine spec per attack module.
+
+The differential (serial vs pooled) and golden-fingerprint tests both
+need "every attack, as a spec" — this catalog is the single place that
+enumerates them, so adding an attack module with a spec factory means
+adding one line here and both test families pick it up.
+
+Each entry is deliberately small (one probe, not a sweep): the
+differential test runs every spec several times in two scheduling
+modes, and the golden test only hashes them.
+"""
+
+from repro.attacks.amplification import amplified_probe_spec
+from repro.attacks.bsaes_attack import (
+    BSAESSilentStoreAttack, BSAESVictimServer,
+)
+from repro.attacks.compsimp_attack import ZeroSkipAttack
+from repro.attacks.packing_attack import OperandPackingAttack
+from repro.attacks.replay import SilentStoreWidthOracle
+from repro.attacks.reuse_attack import ComputationReuseAttack
+from repro.attacks.rfc_attack import RegisterFileCompressionAttack
+from repro.attacks.vp_attack import ValuePredictionAttack
+
+VICTIM_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def attack_specs():
+    """``{attack_name: SimSpec}`` — one probe spec per attack module."""
+    server = BSAESVictimServer(VICTIM_KEY, b"public-header-00")
+    bsaes = BSAESSilentStoreAttack(server, bytes(range(16, 32)))
+    return {
+        "amplification": amplified_probe_spec(
+            0x1234, 0x4321, gadget=True, label="amp_nonsilent"),
+        "bsaes": bsaes.measure_spec(
+            [(37 * (slot + 3)) & 0xFFFF for slot in range(8)],
+            target_slot=4, label="bsaes_probe"),
+        "compsimp": ZeroSkipAttack().measure_spec(0, 1),
+        "packing": OperandPackingAttack().measure_spec(5),
+        "replay": SilentStoreWidthOracle(0xAABBCCDD)._measure_spec(
+            0xDD, 0, 1),
+        "reuse": ComputationReuseAttack(41).measure_spec(41),
+        "rfc": RegisterFileCompressionAttack().measure_spec(1),
+        "vp": ValuePredictionAttack(0x42).measure_spec(0x42),
+    }

@@ -30,4 +30,4 @@ def test_urg_command(capsys):
 
 
 def test_command_registry_complete():
-    assert set(COMMANDS) == {"tables", "urg", "fig6", "audit"}
+    assert set(COMMANDS) == {"tables", "urg", "fig6", "audit", "stats"}

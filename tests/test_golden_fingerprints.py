@@ -1,0 +1,73 @@
+"""Golden-fingerprint regression pins for the result cache.
+
+A :meth:`SimSpec.fingerprint` keys the persistent
+:class:`~repro.engine.ResultCache` — if it drifts silently, every
+cached simulation (including the bench cache under
+``benchmarks/results/cache/``) is orphaned and experiments quietly
+re-run from scratch.  This pins the fingerprint of one spec per attack
+module so any change to the hash inputs (program encoding, canonical
+form, payload schema, ``result_version``) shows up as an explicit test
+failure.
+
+If you changed the fingerprint *on purpose* (e.g. the RunResult schema
+grew a field and ``result_version`` was bumped), re-pin with::
+
+    PYTHONPATH=src python - <<'EOF'
+    from tests.spec_catalog import attack_specs
+    for name, spec in sorted(attack_specs().items()):
+        print(f'    "{name}":\\n        "{spec.fingerprint()}",')
+    EOF
+
+and say so in the commit message — it invalidates persisted caches.
+"""
+
+import pytest
+
+from tests.spec_catalog import attack_specs
+
+GOLDEN = {
+    "amplification":
+        "1f4d0b175f9e6dd04edf26d538af4bcd1da2ae904582131ad7138d91a09c18cd",
+    "bsaes":
+        "04b6f094cf36d0c411c023944fb461f52cd7c775e7e9b1c131fcfc5a562fe657",
+    "compsimp":
+        "688398e170de252e599edd2c2c5d2755c64c8bb7b17b77747b90cf1516a304e8",
+    "packing":
+        "aebaf234cf7539829d0d65dbe8e98be64a8e9b2bc77adcd59bdf02517e4a56dd",
+    "replay":
+        "17296bf2dbf2af4a45b90d249d7197f75ccc991d4b6e43abb6795da7c157e031",
+    "reuse":
+        "05ee7ab50d456eed701c2fbdef791d6252e5e5846126de8933b01671ab528b7a",
+    "rfc":
+        "75737d1f1e6876e3932f3c985d8283b562e88f2dac0435e791b68041d4653e7a",
+    "vp":
+        "668f7983b1623b195a0a5526a51d73710da1b77ee9041c2c5c7fa4bd5f447cae",
+}
+
+
+def test_catalog_and_goldens_cover_the_same_attacks():
+    assert sorted(attack_specs()) == sorted(GOLDEN)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_fingerprint_is_pinned(name):
+    spec = attack_specs()[name]
+    assert spec.fingerprint() == GOLDEN[name]
+    # Fingerprints are also stable across spec rebuilds (no hidden
+    # object-identity or ordering dependence).
+    assert attack_specs()[name].fingerprint() == GOLDEN[name]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_fingerprint_ignores_presentation_fields(name):
+    spec = attack_specs()[name]
+    assert spec.replace(label="renamed",
+                        meta=(("phase", 1),)).fingerprint() == GOLDEN[name]
+
+
+def test_fingerprint_depends_on_collect_stats_only_when_disabled():
+    spec = attack_specs()["amplification"]
+    assert spec.replace(collect_stats=True).fingerprint() == \
+        GOLDEN["amplification"]
+    assert spec.replace(collect_stats=False).fingerprint() != \
+        GOLDEN["amplification"]

@@ -1,0 +1,138 @@
+"""Property-based round-trip tests (hypothesis; seeded and bounded).
+
+Two serialization boundaries get randomized coverage:
+
+* the ISA wire form — :meth:`Program.encode` vs
+  :func:`repro.isa.decode_program` over random valid instructions;
+* the engine spec JSON form — :meth:`SimSpec.to_json` vs
+  :meth:`SimSpec.from_json`, which must preserve the content-address
+  (:meth:`SimSpec.fingerprint`) that keys the result cache.
+
+``derandomize=True`` keeps the suite deterministic in CI: hypothesis
+derives its examples from the test's source rather than a random seed.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    CacheSpec, HierarchySpec, LatencySpec, PluginSpec, SimSpec, TLBSpec,
+)
+from repro.isa import Instruction, Op, Program, decode_program
+from repro.isa.opcodes import BRANCH_OPS
+from repro.pipeline.config import CPUConfig
+
+BOUNDED = settings(max_examples=60, deadline=None, derandomize=True,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+# ----------------------------------------------------------------------
+# random valid programs
+# ----------------------------------------------------------------------
+
+_REGS = st.integers(0, 31)
+_WIDTHS = st.sampled_from([1, 2, 4, 8])
+_IMMS = st.integers(-(1 << 32), (1 << 32) - 1)
+
+
+@st.composite
+def programs(draw):
+    length = draw(st.integers(min_value=1, max_value=24))
+    instructions = []
+    for pc in range(length):
+        op = draw(st.sampled_from(sorted(Op, key=lambda o: o.value)))
+        target = None
+        if op in BRANCH_OPS or op is Op.JMP:
+            # Any resolved target in [0, len] is valid post-assembly.
+            target = draw(st.integers(0, length))
+        instructions.append(Instruction(
+            op=op, rd=draw(_REGS), rs1=draw(_REGS), rs2=draw(_REGS),
+            imm=draw(_IMMS), width=draw(_WIDTHS), target=target, pc=pc))
+    return Program(instructions, {})
+
+
+@BOUNDED
+@given(program=programs())
+def test_encode_decode_roundtrip(program):
+    blob = program.encode()
+    decoded = decode_program(blob)
+    assert decoded.encode() == blob
+    assert len(decoded) == len(program)
+    for original, rebuilt in zip(program, decoded):
+        assert rebuilt.op is original.op
+        assert (rebuilt.rd, rebuilt.rs1, rebuilt.rs2) == \
+            (original.rd, original.rs1, original.rs2)
+        assert (rebuilt.imm, rebuilt.width, rebuilt.target) == \
+            (original.imm, original.width, original.target)
+        assert rebuilt.pc == original.pc
+
+
+# ----------------------------------------------------------------------
+# random valid specs
+# ----------------------------------------------------------------------
+
+_PLUGIN_CHOICES = st.sets(
+    st.sampled_from(["silent-stores", "value-prediction",
+                     "computation-reuse", "operand-packing"]),
+    max_size=3)
+
+
+@st.composite
+def sim_specs(draw):
+    memory_size = 1 << draw(st.integers(16, 20))
+    l1 = CacheSpec(num_sets=draw(st.sampled_from([16, 64])),
+                   ways=draw(st.sampled_from([1, 4])),
+                   policy=draw(st.sampled_from(["lru", "random"])),
+                   seed=draw(st.integers(0, 7)))
+    l2 = (CacheSpec(num_sets=128, ways=8)
+          if draw(st.booleans()) else None)
+    tlb = (TLBSpec(entries=draw(st.sampled_from([16, 64])))
+           if draw(st.booleans()) else None)
+    hierarchy = HierarchySpec(
+        memory_size=memory_size, l1=l1, l2=l2, tlb=tlb,
+        latencies=LatencySpec(jitter=draw(st.sampled_from([0, 5])),
+                              seed=draw(st.integers(0, 3))),
+        prefetch_buffer_size=draw(st.sampled_from([0, 4])))
+    config = (CPUConfig(store_queue_size=draw(st.integers(2, 8)),
+                        rob_size=draw(st.sampled_from([32, 64])))
+              if draw(st.booleans()) else None)
+    plugins = tuple(PluginSpec.of(name)
+                    for name in sorted(draw(_PLUGIN_CHOICES)))
+    addresses = st.integers(0, memory_size - 16)
+    mem_writes = tuple(
+        (draw(addresses), draw(st.integers(0, (1 << 64) - 1)),
+         draw(_WIDTHS))
+        for _ in range(draw(st.integers(0, 3))))
+    mem_blobs = tuple(
+        (draw(addresses), draw(st.binary(min_size=1, max_size=16)))
+        for _ in range(draw(st.integers(0, 2))))
+    regs = tuple((draw(st.integers(1, 31)),
+                  draw(st.integers(0, (1 << 64) - 1)))
+                 for _ in range(draw(st.integers(0, 3))))
+    return SimSpec(
+        program=draw(programs()), config=config, hierarchy=hierarchy,
+        plugins=plugins, mem_writes=mem_writes, mem_blobs=mem_blobs,
+        regs=regs,
+        max_cycles=draw(st.sampled_from([None, 10_000])),
+        seed=draw(st.integers(0, 1 << 16)),
+        record_regs=tuple(sorted(draw(st.sets(st.integers(1, 31),
+                                              max_size=3)))),
+        label=draw(st.sampled_from(["", "probe", "trial/0"])),
+        meta=tuple(sorted(draw(st.dictionaries(
+            st.sampled_from(["phase", "guess"]),
+            st.integers(0, 255), max_size=2)).items())),
+        collect_stats=draw(st.booleans()))
+
+
+@BOUNDED
+@given(spec=sim_specs())
+def test_spec_json_roundtrip_preserves_fingerprint(spec):
+    text = spec.to_json()
+    rebuilt = SimSpec.from_json(text)
+    assert rebuilt.fingerprint() == spec.fingerprint()
+    # The canonical JSON itself is a fixed point of the round trip.
+    assert json.loads(rebuilt.to_json()) == json.loads(text)
+    # Presentation fields survive too (they are outside the hash).
+    assert rebuilt.label == spec.label
+    assert rebuilt.collect_stats == spec.collect_stats
