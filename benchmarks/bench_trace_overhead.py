@@ -1,0 +1,84 @@
+"""Overhead of the repro.trace layer on the Figure 6 workload.
+
+Tracing is always compiled in; a run opts in per-spec via
+``SimSpec(trace=TraceSpec())``, which builds a live
+:class:`~repro.trace.TraceBuffer` in place of the no-op ``NULL_TRACE``
+singleton and lets the hot per-cycle paths skip emission behind a
+single ``enabled`` check.  This bench times the Figure 6 trial
+workload in both modes, interleaved to cancel thermal / scheduling
+drift, and asserts the disabled mode pays (at most) noise: its
+best-of run must be within 5% of the traced mode's — i.e. the fast
+path really is free, and enabling tracing is the only cost.
+
+It also pins the determinism contract: both modes simulate the exact
+same machine, so cycle counts match bitwise and only the ``trace``
+payload differs.
+"""
+
+import time
+
+from conftest import emit, emit_json
+
+from repro.attacks.bsaes_attack import (
+    BSAESSilentStoreAttack, BSAESVictimServer,
+)
+from repro.engine import TraceSpec, execute_spec
+
+VICTIM_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+ATTACKER_KEY = bytes(range(16, 32))
+
+
+def build_specs(trace, runs_per_type=6):
+    server = BSAESVictimServer(VICTIM_KEY, b"public-header-00")
+    attack = BSAESSilentStoreAttack(server, ATTACKER_KEY)
+    return [spec.replace(trace=trace)
+            for spec in attack.histogram_specs(
+                runs_per_type=runs_per_type, target_slot=4)]
+
+
+def time_once(specs):
+    start = time.perf_counter()
+    cycles = [execute_spec(spec).cycles for spec in specs]
+    return time.perf_counter() - start, cycles
+
+
+def test_trace_overhead(benchmark):
+    traced_specs = build_specs(TraceSpec())
+    untraced_specs = build_specs(None)
+
+    def measure(repeats=3):
+        traced_times, untraced_times = [], []
+        traced_cycles = untraced_cycles = None
+        for _ in range(repeats):
+            elapsed, traced_cycles = time_once(traced_specs)
+            traced_times.append(elapsed)
+            elapsed, untraced_cycles = time_once(untraced_specs)
+            untraced_times.append(elapsed)
+        return (min(traced_times), min(untraced_times),
+                traced_cycles, untraced_cycles)
+
+    traced_s, untraced_s, traced_cycles, untraced_cycles = \
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = traced_s / untraced_s - 1
+    lines = [
+        f"fig6 workload, {len(traced_specs)} trials, best of 3:",
+        f"  trace=TraceSpec()  {traced_s * 1e3:8.1f} ms",
+        f"  trace=None         {untraced_s * 1e3:8.1f} ms",
+        f"  traced-mode overhead: {overhead:+.1%}",
+    ]
+    emit("trace_overhead", "\n".join(lines))
+    emit_json("trace_overhead",
+              {"trials": len(traced_specs),
+               "traced_seconds": traced_s,
+               "untraced_seconds": untraced_s,
+               "traced_overhead": overhead})
+
+    # Tracing must never change the simulated machine.
+    assert traced_cycles == untraced_cycles
+    # Untraced mode is the baseline: it may not cost more than noise
+    # relative to the mode that does strictly more work.
+    assert untraced_s <= traced_s * 1.05
+    # An untraced run carries no trace payload at all; a traced one
+    # carries a non-empty event stream.
+    assert execute_spec(untraced_specs[0]).trace == {}
+    assert execute_spec(traced_specs[0]).trace["events"]

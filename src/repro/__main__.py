@@ -8,6 +8,10 @@ Commands
 ``audit``    show the MLD framework auditing a toy optimization
 ``stats``    render the stats blocks in benchmarks/results/*.json
              (or in explicitly listed result/RunResult JSON files)
+``trace``    run the Figure 5 amplified probes with event tracing on,
+             render ASCII pipeline timelines, and export a
+             Perfetto-loadable Chrome trace (``--out PATH`` to choose
+             the JSON destination)
 """
 
 import sys
@@ -90,8 +94,60 @@ def cmd_stats(*paths):
         print("no stats blocks found in: " + ", ".join(paths))
 
 
+def cmd_trace(*args):
+    """Trace the Figure 5 amplified probes and export the evidence.
+
+    Runs the silent (secret == store value) and non-silent probes with
+    a full :class:`~repro.engine.TraceSpec`, prints one ASCII timeline
+    per run — the non-silent one shows the store-queue head-of-line
+    stall burst (``!``) that *is* the amplification — and writes every
+    run as a separate process of one Perfetto-loadable Chrome trace.
+    """
+    import os
+    from repro.attacks.amplification import amplified_probe_spec
+    from repro.engine import TraceSpec, execute_spec
+    from repro.trace import (
+        chrome_document, render_timeline, run_trace_events,
+        write_chrome_trace,
+    )
+    out = None
+    args = list(args)
+    if "--out" in args:
+        flag = args.index("--out")
+        try:
+            out = args[flag + 1]
+        except IndexError:
+            print("usage: python -m repro trace [--out PATH]")
+            return
+        del args[flag:flag + 2]
+    if out is None:
+        out = os.path.join(os.path.dirname(__file__), os.pardir,
+                           os.pardir, "benchmarks", "results",
+                           "trace_fig5.json")
+    specs = [
+        amplified_probe_spec(0x1111, 0x1111, label="fig5 silent probe"),
+        amplified_probe_spec(0x2222, 0x1111,
+                             label="fig5 non-silent probe"),
+    ]
+    events = []
+    for pid, spec in enumerate(specs, start=1):
+        result = execute_spec(spec.replace(trace=TraceSpec()))
+        stalls = result.metrics.get("counters", {}).get(
+            "pipeline.sq.head_of_line_stall_cycles", 0)
+        print(f"=== {result.label}: {result.cycles} cycles, "
+              f"{stalls} SQ head-of-line stall cycles ===")
+        print(render_timeline(result.trace))
+        print()
+        events.extend(run_trace_events(result.trace, label=result.label,
+                                       pid=pid))
+    os.makedirs(os.path.dirname(os.path.abspath(out)), exist_ok=True)
+    write_chrome_trace(out, events)
+    print(f"wrote {len(events)} Chrome trace events to {out}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+
+
 COMMANDS = {"tables": cmd_tables, "urg": cmd_urg, "fig6": cmd_fig6,
-            "audit": cmd_audit, "stats": cmd_stats}
+            "audit": cmd_audit, "stats": cmd_stats, "trace": cmd_trace}
 
 
 def main(argv=None):

@@ -34,14 +34,15 @@ from repro.engine.runner import (
 from repro.engine.session import RunResult, Session
 from repro.engine.specs import (
     CacheSpec, HierarchySpec, LatencySpec, PluginSpec, SimSpec,
-    SpecError, TLBSpec, register_plugin,
+    SpecError, TLBSpec, TraceSpec, register_plugin,
 )
 from repro.stats import SimStats, merge_all
+from repro.trace import BatchTrace
 
 __all__ = [
-    "CacheSpec", "HierarchySpec", "LatencySpec", "PluginSpec",
-    "ResultCache", "RunResult", "Session", "SimSpec", "SimStats",
-    "SpecError", "TLBSpec", "derive_seed", "execute_spec",
-    "merge_all", "register_plugin", "run_batch", "run_spec",
-    "run_trials",
+    "BatchTrace", "CacheSpec", "HierarchySpec", "LatencySpec",
+    "PluginSpec", "ResultCache", "RunResult", "Session", "SimSpec",
+    "SimStats", "SpecError", "TLBSpec", "TraceSpec", "derive_seed",
+    "execute_spec", "merge_all", "register_plugin", "run_batch",
+    "run_spec", "run_trials",
 ]

@@ -22,6 +22,8 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 
+from repro.trace.batch import record_executed_trial
+
 #: Bin width (microseconds) of the ``engine.trial_wall_us`` histogram.
 _WALL_BIN_US = 10_000
 
@@ -39,16 +41,18 @@ def execute_spec(spec):
 
 
 def _timed_execute(spec):
-    """Like :func:`execute_spec`, plus (wall_us, worker pid) telemetry.
+    """Like :func:`execute_spec`, plus wall-clock + worker telemetry.
 
-    The telemetry never enters the :class:`RunResult` — wall time and
-    pids are scheduling-dependent, and results must stay bitwise
-    identical between serial and pooled runs.
+    Returns ``(result, start_us, elapsed_us, pid)``.  The telemetry
+    never enters the :class:`RunResult` — wall time and pids are
+    scheduling-dependent, and results must stay bitwise identical
+    between serial and pooled runs; it feeds ``batch_stats`` and the
+    caller-owned :class:`repro.trace.BatchTrace` instead.
     """
-    start = time.perf_counter()
+    start_us = time.perf_counter_ns() // 1000
     result = execute_spec(spec)
-    elapsed_us = int((time.perf_counter() - start) * 1e6)
-    return result, elapsed_us, os.getpid()
+    elapsed_us = max(1, time.perf_counter_ns() // 1000 - start_us)
+    return result, start_us, elapsed_us, os.getpid()
 
 
 def run_spec(spec, cache=None, bypass_cache=False):
@@ -64,7 +68,7 @@ def run_spec(spec, cache=None, bypass_cache=False):
 
 
 def run_batch(specs, workers=1, cache=None, bypass_cache=False,
-              chunksize=None, batch_stats=None):
+              chunksize=None, batch_stats=None, batch_trace=None):
     """Run ``specs`` and return their results in input order.
 
     ``workers > 1`` fans cache misses out across that many worker
@@ -74,7 +78,11 @@ def run_batch(specs, workers=1, cache=None, bypass_cache=False,
     ``batch_stats`` (an optional :class:`~repro.stats.SimStats`)
     receives *engine-level* telemetry: cache hits/misses, executed
     trial count, a per-trial wall-time histogram and the number of
-    distinct worker processes used.  These quantities depend on
+    distinct worker processes used.  ``batch_trace`` (an optional
+    :class:`repro.trace.BatchTrace`) receives the event-level view of
+    the same story: one wall-clock span per executed trial tagged with
+    its worker pid, and one instant per cache hit — exportable to a
+    Perfetto-loadable Chrome trace.  These quantities depend on
     scheduling, which is exactly why they live here and never in a
     :class:`RunResult`.
     """
@@ -82,6 +90,7 @@ def run_batch(specs, workers=1, cache=None, bypass_cache=False,
     results = [None] * len(specs)
     pending = []
     track = batch_stats is not None and batch_stats.enabled
+    timed = track or batch_trace is not None
     for index, spec in enumerate(specs):
         if cache is not None and not bypass_cache:
             hit = cache.get(spec.fingerprint())
@@ -89,6 +98,8 @@ def run_batch(specs, workers=1, cache=None, bypass_cache=False,
                 results[index] = hit
                 if track:
                     batch_stats.inc("engine.cache_hits")
+                if batch_trace is not None:
+                    batch_trace.record_cache_hit(spec.label, index)
                 continue
         pending.append(index)
     if track:
@@ -99,10 +110,15 @@ def run_batch(specs, workers=1, cache=None, bypass_cache=False,
 
     if workers <= 1 or len(pending) <= 1:
         for index in pending:
-            if track:
-                result, elapsed_us, _pid = _timed_execute(specs[index])
-                batch_stats.observe("engine.trial_wall_us", elapsed_us,
-                                    bin_width=_WALL_BIN_US)
+            if timed:
+                result, start_us, elapsed_us, pid = _timed_execute(
+                    specs[index])
+                if track:
+                    batch_stats.observe("engine.trial_wall_us",
+                                        elapsed_us,
+                                        bin_width=_WALL_BIN_US)
+                record_executed_trial(batch_trace, specs[index].label,
+                                      index, start_us, elapsed_us, pid)
                 results[index] = result
             else:
                 results[index] = execute_spec(specs[index])
@@ -113,18 +129,23 @@ def run_batch(specs, workers=1, cache=None, bypass_cache=False,
             chunksize = max(1, len(pending) // (4 * workers))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             job = [specs[index] for index in pending]
-            if track:
+            if timed:
                 pids = set()
                 fresh = pool.map(_timed_execute, job,
                                  chunksize=chunksize)
-                for index, (result, elapsed_us, pid) in zip(pending,
-                                                            fresh):
+                for index, (result, start_us, elapsed_us,
+                            pid) in zip(pending, fresh):
                     results[index] = result
-                    batch_stats.observe("engine.trial_wall_us",
-                                        elapsed_us,
-                                        bin_width=_WALL_BIN_US)
+                    if track:
+                        batch_stats.observe("engine.trial_wall_us",
+                                            elapsed_us,
+                                            bin_width=_WALL_BIN_US)
+                    record_executed_trial(batch_trace,
+                                          specs[index].label, index,
+                                          start_us, elapsed_us, pid)
                     pids.add(pid)
-                batch_stats.peak("engine.workers_used", len(pids))
+                if track:
+                    batch_stats.peak("engine.workers_used", len(pids))
             else:
                 fresh = pool.map(execute_spec, job, chunksize=chunksize)
                 for index, result in zip(pending, fresh):
@@ -137,7 +158,7 @@ def run_batch(specs, workers=1, cache=None, bypass_cache=False,
 
 
 def run_trials(make_spec, trials, workers=1, cache=None,
-               bypass_cache=False, batch_stats=None):
+               bypass_cache=False, batch_stats=None, batch_trace=None):
     """Map ``make_spec(trial) -> SimSpec`` over ``trials`` and run all.
 
     Convenience wrapper for replay loops: the caller supplies a spec
@@ -146,4 +167,5 @@ def run_trials(make_spec, trials, workers=1, cache=None,
     """
     return run_batch([make_spec(trial) for trial in trials],
                      workers=workers, cache=cache,
-                     bypass_cache=bypass_cache, batch_stats=batch_stats)
+                     bypass_cache=bypass_cache, batch_stats=batch_stats,
+                     batch_trace=batch_trace)

@@ -35,6 +35,14 @@ class RunResult:
     quantities (no wall time, no process ids), so results stay bitwise
     identical across serial and pooled execution and across cache
     replays.  Old cached results without the field load as ``{}``.
+
+    ``trace`` is the :meth:`repro.trace.TraceBuffer.as_payload` form of
+    the run's event trace when the spec carried a
+    :class:`~repro.engine.specs.TraceSpec` (``{}`` otherwise).  Like
+    ``metrics`` it is purely simulation-derived — event cycles, never
+    wall time — so traced results obey the same bitwise-determinism
+    contract; engine wall-clock telemetry lives in the caller-owned
+    :class:`repro.trace.BatchTrace` instead.
     """
 
     fingerprint: str
@@ -43,6 +51,7 @@ class RunResult:
     stats: dict
     observations: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
+    trace: dict = field(default_factory=dict)
     cached: bool = False
 
     def to_json(self, **kwargs):
@@ -74,8 +83,10 @@ class Session:
         plugins = [plugin_spec.build() for plugin_spec in spec.plugins]
         metrics = SimStats() if spec.collect_stats else NULL_STATS
         hierarchy.metrics = metrics
+        trace = (spec.trace.build(metrics=metrics)
+                 if spec.trace is not None else None)
         cpu = CPU(spec.program, hierarchy, config=spec.config,
-                  plugins=plugins, metrics=metrics)
+                  plugins=plugins, metrics=metrics, trace=trace)
         for index, value in spec.regs:
             cpu.prf_value[cpu.rename_map[index]] = mask(value)
         return cls(cpu, spec=spec, fingerprint=spec.fingerprint())
@@ -139,6 +150,11 @@ class Session:
         if metrics.enabled:
             metrics.inc("engine.trials")
             self.hierarchy.snapshot_into(metrics)
+        # The trace payload rides along only when the *spec* asked for
+        # it: a plug-in-installed buffer (e.g. pipeline-tracer) is not
+        # part of the fingerprint, so it must not change the result.
+        traced = (spec is not None and spec.trace is not None
+                  and self.cpu.trace.enabled)
         return RunResult(
             fingerprint=self._fingerprint,
             label=(spec.label if spec is not None
@@ -146,4 +162,5 @@ class Session:
             cycles=stats.cycles,
             stats=stats.as_dict(),
             observations=observations,
-            metrics=metrics.as_dict() if metrics.enabled else {})
+            metrics=metrics.as_dict() if metrics.enabled else {},
+            trace=self.cpu.trace.as_payload() if traced else {})

@@ -184,6 +184,35 @@ class PluginSpec:
 
 
 # ----------------------------------------------------------------------
+# trace description
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Configuration of the run's :class:`repro.trace.TraceBuffer`.
+
+    ``categories`` is a tuple of category names to record (empty means
+    all of :data:`repro.trace.CATEGORIES`); ``sample`` keeps every
+    N-th event per category.  Attaching a ``TraceSpec`` to a
+    :class:`SimSpec` never changes simulated behaviour — emission is
+    observation only — but it does enter the fingerprint (see
+    :meth:`SimSpec.fingerprint`) because the resulting
+    :class:`~repro.engine.session.RunResult` carries the trace payload.
+    """
+
+    capacity: int = 65536
+    categories: tuple = ()
+    sample: int = 1
+
+    def build(self, metrics=None):
+        from repro.trace.buffer import TraceBuffer
+        return TraceBuffer(
+            capacity=self.capacity,
+            categories=self.categories if self.categories else None,
+            sample=self.sample, metrics=metrics)
+
+
+# ----------------------------------------------------------------------
 # the simulation spec
 # ----------------------------------------------------------------------
 
@@ -202,7 +231,11 @@ class SimSpec:
     are presentation-only and excluded from the fingerprint;
     ``collect_stats`` toggles the run's :mod:`repro.stats` record and
     never changes simulated behaviour (it enters the fingerprint only
-    when False — see :meth:`fingerprint`).
+    when False — see :meth:`fingerprint`).  ``trace`` optionally
+    attaches a :class:`TraceSpec`; a traced run's
+    :class:`~repro.engine.session.RunResult` carries the deterministic
+    event payload, so a non-``None`` trace is its own fingerprint
+    dimension (again see :meth:`fingerprint`).
     """
 
     program: Program
@@ -218,6 +251,7 @@ class SimSpec:
     label: str = ""
     meta: tuple = ()                  # free-form (key, value) pairs
     collect_stats: bool = True
+    trace: object = None              # TraceSpec or None (tracing off)
 
     def replace(self, **changes):
         return dataclasses.replace(self, **changes)
@@ -271,6 +305,8 @@ class SimSpec:
             "label": self.label,
             "meta": _canonical(self.meta),
             "collect_stats": self.collect_stats,
+            "trace": (None if self.trace is None
+                      else _canonical(self.trace)),
         }
 
     def to_json(self, **kwargs):
@@ -301,7 +337,8 @@ class SimSpec:
             record_regs=_from_canonical(data["record_regs"]),
             label=data.get("label", ""),
             meta=_from_canonical(data.get("meta", [])),
-            collect_stats=data.get("collect_stats", True))
+            collect_stats=data.get("collect_stats", True),
+            trace=_from_canonical(data.get("trace")))
 
     @classmethod
     def from_json(cls, text):
@@ -315,13 +352,17 @@ class SimSpec:
         ``result_version`` stamps the :class:`RunResult` schema, not
         the simulation: bumping it orphans persisted cache entries
         whose payloads predate a new result field (version 2 added
-        ``metrics``).  ``collect_stats`` enters the hash only when
-        False, so the default keeps one fingerprint per simulation
-        while a metrics-less run can never satisfy a metrics-wanting
-        cache lookup.
+        ``metrics``, version 3 added ``trace``).  ``collect_stats``
+        enters the hash only when False, so the default keeps one
+        fingerprint per simulation while a metrics-less run can never
+        satisfy a metrics-wanting cache lookup.  Symmetrically,
+        ``trace`` enters the hash only when not None: the default keeps
+        one fingerprint per simulation while a traced run (whose result
+        carries the event payload) caches separately per trace
+        configuration.
         """
         payload = {
-            "result_version": 2,
+            "result_version": 3,
             "program": self.program.encode().hex(),
             "config": _canonical(self.config if self.config is not None
                                  else CPUConfig()),
@@ -337,6 +378,8 @@ class SimSpec:
         }
         if not self.collect_stats:
             payload["collect_stats"] = False
+        if self.trace is not None:
+            payload["trace"] = _canonical(self.trace)
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -365,7 +408,7 @@ def _spec_types():
     from repro.pipeline.config import CPUConfig
     return {cls.__name__: cls
             for cls in (CacheSpec, TLBSpec, LatencySpec, HierarchySpec,
-                        PluginSpec, CPUConfig)}
+                        PluginSpec, TraceSpec, CPUConfig)}
 
 
 def _from_canonical(obj):

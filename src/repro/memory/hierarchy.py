@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.memory.cache import Cache
 from repro.stats import NULL_STATS
+from repro.trace.buffer import NULL_TRACE
 
 
 @dataclass
@@ -56,7 +57,8 @@ class MemoryHierarchy:
     """
 
     def __init__(self, memory, l1=None, l2=None, latencies=None,
-                 prefetch_buffer_size=0, tlb=None, metrics=None):
+                 prefetch_buffer_size=0, tlb=None, metrics=None,
+                 trace=None):
         self.memory = memory
         self.l1 = l1 if l1 is not None else Cache()
         self.l2 = l2
@@ -71,6 +73,9 @@ class MemoryHierarchy:
         #: replaces this with the run's record.  The legacy ``stats``
         #: dict below stays for existing callers/tests.
         self.metrics = metrics if metrics is not None else NULL_STATS
+        #: Shared :class:`repro.trace.TraceBuffer` (clocked by the
+        #: attached core via :meth:`CPU.install_trace`).
+        self.trace = trace if trace is not None else NULL_TRACE
         self.stats = {
             "reads": 0, "writes": 0, "prefetches": 0,
             "l1_hits": 0, "l2_hits": 0, "memory_accesses": 0,
@@ -111,19 +116,35 @@ class MemoryHierarchy:
             if self.metrics.enabled:
                 self.metrics.inc("mem.tlb.walks" if translation
                                  else "mem.tlb.hits")
+            if translation and self.trace.enabled:
+                self.trace.emit("mem", "tlb_walk", addr=addr,
+                                info=f"latency={translation}")
         else:
             translation = 0
         latency, level = self._cache_access(addr, fill)
         return translation + latency, level
 
+    def _fill_l1(self, addr):
+        evicted = self.l1.fill_line(addr)
+        if evicted is not None and self.trace.enabled:
+            self.trace.emit("mem", "l1_evict", addr=evicted)
+
+    def _fill_l2(self, addr):
+        evicted = self.l2.fill_line(addr)
+        if evicted is not None and self.trace.enabled:
+            self.trace.emit("mem", "l2_evict", addr=evicted)
+
     def _cache_access(self, addr, fill):
         lat = self.latencies
         metrics_on = self.metrics.enabled
+        trace_on = self.trace.enabled
         if self.l1.contains(addr):
             self.l1.touch(addr)
             self.stats["l1_hits"] += 1
             if metrics_on:
                 self.metrics.inc("mem.l1.hits")
+            if trace_on:
+                self.trace.emit("mem", "l1_hit", addr=addr)
             return lat.l1_hit, "l1"
         if metrics_on:
             self.metrics.inc("mem.l1.misses")
@@ -133,33 +154,42 @@ class MemoryHierarchy:
             self.stats["prefetch_buffer_hits"] += 1
             self._prefetch_buffer.remove(line)
             if fill:
-                self.l1.fill_line(addr)
+                self._fill_l1(addr)
             if metrics_on:
                 self.metrics.inc("mem.pb.hits")
                 self.metrics.observe("mem.miss_latency", lat.l1_hit + 1,
                                      bin_width=8)
+            if trace_on:
+                self.trace.emit("mem", "pb_hit", addr=addr,
+                                info=f"latency={lat.l1_hit + 1}")
             return lat.l1_hit + 1, "pb"
         if self.l2 is not None and self.l2.contains(addr):
             self.l2.touch(addr)
             self.stats["l2_hits"] += 1
             if fill:
-                self.l1.fill_line(addr)
+                self._fill_l1(addr)
             if metrics_on:
                 self.metrics.inc("mem.l2.hits")
                 self.metrics.observe("mem.miss_latency", lat.l2_hit,
                                      bin_width=8)
+            if trace_on:
+                self.trace.emit("mem", "l2_hit", addr=addr,
+                                info=f"latency={lat.l2_hit}")
             return lat.l2_hit, "l2"
         self.stats["memory_accesses"] += 1
         if fill:
             if self.l2 is not None:
-                self.l2.fill_line(addr)
-            self.l1.fill_line(addr)
+                self._fill_l2(addr)
+            self._fill_l1(addr)
         latency = lat.memory_latency()
         if metrics_on:
             if self.l2 is not None:
                 self.metrics.inc("mem.l2.misses")
             self.metrics.inc("mem.dram.accesses")
             self.metrics.observe("mem.miss_latency", latency, bin_width=8)
+        if trace_on:
+            self.trace.emit("mem", "dram_access", addr=addr,
+                            info=f"latency={latency}")
         return latency, "mem"
 
     def request_line_for_store(self, addr):
@@ -197,13 +227,18 @@ class MemoryHierarchy:
         self.stats["prefetches"] += 1
         if self.metrics.enabled:
             self.metrics.inc("mem.prefetches")
+        if self.trace.enabled:
+            self.trace.emit("mem", "prefetch", addr=addr)
         if self.tlb is not None:
             walk = self.tlb.access(addr)
             if self.metrics.enabled:
                 self.metrics.inc("mem.tlb.walks" if walk
                                  else "mem.tlb.hits")
+            if walk and self.trace.enabled:
+                self.trace.emit("mem", "tlb_walk", addr=addr,
+                                info=f"latency={walk}")
         if self.l2 is not None:
-            self.l2.fill_line(addr)
+            self._fill_l2(addr)
         if self.prefetch_buffer_size > 0:
             line = self.l1.line_of(addr)
             if line not in self._prefetch_buffer:
@@ -211,7 +246,7 @@ class MemoryHierarchy:
                 if len(self._prefetch_buffer) > self.prefetch_buffer_size:
                     self._prefetch_buffer.pop(0)
         else:
-            self.l1.fill_line(addr)
+            self._fill_l1(addr)
 
     # -- utilities --------------------------------------------------------------
 

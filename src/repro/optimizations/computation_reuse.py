@@ -69,6 +69,9 @@ class ComputationReusePlugin(OptimizationPlugin):
         if key in self._table:
             self._table.move_to_end(key)
             self.stats["hits"] += 1
+            if self.trace.enabled:
+                self.trace.emit("opt", self.name, seq=dyn.seq, pc=dyn.pc,
+                                info=f"reuse_hit_{self.variant}")
             return True
         return False
 

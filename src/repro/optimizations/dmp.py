@@ -293,6 +293,9 @@ class IndirectMemoryPrefetcher(OptimizationPlugin):
         self.stats["prefetches"] += 1
         self.metrics.inc("opt.imp.prefetches")
         self.prefetch_log.append((self.cpu.cycle, addr))
+        if self.trace.enabled:
+            self.trace.emit("opt", self.name, addr=addr,
+                            info=f"prefetch_stage{job.stage}")
         if self.record_trace:
             job.trace.append(addr)
 

@@ -69,6 +69,12 @@ class SilentStorePlugin(OptimizationPlugin):
                 entry.silent = SilentState.NO_CANDIDATE
                 self.stats["case_c_no_port"] += 1
                 self.metrics.inc("opt.silent_stores.no_port")
+                if self.trace.enabled:
+                    self.trace.emit("opt", self.name,
+                                    seq=entry.dyn.seq, pc=entry.dyn.pc,
+                                    addr=entry.addr if entry.addr_ready
+                                    else -1,
+                                    info="case_c_no_port")
             else:
                 keep.append((entry, resolved_cycle))
         self._pending = keep
@@ -78,6 +84,9 @@ class SilentStorePlugin(OptimizationPlugin):
         entry.ss_load_issued = True
         self.stats["ss_loads_issued"] += 1
         self.metrics.inc("opt.silent_stores.ss_loads_issued")
+        if self.trace.enabled:
+            self.trace.emit("sq", "ss_load_issued", seq=entry.dyn.seq,
+                            pc=entry.dyn.pc, addr=entry.addr)
         hierarchy = self.cpu.hierarchy
         if hierarchy.line_in_l1(entry.addr):
             hierarchy.l1.touch(entry.addr)
@@ -98,17 +107,28 @@ class SilentStorePlugin(OptimizationPlugin):
             return  # Case D; counted when the store performed
         entry.ss_load_value = self.cpu.memory.read(entry.addr, entry.width)
         entry.ss_load_returned = True
+        if self.trace.enabled:
+            self.trace.emit("sq", "ss_load_returned", seq=entry.dyn.seq,
+                            pc=entry.dyn.pc, addr=entry.addr)
 
     def on_store_performed(self, entry):
         metrics = self.metrics
+        outcome = None
         if entry.silent is SilentState.SILENT:
             self.stats["case_a_silent"] += 1
             # The paper's term for a detected-silent store: the write
             # itself is squashed (dequeues without touching memory).
             metrics.inc("opt.silent_stores.squashes")
+            outcome = "case_a_silent"
         elif entry.silent is SilentState.NONSILENT:
             self.stats["case_b_nonsilent"] += 1
             metrics.inc("opt.silent_stores.nonsilent")
+            outcome = "case_b_nonsilent"
         elif entry.ss_load_issued and not entry.ss_load_returned:
             self.stats["case_d_late"] += 1
             metrics.inc("opt.silent_stores.late_ss_loads")
+            outcome = "case_d_late"
+        if outcome is not None and self.trace.enabled:
+            self.trace.emit("opt", self.name, seq=entry.dyn.seq,
+                            pc=entry.dyn.pc, addr=entry.addr,
+                            info=outcome)

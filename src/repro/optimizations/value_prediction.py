@@ -70,6 +70,9 @@ class ValuePredictionPlugin(OptimizationPlugin):
         self.cpu.prf_ready[dyn.pdst] = True
         self.stats["predictions"] += 1
         self.metrics.inc("opt.vp.predictions")
+        if self.trace.enabled:
+            self.trace.emit("opt", self.name, seq=dyn.seq, pc=dyn.pc,
+                            info="predict")
 
     def on_result(self, dyn, value):
         if dyn.inst.op not in self.ops or dyn.squashed:
@@ -98,11 +101,16 @@ class ValuePredictionPlugin(OptimizationPlugin):
             if value == dyn.vp_value:
                 self.stats["correct"] += 1
                 self.metrics.inc("opt.vp.correct")
+                outcome = "correct"
             else:
                 # The mismatch squashes everything younger (the
                 # receiver-visible penalty the VP attack times).
                 self.stats["incorrect"] += 1
                 self.metrics.inc("opt.vp.mispredict_squashes")
+                outcome = "mispredict_squash"
+            if self.trace.enabled:
+                self.trace.emit("opt", self.name, seq=dyn.seq,
+                                pc=dyn.pc, info=outcome)
 
     def prime(self, pc, value, confidence=None, stride=0):
         """Attacker preconditioning: install a prediction directly.

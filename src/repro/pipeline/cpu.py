@@ -33,6 +33,7 @@ from repro.pipeline.dyninst import (
     DynInst, InstState, LQEntry, SilentState, SQEntry,
 )
 from repro.stats import NULL_STATS
+from repro.trace.buffer import NULL_TRACE
 
 NUM_ARCH_REGS = 32
 SILENT_DEQUEUE_WIDTH = 4  # consecutive silent stores retired per cycle
@@ -91,10 +92,15 @@ class CPU:
         A :class:`repro.stats.SimStats` shared with the hierarchy and
         plug-ins; defaults to the disabled :data:`~repro.stats.NULL_STATS`
         (per-cycle recording is skipped behind one ``enabled`` check).
+    trace:
+        A :class:`repro.trace.TraceBuffer` receiving cycle-accurate
+        pipeline events, shared with the hierarchy and plug-ins;
+        defaults to the disabled :data:`~repro.trace.NULL_TRACE`
+        (emission sites are skipped behind one ``enabled`` check).
     """
 
     def __init__(self, program, hierarchy, config=None, plugins=(),
-                 metrics=None):
+                 metrics=None, trace=None):
         self.program = program
         self.hierarchy = hierarchy
         self.memory = hierarchy.memory
@@ -102,6 +108,8 @@ class CPU:
         self.plugins = list(plugins)
         self.stats = CPUStats()
         self.metrics = metrics if metrics is not None else NULL_STATS
+        self.trace = NULL_TRACE
+        self.install_trace(trace if trace is not None else NULL_TRACE)
         self.branch_predictor = BranchPredictor(self.config.use_branch_predictor)
 
         # Physical register file.  Plug-ins may carve extra hidden pregs
@@ -139,6 +147,23 @@ class CPU:
 
         for plugin in self.plugins:
             plugin.attach(self)
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+
+    def install_trace(self, buffer):
+        """Adopt ``buffer`` as this core's event sink.
+
+        Clocks the buffer off this core's cycle counter and shares it
+        with the memory hierarchy when enabled (a disabled buffer never
+        displaces a hierarchy's existing one, so persistent-hierarchy
+        callers keep their own tracing).
+        """
+        self.trace = buffer
+        buffer.set_clock(lambda: self.cycle)
+        if buffer.enabled:
+            self.hierarchy.trace = buffer
 
     # ------------------------------------------------------------------
     # plug-in support
@@ -251,11 +276,18 @@ class CPU:
         self._squash_req = None
         if self.metrics.enabled:
             self.metrics.inc("pipeline.flushes")
+        trace_on = self.trace.enabled
+        if trace_on:
+            self.trace.emit("inst", "flush", cycle=self.cycle,
+                            info=f"redirect={redirect}")
         squashed_before = self.stats.squashed_instructions
         while self.rob and self.rob[-1].seq > seq:
             dyn = self.rob.pop()
             dyn.squashed = True
             self.stats.squashed_instructions += 1
+            if trace_on:
+                self.trace.emit("inst", "squash", cycle=self.cycle,
+                                seq=dyn.seq, pc=dyn.pc)
             if dyn.pdst is not None:
                 self.rename_map[dyn.inst.rd] = dyn.old_pdst
                 self._free_preg(dyn.pdst)
@@ -293,6 +325,9 @@ class CPU:
             dyn.state = InstState.COMMITTED
             self.stats.retired += 1
             committed += 1
+            if self.trace.enabled:
+                self.trace.emit("inst", "retire", cycle=self.cycle,
+                                seq=dyn.seq, pc=dyn.pc)
             for plugin in self.plugins:
                 plugin.on_commit(dyn)
             if dyn.pdst is not None and dyn.old_pdst is not None:
@@ -354,6 +389,7 @@ class CPU:
         silent_budget = SILENT_DEQUEUE_WIDTH
         dequeue_delay = self.config.store_dequeue_delay
         metrics_on = self.metrics.enabled
+        trace_on = self.trace.enabled
         while self.store_queue and self.store_queue[0].committed:
             head = self.store_queue[0]
             if self.cycle < head.committed_cycle + dequeue_delay:
@@ -367,6 +403,10 @@ class CPU:
                 self.stats.silent_stores += 1
                 if metrics_on:
                     self.metrics.inc("pipeline.sq.silent_dequeues")
+                if trace_on:
+                    self.trace.emit("sq", "silent_dequeue",
+                                    cycle=self.cycle, seq=head.dyn.seq,
+                                    pc=head.dyn.pc, addr=head.addr)
                 self.store_queue.pop(0)
                 for plugin in self.plugins:
                     plugin.on_store_performed(head)
@@ -381,6 +421,11 @@ class CPU:
                     if metrics_on:
                         self.metrics.inc(
                             "pipeline.sq.head_of_line_stall_cycles")
+                    if trace_on:
+                        self.trace.emit("sq", "hol_stall",
+                                        cycle=self.cycle,
+                                        seq=head.dyn.seq,
+                                        pc=head.dyn.pc, addr=head.addr)
                     break
             elif not self.hierarchy.line_in_l1(head.addr):
                 head.fill_requested = True
@@ -392,6 +437,14 @@ class CPU:
                         "pipeline.sq.head_of_line_stall_cycles")
                     self.metrics.observe("pipeline.sq.store_fill_latency",
                                          fill_latency, bin_width=8)
+                if trace_on:
+                    self.trace.emit("sq", "fill_request",
+                                    cycle=self.cycle, seq=head.dyn.seq,
+                                    pc=head.dyn.pc, addr=head.addr,
+                                    info=f"latency={fill_latency}")
+                    self.trace.emit("sq", "hol_stall", cycle=self.cycle,
+                                    seq=head.dyn.seq, pc=head.dyn.pc,
+                                    addr=head.addr)
                 break
             if head.silent is SilentState.UNKNOWN:
                 head.silent = SilentState.NO_CANDIDATE
@@ -410,6 +463,10 @@ class CPU:
             head.performed = True
             head.dequeue_cycle = self.cycle + lat.store_perform
             self.stats.stores_performed += 1
+            if trace_on:
+                self.trace.emit("sq", "perform", cycle=self.cycle,
+                                seq=head.dyn.seq, pc=head.dyn.pc,
+                                addr=head.addr, info=head.silent.value)
             self.store_queue.pop(0)
             for plugin in self.plugins:
                 plugin.on_store_performed(head)
@@ -499,6 +556,9 @@ class CPU:
             dyn.issue_cycle = self.cycle
             issued += 1
             self.stats.issued += 1
+            if self.trace.enabled:
+                self.trace.emit("inst", "issue", cycle=self.cycle,
+                                seq=dyn.seq, pc=dyn.pc)
             taken.append(dyn)
 
         if taken:
@@ -584,6 +644,10 @@ class CPU:
             if entry.dyn is dyn:
                 entry.addr = addr
                 entry.addr_ready = True
+                if self.trace.enabled:
+                    self.trace.emit("sq", "address_resolved",
+                                    cycle=self.cycle, seq=dyn.seq,
+                                    pc=dyn.pc, addr=addr)
                 for plugin in self.plugins:
                     plugin.on_store_address_resolved(entry)
                 return
@@ -647,10 +711,17 @@ class CPU:
         if dyn.pdst is not None:
             self.prf_value[dyn.pdst] = value
             self.prf_ready[dyn.pdst] = True
+        if self.trace.enabled:
+            self.trace.emit("inst", "complete", cycle=self.cycle,
+                            seq=dyn.seq, pc=dyn.pc)
         for plugin in self.plugins:
             plugin.on_result(dyn, value)
         if dyn.vp_predicted and value != dyn.vp_value:
             self.stats.vp_squashes += 1
+            if self.trace.enabled:
+                self.trace.emit("inst", "squash_request",
+                                cycle=self.cycle, seq=dyn.seq,
+                                pc=dyn.pc, info="vp")
             self.request_squash(dyn.seq, dyn.pc + 1)
 
     def _resolve_branch(self, dyn):
@@ -667,8 +738,16 @@ class CPU:
         dyn.result = 1 if taken else 0
         dyn.state = InstState.DONE
         dyn.done_cycle = self.cycle
+        if self.trace.enabled:
+            self.trace.emit("inst", "complete", cycle=self.cycle,
+                            seq=dyn.seq, pc=dyn.pc,
+                            info="taken" if taken else "not-taken")
         if mispredicted:
             self.stats.branch_squashes += 1
+            if self.trace.enabled:
+                self.trace.emit("inst", "squash_request",
+                                cycle=self.cycle, seq=dyn.seq,
+                                pc=dyn.pc, info="branch")
             self.request_squash(dyn.seq, target)
 
     # ------------------------------------------------------------------
@@ -731,6 +810,9 @@ class CPU:
                 self.rename_map[inst.rd] = pdst
                 self.prf_ready[pdst] = False
                 self.arch_version[inst.rd] += 1
+            if self.trace.enabled:
+                self.trace.emit("inst", "dispatch", cycle=self.cycle,
+                                seq=dyn.seq, pc=dyn.pc, info=str(inst))
             self.rob.append(dyn)
             if needs_rs:
                 self.rs.append(dyn)
@@ -756,12 +838,16 @@ class CPU:
         cfg = self.config
         fetched = 0
         capacity = 2 * cfg.fetch_width
+        trace_on = self.trace.enabled
         while fetched < cfg.fetch_width and len(self.fetch_buffer) < capacity:
             if not 0 <= self.fetch_pc < len(self.program):
                 self.fetching_halted = True
                 break
             inst = self.program[self.fetch_pc]
             op = inst.op
+            if trace_on:
+                self.trace.emit("fetch", "fetch", cycle=self.cycle,
+                                pc=self.fetch_pc)
             if op is Op.HALT:
                 self.fetch_buffer.append((inst, False, None))
                 self.fetching_halted = True

@@ -45,6 +45,18 @@ class OptimizationPlugin:
         cpu = self.cpu
         return cpu.metrics if cpu is not None else NULL_STATS
 
+    @property
+    def trace(self):
+        """The attached core's trace buffer (disabled when detached).
+
+        Plug-ins emit ``opt``-category events tagged with their MLD
+        outcome in ``info``, so a trace attributes each timing
+        perturbation to the optimization firing that caused it.
+        """
+        from repro.trace import NULL_TRACE
+        cpu = self.cpu
+        return cpu.trace if cpu is not None else NULL_TRACE
+
     def reset(self):
         """Clear persistent microarchitectural state (Uarch inputs)."""
 

@@ -1,16 +1,31 @@
-"""Pipeline event tracing.
+"""Pipeline event tracing: Figure-4-style instruction timelines.
 
-A plug-in that records, per dynamic instruction, the cycle of every
-lifecycle event (dispatch, issue, completion, commit) and, for stores,
-the store-queue events the silent-store analysis cares about (address
-resolution, SS-Load issue/return, dequeue, silence outcome).  The
-renderer produces the event timelines of the paper's Figure 4.
+Since the :mod:`repro.trace` subsystem landed, the core itself emits
+every lifecycle and store-queue event into a shared
+:class:`~repro.trace.TraceBuffer`.  :class:`PipelineTracer` is now a
+thin *consumer* of that stream — there is one source of truth for
+pipeline events — that folds events back into per-instruction
+:class:`InstructionTrace` records and renders the event timelines of
+the paper's Figure 4.
+
+When the attached core already has an enabled trace buffer (e.g. the
+engine built one from ``SimSpec.trace``) the tracer piggybacks on it;
+otherwise it installs a private buffer restricted to the pipeline
+categories (``inst``/``sq``).  Records are rebuilt lazily from the
+event stream, so reading ``tracer.records`` mid-run reflects whatever
+has been emitted so far.
+
+Record truncation is *visible*: distinct instructions beyond
+``max_records`` are dropped from the rebuilt mapping, and the drop
+count is surfaced through ``repro.stats`` under
+``trace.tracer.records_dropped`` (a peak gauge, so the lazily repeated
+rebuilds never double-count).
 """
 
 from dataclasses import dataclass, field
 
-from repro.pipeline.dyninst import SilentState
 from repro.pipeline.plugins import OptimizationPlugin
+from repro.trace.buffer import PIPELINE_CATEGORIES, TraceBuffer, events_of
 
 
 @dataclass
@@ -36,6 +51,15 @@ class InstructionTrace:
                 if cycle is not None]
 
 
+#: inst-category event name -> InstructionTrace attribute.
+_LIFECYCLE_FIELDS = {
+    "dispatch": "dispatch_cycle",
+    "issue": "issue_cycle",
+    "complete": "complete_cycle",
+    "retire": "commit_cycle",
+}
+
+
 class PipelineTracer(OptimizationPlugin):
     """Passive observer plug-in: records timing, changes nothing."""
 
@@ -44,59 +68,92 @@ class PipelineTracer(OptimizationPlugin):
     def __init__(self, max_records=4096):
         super().__init__()
         self.max_records = max_records
-        self.records = {}
+        self.buffer = None
+        self._owns_buffer = False
+        self._records = {}
+        self._consumed = None  # (emitted, dropped) the cache reflects
+
+    def attach(self, cpu):
+        super().attach(cpu)
+        if cpu.trace.enabled:
+            # Engine-installed buffer: consume the shared stream.
+            self.buffer = cpu.trace
+            self._owns_buffer = False
+        else:
+            self.buffer = TraceBuffer(
+                capacity=max(1024, 8 * self.max_records),
+                categories=PIPELINE_CATEGORIES,
+                metrics=cpu.metrics)
+            self._owns_buffer = True
+            cpu.install_trace(self.buffer)
+        self._consumed = None
 
     def reset(self):
-        self.records.clear()
+        if self.buffer is not None and self._owns_buffer:
+            self.buffer.clear()
+        self._records = {}
+        self._consumed = None
 
-    def _record(self, dyn):
-        record = self.records.get(dyn.seq)
-        if record is None:
-            if len(self.records) >= self.max_records:
-                return None
-            record = InstructionTrace(seq=dyn.seq, pc=dyn.pc,
-                                      text=str(dyn.inst))
-            self.records[dyn.seq] = record
-        return record
+    # -- event-stream folding ---------------------------------------------
 
-    def on_dispatch(self, dyn):
-        record = self._record(dyn)
-        if record is not None:
-            record.dispatch_cycle = self.cpu.cycle
+    @property
+    def records(self):
+        """Per-instruction records, rebuilt lazily from the stream."""
+        buffer = self.buffer
+        if buffer is None:
+            return self._records
+        key = (buffer.emitted, buffer.dropped)
+        if key != self._consumed:
+            self._records = self._rebuild(events_of(buffer))
+            self._consumed = key
+        return self._records
 
-    def on_result(self, dyn, value):
-        record = self._record(dyn)
-        if record is not None:
-            record.issue_cycle = dyn.issue_cycle
-            record.complete_cycle = self.cpu.cycle
-            record.squashed = dyn.squashed
+    def _rebuild(self, events):
+        records = {}
+        overflow = set()
+        for cycle, category, name, seq, pc, _addr, info in events:
+            if seq < 0 or seq in overflow:
+                continue
+            record = records.get(seq)
+            if record is None:
+                if len(records) >= self.max_records:
+                    overflow.add(seq)
+                    continue
+                text = info if category == "inst" and name == "dispatch" \
+                    else "?"
+                record = InstructionTrace(seq=seq, pc=pc, text=text)
+                records[seq] = record
+            if category == "inst":
+                fieldname = _LIFECYCLE_FIELDS.get(name)
+                if fieldname is not None:
+                    setattr(record, fieldname, cycle)
+                    if name == "dispatch":
+                        record.text = info
+                elif name == "squash":
+                    record.squashed = True
+            elif category == "sq":
+                self._fold_store_event(record, name, cycle, info)
+        if overflow:
+            self.metrics.peak("trace.tracer.records_dropped",
+                              len(overflow))
+        return records
 
-    def on_store_address_resolved(self, entry):
-        record = self._record(entry.dyn)
-        if record is not None:
-            record.store_events["address_resolves"] = self.cpu.cycle
-
-    def on_store_performed(self, entry):
-        record = self._record(entry.dyn)
-        if record is None:
-            return
-        record.issue_cycle = entry.dyn.issue_cycle
-        record.store_events["dequeue"] = self.cpu.cycle
-        if entry.silent is SilentState.SILENT:
-            record.store_events["silent_dequeue"] = self.cpu.cycle
-        elif entry.silent is SilentState.NONSILENT:
-            record.store_events["performed_nonsilent"] = self.cpu.cycle
-        else:
-            record.store_events["performed_no_candidate"] = self.cpu.cycle
-        if entry.ss_load_issued:
-            record.store_events.setdefault("ss_load_issued", None)
-        if entry.ss_load_returned:
-            record.store_events.setdefault("ss_load_returned", None)
-
-    def on_commit(self, dyn):
-        record = self._record(dyn)
-        if record is not None:
-            record.commit_cycle = self.cpu.cycle
+    @staticmethod
+    def _fold_store_event(record, name, cycle, info):
+        store = record.store_events
+        if name == "address_resolved":
+            store["address_resolves"] = cycle
+        elif name in ("ss_load_issued", "ss_load_returned"):
+            store[name] = cycle
+        elif name == "silent_dequeue":
+            store["dequeue"] = cycle
+            store["silent_dequeue"] = cycle
+        elif name == "perform":
+            store["dequeue"] = cycle
+            if info == "nonsilent":
+                store["performed_nonsilent"] = cycle
+            else:
+                store["performed_no_candidate"] = cycle
 
     # -- rendering -------------------------------------------------------
 
@@ -112,9 +169,9 @@ class PipelineTracer(OptimizationPlugin):
 
     def store_timelines(self):
         """Timelines for every traced store, oldest first."""
+        records = self.records
         lines = []
-        for seq in sorted(self.records):
-            record = self.records[seq]
-            if record.store_events:
+        for seq in sorted(records):
+            if records[seq].store_events:
                 lines.append(self.timeline(seq))
         return lines

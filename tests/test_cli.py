@@ -30,4 +30,19 @@ def test_urg_command(capsys):
 
 
 def test_command_registry_complete():
-    assert set(COMMANDS) == {"tables", "urg", "fig6", "audit", "stats"}
+    assert set(COMMANDS) == {"tables", "urg", "fig6", "audit", "stats",
+                             "trace"}
+
+
+def test_trace_command(tmp_path, capsys):
+    import json
+    out_path = tmp_path / "trace.json"
+    assert main(["trace", "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "SQ head-of-line stalls" in out
+    assert "!" in out
+    assert "perfetto" in out.lower()
+    document = json.loads(out_path.read_text())
+    assert document["traceEvents"]
+    assert {event["ph"] for event in document["traceEvents"]} <= \
+        {"X", "i", "M"}

@@ -9,7 +9,7 @@ asserts the :class:`RunResult` records — including the per-run
 to the serialized byte.
 """
 
-from repro.engine import derive_seed, merge_all, run_trials
+from repro.engine import TraceSpec, derive_seed, merge_all, run_trials
 from tests.spec_catalog import attack_specs
 
 TRIALS_PER_ATTACK = 3
@@ -42,3 +42,19 @@ def test_pooled_results_bitwise_identical_to_serial():
     assert merged_serial.as_dict() == merged_pooled.as_dict()
     # Every trial contributed to the aggregate.
     assert merged_serial.counters["engine.trials"] == len(specs)
+
+
+def test_traced_pooled_results_bitwise_identical_to_serial():
+    """The trace payload obeys the same determinism contract: event
+    streams are simulation-derived only, so a traced batch is bitwise
+    identical across serial and pooled execution too."""
+    specs = [spec.replace(trace=TraceSpec())
+             for spec in _make_trial_specs()]
+    serial = run_trials(lambda spec: spec, specs, workers=1)
+    pooled = run_trials(lambda spec: spec, specs, workers=4)
+
+    assert len(serial) == len(pooled) == len(specs)
+    for spec, one, many in zip(specs, serial, pooled):
+        assert one.to_json() == many.to_json(), spec.label
+        assert one.trace["events"], spec.label
+        assert one.trace["emitted"] >= len(one.trace["events"])

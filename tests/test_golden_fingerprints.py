@@ -25,23 +25,25 @@ import pytest
 
 from tests.spec_catalog import attack_specs
 
+#: Pinned against ``result_version`` 3 (version 2 added ``metrics`` to
+#: RunResult; version 3 added ``trace``).
 GOLDEN = {
     "amplification":
-        "1f4d0b175f9e6dd04edf26d538af4bcd1da2ae904582131ad7138d91a09c18cd",
+        "c2f56fce687f1bda48ec672a538db7e93e913b588304f272ac4b38b21b96a297",
     "bsaes":
-        "04b6f094cf36d0c411c023944fb461f52cd7c775e7e9b1c131fcfc5a562fe657",
+        "00d133e71880354c5d76ea067497a73710ab1389913b7fc5c7a1e30f2945e43c",
     "compsimp":
-        "688398e170de252e599edd2c2c5d2755c64c8bb7b17b77747b90cf1516a304e8",
+        "77ed28a7de447c4ce314a52d3d23f85183c0980d438b596e4fcdc723528fba53",
     "packing":
-        "aebaf234cf7539829d0d65dbe8e98be64a8e9b2bc77adcd59bdf02517e4a56dd",
+        "9d078fda9f84dc983270904c7893759e3a71fcc78c1e66a523770ac3871f791f",
     "replay":
-        "17296bf2dbf2af4a45b90d249d7197f75ccc991d4b6e43abb6795da7c157e031",
+        "355e11b122f81db21ea32f541c184dc2d610a14f45626f122cb64bc146516652",
     "reuse":
-        "05ee7ab50d456eed701c2fbdef791d6252e5e5846126de8933b01671ab528b7a",
+        "6c39b24de8155a4f374a6dd494a28a098b8a94fc8ae9318c932632797eef5762",
     "rfc":
-        "75737d1f1e6876e3932f3c985d8283b562e88f2dac0435e791b68041d4653e7a",
+        "a7dc8b121734a7209008692ce01ecee72ac1e18244b067d64365a066ff433d3c",
     "vp":
-        "668f7983b1623b195a0a5526a51d73710da1b77ee9041c2c5c7fa4bd5f447cae",
+        "d8a0a3bebdce7d1138314ef457e991a77de917017548e9782fe6c2dd4443ddaf",
 }
 
 
@@ -71,3 +73,15 @@ def test_fingerprint_depends_on_collect_stats_only_when_disabled():
         GOLDEN["amplification"]
     assert spec.replace(collect_stats=False).fingerprint() != \
         GOLDEN["amplification"]
+
+
+def test_fingerprint_depends_on_trace_only_when_set():
+    from repro.engine import TraceSpec
+    spec = attack_specs()["amplification"]
+    assert spec.replace(trace=None).fingerprint() == \
+        GOLDEN["amplification"]
+    traced = spec.replace(trace=TraceSpec()).fingerprint()
+    assert traced != GOLDEN["amplification"]
+    # ... and on the trace *configuration*, not just its presence.
+    assert spec.replace(
+        trace=TraceSpec(categories=("sq",))).fingerprint() != traced

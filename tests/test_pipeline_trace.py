@@ -92,3 +92,51 @@ def test_record_cap():
 def test_untraced_timeline_message():
     tracer = PipelineTracer()
     assert "not traced" in tracer.timeline(999)
+
+
+def test_record_drops_are_surfaced_in_stats():
+    from repro.stats import SimStats
+    asm = Assembler()
+    for _ in range(20):
+        asm.addi(1, 1, 1)
+    asm.halt()
+    memory = FlatMemory(1 << 14)
+    metrics = SimStats()
+    tracer = PipelineTracer(max_records=5)
+    cpu = CPU(asm.assemble(), MemoryHierarchy(memory, l1=Cache()),
+              plugins=[tracer], metrics=metrics)
+    cpu.run()
+    records = tracer.records
+    assert len(records) == 5
+    dropped = 21 - len(records)  # 20 addi + halt
+    assert metrics.maxima["trace.tracer.records_dropped"] == dropped
+    # Reading records again must not inflate the peak (lazy rebuilds
+    # are idempotent).
+    _ = tracer.records
+    assert metrics.maxima["trace.tracer.records_dropped"] == dropped
+    assert "trace.tracer.records_dropped" in metrics.as_dict()["maxima"]
+
+
+def test_tracer_consumes_engine_installed_buffer():
+    """With a spec-level trace the tracer piggybacks on the shared
+    stream instead of installing a second buffer."""
+    from repro.trace import TraceBuffer
+    asm = simple_store_program(42)
+    memory = FlatMemory(1 << 16)
+    memory.write(0x1000, 42)
+    buffer = TraceBuffer()
+    tracer = PipelineTracer()
+    cpu = CPU(asm.assemble(), MemoryHierarchy(memory, l1=Cache()),
+              plugins=[SilentStorePlugin(), tracer], trace=buffer)
+    cpu.run()
+    assert tracer.buffer is buffer
+    assert cpu.trace is buffer
+    assert tracer.store_timelines()
+
+
+def test_tracer_installs_pipeline_only_buffer():
+    _cpu, tracer = run_traced(simple_store_program(42),
+                              init_mem=[(0x1000, 42)])
+    assert tracer.buffer.categories == {"inst", "sq"}
+    # Hierarchy events are filtered out, not recorded.
+    assert tracer.buffer.events(category="mem") == []
