@@ -12,6 +12,11 @@ Commands
              render ASCII pipeline timelines, and export a
              Perfetto-loadable Chrome trace (``--out PATH`` to choose
              the JSON destination)
+``bench``    measure simulated-instruction throughput (KIPS) of the
+             fig5/fig6/fig7 workloads under the reference and
+             fast-path kernels, print the speedup table, and write
+             ``BENCH_PERF.json`` (``--out PATH`` to choose the
+             destination; ``--quick`` for a smaller fig6/fig7 load)
 """
 
 import sys
@@ -146,8 +151,46 @@ def cmd_trace(*args):
     print("open in https://ui.perfetto.dev or chrome://tracing")
 
 
+def cmd_bench(*args):
+    """KIPS throughput of the attack workloads, both kernels.
+
+    Every workload runs under the reference loop and the fast-path
+    kernel; the table shows simulated KIPS for each plus the wall-clock
+    speedup, and the ``identical`` column is the bitwise-equivalence
+    check (per-run cycle counts, stats and attack outcomes must match
+    across kernels — a speedup bought with drift is a bug, and the
+    differential suite would also fail).
+    """
+    from repro.analysis.throughput import (
+        REPORT_NAME, render_table, run_suite, write_report,
+    )
+    args = list(args)
+    out = REPORT_NAME
+    if "--out" in args:
+        flag = args.index("--out")
+        try:
+            out = args[flag + 1]
+        except IndexError:
+            print("usage: python -m repro bench [--out PATH] [--quick]")
+            return
+        del args[flag:flag + 2]
+    quick = "--quick" in args
+    report = run_suite(runs_per_type=4 if quick else 12,
+                       secret=b"Pan!" if quick else b"Pandora!",
+                       best_of=1 if quick else 5)
+    print(render_table(report))
+    path = write_report(report, path=out)
+    print(f"\nwrote {path}")
+    drifted = [name for name, entry in report["workloads"].items()
+               if not entry["identical"]]
+    if drifted:
+        print(f"ERROR: kernels diverged on: {', '.join(drifted)}")
+        raise SystemExit(1)
+
+
 COMMANDS = {"tables": cmd_tables, "urg": cmd_urg, "fig6": cmd_fig6,
-            "audit": cmd_audit, "stats": cmd_stats, "trace": cmd_trace}
+            "audit": cmd_audit, "stats": cmd_stats, "trace": cmd_trace,
+            "bench": cmd_bench}
 
 
 def main(argv=None):

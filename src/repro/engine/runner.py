@@ -34,14 +34,26 @@ def derive_seed(base_seed, index):
     return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
 
 
-def execute_spec(spec):
-    """Build and run one spec (module-level: picklable for the pool)."""
+def execute_spec(spec, fingerprint=None):
+    """Build and run one spec (module-level: picklable for the pool).
+
+    ``fingerprint`` is the spec's precomputed content hash; passing it
+    spares :meth:`Session.from_spec` from hashing the spec again (the
+    hash covers the whole program and memory image, so for short runs
+    recomputing it was a measurable fraction of the trial).
+    """
     from repro.engine.session import Session
-    return Session.from_spec(spec).run()
+    return Session.from_spec(spec, fingerprint=fingerprint).run()
 
 
-def _timed_execute(spec):
-    """Like :func:`execute_spec`, plus wall-clock + worker telemetry.
+def _execute_job(job):
+    """Pool target: ``(spec, fingerprint) -> RunResult``."""
+    spec, fingerprint = job
+    return execute_spec(spec, fingerprint)
+
+
+def _timed_execute(job):
+    """Like :func:`_execute_job`, plus wall-clock + worker telemetry.
 
     Returns ``(result, start_us, elapsed_us, pid)``.  The telemetry
     never enters the :class:`RunResult` — wall time and pids are
@@ -49,19 +61,25 @@ def _timed_execute(spec):
     between serial and pooled runs; it feeds ``batch_stats`` and the
     caller-owned :class:`repro.trace.BatchTrace` instead.
     """
+    spec, fingerprint = job
     start_us = time.perf_counter_ns() // 1000
-    result = execute_spec(spec)
+    result = execute_spec(spec, fingerprint)
     elapsed_us = max(1, time.perf_counter_ns() // 1000 - start_us)
     return result, start_us, elapsed_us, os.getpid()
 
 
 def run_spec(spec, cache=None, bypass_cache=False):
-    """Run one spec through the optional result cache."""
+    """Run one spec through the optional result cache.
+
+    The fingerprint is derived exactly once and shared by the cache
+    probe, the session build and the stored result.
+    """
+    fingerprint = spec.fingerprint()
     if cache is not None and not bypass_cache:
-        hit = cache.get(spec.fingerprint())
+        hit = cache.get(fingerprint)
         if hit is not None:
             return hit
-    result = execute_spec(spec)
+    result = execute_spec(spec, fingerprint)
     if cache is not None:
         cache.put(result)
     return result
@@ -87,13 +105,16 @@ def run_batch(specs, workers=1, cache=None, bypass_cache=False,
     :class:`RunResult`.
     """
     specs = list(specs)
+    # One fingerprint derivation per trial, shared by the cache probe,
+    # the (possibly pooled) session build, and the stored result.
+    fingerprints = [spec.fingerprint() for spec in specs]
     results = [None] * len(specs)
     pending = []
     track = batch_stats is not None and batch_stats.enabled
     timed = track or batch_trace is not None
     for index, spec in enumerate(specs):
         if cache is not None and not bypass_cache:
-            hit = cache.get(spec.fingerprint())
+            hit = cache.get(fingerprints[index])
             if hit is not None:
                 results[index] = hit
                 if track:
@@ -112,7 +133,7 @@ def run_batch(specs, workers=1, cache=None, bypass_cache=False,
         for index in pending:
             if timed:
                 result, start_us, elapsed_us, pid = _timed_execute(
-                    specs[index])
+                    (specs[index], fingerprints[index]))
                 if track:
                     batch_stats.observe("engine.trial_wall_us",
                                         elapsed_us,
@@ -121,14 +142,16 @@ def run_batch(specs, workers=1, cache=None, bypass_cache=False,
                                       index, start_us, elapsed_us, pid)
                 results[index] = result
             else:
-                results[index] = execute_spec(specs[index])
+                results[index] = execute_spec(specs[index],
+                                              fingerprints[index])
         if track and pending:
             batch_stats.peak("engine.workers_used", 1)
     else:
         if chunksize is None:
             chunksize = max(1, len(pending) // (4 * workers))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            job = [specs[index] for index in pending]
+            job = [(specs[index], fingerprints[index])
+                   for index in pending]
             if timed:
                 pids = set()
                 fresh = pool.map(_timed_execute, job,
@@ -147,7 +170,7 @@ def run_batch(specs, workers=1, cache=None, bypass_cache=False,
                 if track:
                     batch_stats.peak("engine.workers_used", len(pids))
             else:
-                fresh = pool.map(execute_spec, job, chunksize=chunksize)
+                fresh = pool.map(_execute_job, job, chunksize=chunksize)
                 for index, result in zip(pending, fresh):
                     results[index] = result
 

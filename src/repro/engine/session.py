@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.isa.bits import mask
 from repro.pipeline.cpu import CPU
+from repro.pipeline.fastpath import FastPathCPU
 from repro.stats import NULL_STATS, SimStats
 
 
@@ -76,7 +77,9 @@ class Session:
     # -- construction --------------------------------------------------
 
     @classmethod
-    def from_spec(cls, spec):
+    def from_spec(cls, spec, fingerprint=None):
+        """Build a session; ``fingerprint`` skips recomputing the hash
+        when the caller (runner, cache) already derived it."""
         memory = spec.build_memory()
         hierarchy = spec.hierarchy.build(memory=memory,
                                          extra_seed=spec.seed)
@@ -85,20 +88,24 @@ class Session:
         hierarchy.metrics = metrics
         trace = (spec.trace.build(metrics=metrics)
                  if spec.trace is not None else None)
-        cpu = CPU(spec.program, hierarchy, config=spec.config,
-                  plugins=plugins, metrics=metrics, trace=trace)
+        cpu_cls = FastPathCPU if getattr(spec, "fastpath", True) else CPU
+        cpu = cpu_cls(spec.program, hierarchy, config=spec.config,
+                      plugins=plugins, metrics=metrics, trace=trace)
         for index, value in spec.regs:
             cpu.prf_value[cpu.rename_map[index]] = mask(value)
-        return cls(cpu, spec=spec, fingerprint=spec.fingerprint())
+        if fingerprint is None:
+            fingerprint = spec.fingerprint()
+        return cls(cpu, spec=spec, fingerprint=fingerprint)
 
     @classmethod
     def from_parts(cls, program, hierarchy, config=None, plugins=(),
-                   label="", metrics=None):
+                   label="", metrics=None, fastpath=True):
         """Wrap pre-built simulator parts (persistent-state callers)."""
         if metrics is not None:
             hierarchy.metrics = metrics
-        cpu = CPU(program, hierarchy, config=config,
-                  plugins=list(plugins), metrics=metrics)
+        cpu_cls = FastPathCPU if fastpath else CPU
+        cpu = cpu_cls(program, hierarchy, config=config,
+                      plugins=list(plugins), metrics=metrics)
         session = cls(cpu)
         session._label = label
         return session

@@ -235,7 +235,11 @@ class SimSpec:
     attaches a :class:`TraceSpec`; a traced run's
     :class:`~repro.engine.session.RunResult` carries the deterministic
     event payload, so a non-``None`` trace is its own fingerprint
-    dimension (again see :meth:`fingerprint`).
+    dimension (again see :meth:`fingerprint`).  ``fastpath`` selects
+    the :class:`~repro.pipeline.fastpath.FastPathCPU` kernel (the
+    default) or the reference :class:`~repro.pipeline.cpu.CPU` loop;
+    the two are bitwise-equivalent by contract, so the toggle never
+    enters the fingerprint and both kernels share cached results.
     """
 
     program: Program
@@ -252,6 +256,7 @@ class SimSpec:
     meta: tuple = ()                  # free-form (key, value) pairs
     collect_stats: bool = True
     trace: object = None              # TraceSpec or None (tracing off)
+    fastpath: bool = True             # fast-path kernel (bitwise-equal)
 
     def replace(self, **changes):
         return dataclasses.replace(self, **changes)
@@ -307,6 +312,7 @@ class SimSpec:
             "collect_stats": self.collect_stats,
             "trace": (None if self.trace is None
                       else _canonical(self.trace)),
+            "fastpath": self.fastpath,
         }
 
     def to_json(self, **kwargs):
@@ -338,7 +344,8 @@ class SimSpec:
             label=data.get("label", ""),
             meta=_from_canonical(data.get("meta", [])),
             collect_stats=data.get("collect_stats", True),
-            trace=_from_canonical(data.get("trace")))
+            trace=_from_canonical(data.get("trace")),
+            fastpath=data.get("fastpath", True))
 
     @classmethod
     def from_json(cls, text):
@@ -359,15 +366,29 @@ class SimSpec:
         ``trace`` enters the hash only when not None: the default keeps
         one fingerprint per simulation while a traced run (whose result
         carries the event payload) caches separately per trace
-        configuration.
+        configuration.  ``fastpath`` never enters the hash: the
+        fast-path kernel is bitwise-equivalent to the reference loop
+        (enforced by ``tests/test_fastpath_equivalence.py``), so a
+        result computed by either kernel satisfies both — which is
+        also what lets the differential suite compare cached goldens
+        across kernels at all.
+
+        The digest is memoized on the (frozen) instance: sweeps and
+        repeated batches fingerprint the same spec object many times,
+        and the hash is a pure function of its content.  ``replace()``
+        builds a fresh instance, so derived specs never inherit a
+        stale memo.
         """
+        memo = self.__dict__.get("_fingerprint_memo")
+        if memo is not None:
+            return memo
         payload = {
             "result_version": 3,
             "program": self.program.encode().hex(),
-            "config": _canonical(self.config if self.config is not None
-                                 else CPUConfig()),
-            "hierarchy": _canonical(self.hierarchy),
-            "plugins": _canonical(self.plugins),
+            "config": _fp_canonical(self.config if self.config is not None
+                                    else CPUConfig()),
+            "hierarchy": _fp_canonical(self.hierarchy),
+            "plugins": _fp_canonical(self.plugins),
             "mem_writes": _canonical(self.mem_writes),
             "mem_blobs": [[addr, bytes(data).hex()]
                           for addr, data in self.mem_blobs],
@@ -381,7 +402,34 @@ class SimSpec:
         if self.trace is not None:
             payload["trace"] = _canonical(self.trace)
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode()).hexdigest()
+        digest = hashlib.sha256(blob.encode()).hexdigest()
+        object.__setattr__(self, "_fingerprint_memo", digest)
+        return digest
+
+
+#: Memo for :func:`_fp_canonical`, keyed by the (hashable, frozen)
+#: spec component itself.  Bounded by the number of distinct configs
+#: and hierarchy geometries a process touches.
+_FP_CANONICAL_CACHE = {}
+
+
+def _fp_canonical(obj):
+    """:func:`_canonical`, memoized for hashable spec components.
+
+    Trial batches re-fingerprint thousands of specs that share one
+    config and hierarchy description; canonicalizing those nested
+    dataclasses dominates the hash cost.  Cached values are shared, so
+    this variant is only for :meth:`SimSpec.fingerprint`, which
+    serializes the result without mutating it.
+    """
+    try:
+        cached = _FP_CANONICAL_CACHE.get(obj)
+    except TypeError:           # unhashable (mutable config, dict kwarg)
+        return _canonical(obj)
+    if cached is None:
+        cached = _canonical(obj)
+        _FP_CANONICAL_CACHE[obj] = cached
+    return cached
 
 
 def _canonical(obj):

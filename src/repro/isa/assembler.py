@@ -37,11 +37,19 @@ def parse_reg(reg):
 
 
 class Program:
-    """An assembled program: a list of instructions plus its label map."""
+    """An assembled program: a list of instructions plus its label map.
+
+    Construction interns every instruction's operand tuple
+    (:meth:`Instruction.intern_key`): labels are resolved by now, so the
+    semantic key is final, and equal static instructions — across
+    programs and trials — share one tuple object.
+    """
 
     def __init__(self, instructions, labels):
         self.instructions = instructions
         self.labels = dict(labels)
+        for inst in instructions:
+            inst.intern_key()
 
     def __len__(self):
         return len(self.instructions)

@@ -81,6 +81,12 @@ class MemoryHierarchy:
             "l1_hits": 0, "l2_hits": 0, "memory_accesses": 0,
             "prefetch_buffer_hits": 0,
         }
+        #: Monotone activity counter: bumped on every state-bearing
+        #: access (demand reads, writes, prefetches, store fills).  The
+        #: fast-path core (:mod:`repro.pipeline.fastpath`) compares it
+        #: across a cycle to prove the memory system saw no activity —
+        #: including plug-in-initiated traffic — before skipping ahead.
+        self.epoch = 0
 
     # -- presence ------------------------------------------------------------
 
@@ -100,6 +106,7 @@ class MemoryHierarchy:
 
         ``hit_level`` is one of ``"l1"``, ``"pb"``, ``"l2"``, ``"mem"``.
         """
+        self.epoch += 1
         self.stats["reads"] += 1
         value = self.memory.read(addr, width)
         latency, level = self._access_for_latency(addr, fill)
@@ -107,6 +114,7 @@ class MemoryHierarchy:
 
     def access_latency(self, addr, fill=True):
         """Latency-only access (used for instruction-less probes)."""
+        self.epoch += 1
         latency, _ = self._access_for_latency(addr, fill)
         return latency
 
@@ -202,11 +210,13 @@ class MemoryHierarchy:
         """
         if self.l1.contains(addr):
             return 0
+        self.epoch += 1
         latency, _ = self._access_for_latency(addr, fill=True)
         return latency
 
     def write(self, addr, value, width=8):
         """Architecturally perform a store (line must already be in L1)."""
+        self.epoch += 1
         self.stats["writes"] += 1
         if self.metrics.enabled:
             self.metrics.inc("mem.writes")
@@ -224,6 +234,7 @@ class MemoryHierarchy:
         prefetches virtual addresses (Section IV-D2), leaving
         page-granularity footprints too.
         """
+        self.epoch += 1
         self.stats["prefetches"] += 1
         if self.metrics.enabled:
             self.metrics.inc("mem.prefetches")

@@ -19,7 +19,7 @@ A hit returns the result in one cycle and skips the functional unit
 from collections import OrderedDict
 
 from repro.isa.opcodes import Op
-from repro.pipeline.plugins import OptimizationPlugin
+from repro.pipeline.plugins import FF_PURE, OptimizationPlugin
 
 DEFAULT_REUSABLE_OPS = frozenset({Op.MUL, Op.DIV, Op.REM})
 
@@ -28,6 +28,10 @@ class ComputationReusePlugin(OptimizationPlugin):
     """Memoization table with LRU replacement and Sv/Sn keying."""
 
     name = "computation-reuse"
+
+    #: Table lookups/updates happen only at dispatch/issue/writeback;
+    #: nothing fires on a quiet cycle, so skipping is exact.
+    ff_policy = FF_PURE
 
     VARIANTS = ("sv", "sn")
 

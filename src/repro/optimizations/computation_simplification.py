@@ -11,7 +11,7 @@ results are never changed (the core always computes the real value).
 """
 
 from repro.isa.opcodes import Op
-from repro.pipeline.plugins import OptimizationPlugin
+from repro.pipeline.plugins import FF_PURE, OptimizationPlugin
 
 #: Latency of a simplified (skipped / trivialized) operation.
 TRIVIAL_LATENCY = 1
@@ -90,6 +90,9 @@ class ComputationSimplificationPlugin(OptimizationPlugin):
     """Shortens execution latency when a named rule fires."""
 
     name = "computation-simplification"
+
+    #: Only ``execute_latency`` (invoked at issue) — pure.
+    ff_policy = FF_PURE
 
     def __init__(self, rules=DEFAULT_RULES, trivial_latency=TRIVIAL_LATENCY):
         super().__init__()

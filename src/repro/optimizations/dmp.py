@@ -33,7 +33,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.memory.flatmem import MemoryError_
-from repro.pipeline.plugins import OptimizationPlugin
+from repro.pipeline.plugins import FF_WAKEUP, OptimizationPlugin
 
 
 @dataclass
@@ -76,6 +76,17 @@ class IndirectMemoryPrefetcher(OptimizationPlugin):
     """IMP: 2- or 3-level indirect-memory prefetcher."""
 
     name = "indirect-memory-prefetcher"
+
+    #: The chained walk advances in ``end_of_cycle`` whenever the head
+    #: job's stage latency has elapsed; :meth:`ff_next_cycle` bounds a
+    #: skip to that point.  Learning hooks are pure (driven by retired
+    #: loads), so an empty job queue imposes no constraint.
+    ff_policy = FF_WAKEUP
+
+    def ff_next_cycle(self):
+        if not self._jobs:
+            return None
+        return max(self.cpu.cycle + 1, self._jobs[0].ready_cycle)
 
     def __init__(self, levels=3, delta=4, stride_threshold=2,
                  link_threshold=2, stage_latency=8, max_jobs=8,

@@ -14,7 +14,7 @@ Two members of the family are modeled:
 
 from repro.isa.bits import is_narrow, significant_bytes
 from repro.isa.opcodes import Op, SIMPLE_ALU_OPS, reads_rs2
-from repro.pipeline.plugins import OptimizationPlugin
+from repro.pipeline.plugins import FF_PURE, OptimizationPlugin
 
 NARROW_BITS = 16
 
@@ -37,6 +37,9 @@ class OperandPackingPlugin(OptimizationPlugin):
     """Pack two narrow-operand ALU ops into one slot."""
 
     name = "operand-packing"
+
+    #: Only ``pack_pair`` (invoked at issue) — pure.
+    ff_policy = FF_PURE
 
     def __init__(self, narrow_bits=NARROW_BITS):
         super().__init__()
@@ -67,6 +70,9 @@ class EarlyTerminatingMultiplierPlugin(OptimizationPlugin):
     """
 
     name = "early-terminating-multiplier"
+
+    #: Only ``execute_latency`` (invoked at issue) — pure.
+    ff_policy = FF_PURE
 
     def __init__(self, digit_bytes=2):
         super().__init__()

@@ -23,13 +23,16 @@ leaks data at rest.
 
 from collections import deque
 
-from repro.pipeline.plugins import OptimizationPlugin
+from repro.pipeline.plugins import FF_PURE, OptimizationPlugin
 
 
 class RegisterFileCompressionPlugin(OptimizationPlugin):
     """Value-duplication rename-headroom model."""
 
     name = "register-file-compression"
+
+    #: Duplicate tracking rides writeback/rename events — pure.
+    ff_policy = FF_PURE
 
     VARIANTS = ("any", "zero-one")
 

@@ -23,13 +23,22 @@ baseline).
 """
 
 from repro.pipeline.dyninst import SilentState
-from repro.pipeline.plugins import OptimizationPlugin
+from repro.pipeline.plugins import FF_WAKEUP, OptimizationPlugin
 
 
 class SilentStorePlugin(OptimizationPlugin):
     """Read-port-stealing silent-store detection."""
 
     name = "silent-stores"
+
+    #: ``end_of_cycle`` retries the port steal (and ages the Case C
+    #: retry window) every cycle while candidates are pending, so
+    #: fast-forward must tick through those cycles; with an empty
+    #: pending list every remaining hook is event-driven.
+    ff_policy = FF_WAKEUP
+
+    def ff_next_cycle(self):
+        return self.cpu.cycle + 1 if self._pending else None
 
     def __init__(self, ss_load_allocates=False, retry_cycles=0):
         super().__init__()

@@ -14,7 +14,7 @@ mismatch above it).
 """
 
 from repro.isa.opcodes import Op
-from repro.pipeline.plugins import OptimizationPlugin
+from repro.pipeline.plugins import FF_PURE, OptimizationPlugin
 
 
 class ValuePredictionPlugin(OptimizationPlugin):
@@ -31,6 +31,9 @@ class ValuePredictionPlugin(OptimizationPlugin):
     """
 
     name = "value-prediction"
+
+    #: Predicts at dispatch, verifies at writeback — pure.
+    ff_policy = FF_PURE
 
     PREDICTORS = ("last_value", "stride")
 

@@ -23,7 +23,36 @@ Hook                             Used by
 ``end_of_cycle``                 silent stores (port stealing), DMP
                                  (prefetch state machine)
 ===============================  =============================================
+
+Fast-forward contract
+---------------------
+
+The fast-path core (:mod:`repro.pipeline.fastpath`) may skip over spans
+of cycles in which provably nothing can change.  Because plug-in hooks
+fire *inside* the cycle loop, every plug-in must declare whether that
+is safe around it via ``ff_policy``:
+
+``FF_PURE``
+    Every hook is a pure function of the pipeline events that invoke it
+    (dispatch, issue, writeback, commit, ...).  No hook does anything on
+    a cycle with no pipeline activity, so skipping quiet cycles is
+    exact.  This is true for most table-driven optimizations.
+``FF_WAKEUP``
+    The plug-in runs autonomous per-cycle work (``end_of_cycle`` state
+    machines), but can bound it: :meth:`ff_next_cycle` returns the next
+    cycle at which it may act, or ``None`` when it is idle.  Quiet
+    cycles before that bound skip exactly.
+``FF_EVERY_CYCLE``
+    The plug-in makes no promise — the **default**, so an out-of-tree
+    plug-in that never heard of fast-forward silently disables it
+    (every cycle is ticked; results stay exact, just slower).  This is
+    the "disabled" arm of the fast-path's disabled-or-exact guarantee.
 """
+
+#: ``ff_policy`` values (see the module docstring).
+FF_PURE = "pure"
+FF_WAKEUP = "wakeup"
+FF_EVERY_CYCLE = "every-cycle"
 
 
 class OptimizationPlugin:
@@ -31,8 +60,21 @@ class OptimizationPlugin:
 
     name = "base"
 
+    #: Fast-forward declaration; see the module docstring.  The default
+    #: is the conservative one: unknown plug-ins disable fast-forward.
+    ff_policy = FF_EVERY_CYCLE
+
     def __init__(self):
         self.cpu = None
+
+    def ff_next_cycle(self):
+        """Earliest future cycle this plug-in may act on (or ``None``).
+
+        Consulted by the fast-path core only when ``ff_policy`` is
+        :data:`FF_WAKEUP`.  Returning ``None`` means "idle until some
+        pipeline event re-arms me"; returning a cycle bounds the skip.
+        """
+        return None
 
     def attach(self, cpu):
         """Called once when the plug-in is registered with a core."""

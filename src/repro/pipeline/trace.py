@@ -24,7 +24,7 @@ rebuilds never double-count).
 
 from dataclasses import dataclass, field
 
-from repro.pipeline.plugins import OptimizationPlugin
+from repro.pipeline.plugins import FF_PURE, OptimizationPlugin
 from repro.trace.buffer import PIPELINE_CATEGORIES, TraceBuffer, events_of
 
 
@@ -64,6 +64,9 @@ class PipelineTracer(OptimizationPlugin):
     """Passive observer plug-in: records timing, changes nothing."""
 
     name = "pipeline-tracer"
+
+    #: Lazy consumer of the shared event stream; never acts on a cycle.
+    ff_policy = FF_PURE
 
     def __init__(self, max_records=4096):
         super().__init__()

@@ -114,18 +114,20 @@ class SandboxRuntime:
     # execution
     # ------------------------------------------------------------------
 
-    def run(self, plugins=(), config=None, max_cycles=None):
+    def run(self, plugins=(), config=None, max_cycles=None,
+            fastpath=True):
         """Execute the loaded program; returns the finished CPU.
 
         Goes through an engine :class:`Session` over the runtime's
         *persistent* hierarchy — sandbox state (arrays, receiver cache
         sets) must survive across runs, so the session wraps existing
-        parts instead of building from a spec.
+        parts instead of building from a spec.  ``fastpath`` selects
+        the kernel exactly as :attr:`SimSpec.fastpath` does.
         """
         if self.machine_program is None:
             raise SandboxError("no program loaded")
         session = Session.from_parts(self.machine_program,
                                      self.hierarchy, config=config,
-                                     plugins=plugins)
+                                     plugins=plugins, fastpath=fastpath)
         self.last_result = session.run(max_cycles=max_cycles)
         return session.cpu

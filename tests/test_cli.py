@@ -31,7 +31,20 @@ def test_urg_command(capsys):
 
 def test_command_registry_complete():
     assert set(COMMANDS) == {"tables", "urg", "fig6", "audit", "stats",
-                             "trace"}
+                             "trace", "bench"}
+
+
+def test_bench_command(tmp_path, capsys):
+    import json
+    out_path = tmp_path / "bench.json"
+    assert main(["bench", "--quick", "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "KIPS" in out
+    assert "speedup" in out
+    report = json.loads(out_path.read_text())
+    for entry in report["workloads"].values():
+        assert entry["identical"]
+        assert entry["fastpath"]["instructions"] > 0
 
 
 def test_trace_command(tmp_path, capsys):
