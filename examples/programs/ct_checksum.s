@@ -1,0 +1,21 @@
+# A constant-time checksum over a public buffer, with a secret key
+# resident in the same address space.  The secret is declared but never
+# flows into any computation, so every contract reports SAFE — the
+# checker proves non-interference for this program, not just absence
+# of known-bad patterns.  Straight-line on purpose: constant-time code
+# has no data-dependent control flow, and fixed addresses let the
+# checker prove the loads never alias the secret region.
+
+.secret 0x1000 +16         # key material, never touched
+.public 0x3000 +32         # the message buffer
+
+    li x1, 0x3000
+    load x4, 0(x1)
+    load x5, 8(x1)
+    load x6, 16(x1)
+    load x7, 24(x1)
+    add x3, x4, x5
+    add x3, x3, x6
+    add x3, x3, x7
+    store x3, 0(x1)        # public result over public memory
+    halt

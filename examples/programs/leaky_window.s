@@ -1,0 +1,19 @@
+# A deliberately leaky window function: loads a secret word, mixes it
+# with attacker-controlled data, and both computes and stores on it.
+# Every optimization family in the paper finds something here —
+# `python -m repro lint examples/programs/leaky_window.s` lists them.
+
+.secret 0x1000 +8          # the key word
+.public 0x2000 +8          # attacker-controlled input
+
+    li x1, 0x1000
+    li x2, 0x2000
+    load x3, 0(x1)         # secret into x3
+    load x4, 0(x2)         # public into x4
+    mul x5, x3, x4         # zero-skip / early-termination on secret
+    xor x6, x3, x4         # packing sees secret operand width
+    store x5, 0(x2)        # silent iff old value matches — equality leak
+    beq x3, x0, skip       # secret-dependent branch: implicit flows below
+    addi x7, x7, 1
+skip:
+    halt

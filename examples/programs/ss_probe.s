@@ -1,0 +1,16 @@
+# The paper's replay probe, in eight instructions: store a guess over
+# a secret word and time the store.  A silent store (guess == secret)
+# retires without a memory write — the timing difference is the
+# oracle.  The checker flags the store's MLD taps: the old memory
+# value at the target address is secret.
+
+.secret 0x4000 +8          # victim word the probe overwrites
+
+    li x1, 0x4000
+    li x2, 0x5a5a          # the attacker's guess
+    rdcycle x3
+    store x2, 0(x1)        # silent iff guess matches the secret
+    fence
+    rdcycle x4
+    sub x5, x4, x3         # probe timing — architecturally public
+    halt

@@ -17,6 +17,12 @@ Commands
              fast-path kernels, print the speedup table, and write
              ``BENCH_PERF.json`` (``--out PATH`` to choose the
              destination; ``--quick`` for a smaller fig6/fig7 load)
+``lint``     statically check ``.s`` programs for MLD leakage:
+             ``python -m repro lint prog.s [--opts a,b,...] [--json]
+             [--out PATH]`` — taint from the program's ``.secret`` /
+             ``.public`` directives, contracts from the named
+             optimizations (default: every one with a contract);
+             exits 1 if any program leaks
 """
 
 import sys
@@ -188,9 +194,84 @@ def cmd_bench(*args):
         raise SystemExit(1)
 
 
+def cmd_lint(*args):
+    """Static MLD leakage check of ``.s`` programs.
+
+    ``python -m repro lint prog.s [prog2.s ...] [--opts a,b] [--json]
+    [--out PATH]``.  Default contracts are every registered
+    optimization that exports one; ``--opts`` narrows to a
+    comma-separated list of registry names.  ``--json`` prints (or with
+    ``--out`` writes) the machine-readable report the CI job archives.
+    Returns 1 if any program has findings.
+    """
+    import json
+    from repro.isa.assembler import AssemblyError
+    from repro.isa.text import assemble_file
+    from repro.lint import contracted_plugin_names, lint_program, \
+        rows_for_names
+    args = list(args)
+    as_json = "--json" in args
+    if as_json:
+        args.remove("--json")
+    out = None
+    if "--out" in args:
+        flag = args.index("--out")
+        try:
+            out = args[flag + 1]
+        except IndexError:
+            print("usage: python -m repro lint <prog.s> [--opts a,b] "
+                  "[--json] [--out PATH]")
+            return 1
+        del args[flag:flag + 2]
+    opts = contracted_plugin_names()
+    if "--opts" in args:
+        flag = args.index("--opts")
+        try:
+            opts = tuple(name for name in args[flag + 1].split(",")
+                         if name)
+        except IndexError:
+            print("usage: python -m repro lint <prog.s> [--opts a,b] "
+                  "[--json] [--out PATH]")
+            return 1
+        del args[flag:flag + 2]
+    if not args:
+        print("usage: python -m repro lint <prog.s> [--opts a,b] "
+              "[--json] [--out PATH]")
+        return 1
+    try:
+        contracts = rows_for_names(opts)
+    except Exception as error:
+        print(f"lint: bad --opts: {error}")
+        return 1
+    reports = []
+    for path in args:
+        try:
+            program = assemble_file(path)
+        except (OSError, AssemblyError) as error:
+            print(f"lint: {error}")
+            return 1
+        reports.append(lint_program(program, contracts=contracts,
+                                    program_name=path))
+    payload = {"reports": [report.to_json_dict() for report in reports],
+               "ok": all(report.ok for report in reports)}
+    if as_json or out:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if out:
+            with open(out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote lint report to {out}")
+        else:
+            print(text)
+    if not as_json:
+        for report in reports:
+            print(report.render())
+            print()
+    return 0 if payload["ok"] else 1
+
+
 COMMANDS = {"tables": cmd_tables, "urg": cmd_urg, "fig6": cmd_fig6,
             "audit": cmd_audit, "stats": cmd_stats, "trace": cmd_trace,
-            "bench": cmd_bench}
+            "bench": cmd_bench, "lint": cmd_lint}
 
 
 def main(argv=None):
@@ -199,8 +280,8 @@ def main(argv=None):
     if command not in COMMANDS:
         print(__doc__)
         return 1
-    COMMANDS[command](*argv[1:])
-    return 0
+    rc = COMMANDS[command](*argv[1:])
+    return int(rc or 0)
 
 
 if __name__ == "__main__":

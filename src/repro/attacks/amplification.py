@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.engine import (
     CacheSpec, HierarchySpec, LatencySpec, PluginSpec, SimSpec,
+    TaintSpec,
 )
 from repro.isa.assembler import Assembler
 from repro.pipeline.config import CPUConfig
@@ -170,4 +171,6 @@ def amplified_probe_spec(secret_value, store_value, *, width=2,
             memory_size=memory_size, l1=cache_spec,
             latencies=LatencySpec(memory=mem_latency)),
         plugins=(PluginSpec.of("silent-stores"),),
-        mem_writes=tuple(mem_writes), seed=seed, label=label)
+        mem_writes=tuple(mem_writes), seed=seed, label=label,
+        taint=TaintSpec.of(
+            secret=((layout.target_addr, layout.target_addr + width),)))

@@ -32,7 +32,7 @@ from repro.crypto.batch import batch_last_round_planes, random_plaintexts
 from repro.crypto.bsaes import last_round_planes, recover_key_from_planes
 from repro.engine import (
     CacheSpec, HierarchySpec, LatencySpec, PluginSpec, Session, SimSpec,
-    SimStats, derive_seed, run_batch,
+    SimStats, TaintSpec, derive_seed, run_batch,
 )
 from repro.isa.assembler import Assembler
 from repro.memory.hierarchy import MemoryLatencies
@@ -146,7 +146,11 @@ class BSAESSilentStoreAttack:
                 memory_size=cfg.memory_size, l1=l1_spec,
                 latencies=LatencySpec.from_latencies(cfg.latencies)),
             plugins=(PluginSpec.of("silent-stores"),),
-            mem_writes=tuple(mem_writes), seed=trial_seed, label=label)
+            mem_writes=tuple(mem_writes), seed=trial_seed, label=label,
+            taint=TaintSpec.of(
+                secret=tuple((cfg.slot_addr(slot),
+                              cfg.slot_addr(slot) + 2)
+                             for slot in range(NUM_SLOTS))))
 
     def measure(self, attacker_planes, target_slot,
                 leftover_planes=None):

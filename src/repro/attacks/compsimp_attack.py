@@ -14,7 +14,9 @@ Two probes:
 
 from dataclasses import dataclass
 
-from repro.engine import HierarchySpec, PluginSpec, SimSpec, run_spec
+from repro.engine import (
+    HierarchySpec, PluginSpec, SimSpec, TaintSpec, run_spec,
+)
 from repro.isa.assembler import Assembler
 from repro.pipeline.config import CPUConfig
 
@@ -60,7 +62,10 @@ class ZeroSkipAttack:
             plugins=(PluginSpec.of("computation-simplification",
                                    rules=("zero_skip_mul",)),),
             mem_writes=((SECRET_ADDR, secret, 8),
-                        (CONTROLLED_ADDR, controlled, 8)))
+                        (CONTROLLED_ADDR, controlled, 8)),
+            taint=TaintSpec.of(
+                secret=((SECRET_ADDR, SECRET_ADDR + 8),),
+                public=((CONTROLLED_ADDR, CONTROLLED_ADDR + 8),)))
 
     def measure(self, secret, controlled):
         result = run_spec(self.measure_spec(secret, controlled))
@@ -99,7 +104,10 @@ class SignificanceProbe:
                                    digit_bytes=self.digit_bytes),),
             # Multiplier order swapped: rs2 drives termination.
             mem_writes=((SECRET_ADDR, controlled, 8),
-                        (CONTROLLED_ADDR, secret, 8)))
+                        (CONTROLLED_ADDR, secret, 8)),
+            taint=TaintSpec.of(
+                secret=((CONTROLLED_ADDR, CONTROLLED_ADDR + 8),),
+                public=((SECRET_ADDR, SECRET_ADDR + 8),)))
         return run_spec(spec).cycles
 
     def significance_curve(self, byte_widths=(1, 2, 3, 4, 5, 6)):

@@ -12,7 +12,9 @@ condition the SMT scenario creates.
 
 from dataclasses import dataclass
 
-from repro.engine import HierarchySpec, PluginSpec, SimSpec, run_spec
+from repro.engine import (
+    HierarchySpec, PluginSpec, SimSpec, TaintSpec, run_spec,
+)
 from repro.isa.assembler import Assembler
 from repro.pipeline.config import CPUConfig
 
@@ -66,7 +68,9 @@ class OperandPackingAttack:
             hierarchy=HierarchySpec(memory_size=1 << 16),
             plugins=(PluginSpec.of("operand-packing"),),
             mem_writes=((VICTIM_ADDR, victim_value, 8),),
-            label=f"victim={victim_value:#x}")
+            label=f"victim={victim_value:#x}",
+            taint=TaintSpec.of(secret=((VICTIM_ADDR,
+                                        VICTIM_ADDR + 8),)))
 
     def measure(self, victim_value):
         result = run_spec(self.measure_spec(victim_value))

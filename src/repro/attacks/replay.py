@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from repro.attacks.amplification import GadgetLayout, emit_gadget, \
     flush_pointer_write
 from repro.engine import (
-    CacheSpec, HierarchySpec, PluginSpec, SimSpec, run_spec,
+    CacheSpec, HierarchySpec, PluginSpec, SimSpec, TaintSpec, run_spec,
 )
 from repro.isa.assembler import Assembler
 from repro.pipeline.config import CPUConfig
@@ -87,7 +87,10 @@ class SilentStoreWidthOracle:
             plugins=(PluginSpec.of("silent-stores"),),
             mem_writes=((self.slot_addr, secret, self.secret_width),
                         flush_pointer_write(layout, l1)),
-            label=f"query/{offset}/{width}/{guess:#x}")
+            label=f"query/{offset}/{width}/{guess:#x}",
+            taint=TaintSpec.of(
+                secret=((self.slot_addr,
+                         self.slot_addr + self.secret_width),)))
 
     def _measure(self, guess, offset, width, secret_override=None):
         spec = self._measure_spec(guess, offset, width,

@@ -14,7 +14,9 @@ the operand *values*, so the attack learns nothing.
 
 from dataclasses import dataclass
 
-from repro.engine import HierarchySpec, PluginSpec, SimSpec, run_spec
+from repro.engine import (
+    HierarchySpec, PluginSpec, SimSpec, TaintSpec, run_spec,
+)
 from repro.isa.assembler import Assembler
 
 GUESS_ADDR = 0x1000
@@ -71,7 +73,10 @@ class ComputationReuseAttack:
                                    variant=self.variant),),
             mem_writes=((GUESS_ADDR, guess, 8),
                         (SECRET_ADDR, self.secret_value, 8)),
-            label=f"guess={guess:#x}")
+            label=f"guess={guess:#x}",
+            taint=TaintSpec.of(
+                secret=((SECRET_ADDR, SECRET_ADDR + 8),),
+                public=((GUESS_ADDR, GUESS_ADDR + 8),)))
 
     def measure(self, guess):
         result = run_spec(self.measure_spec(guess))

@@ -13,7 +13,9 @@ flag bits are 0/1 (compressible) or random words.
 
 from dataclasses import dataclass
 
-from repro.engine import HierarchySpec, PluginSpec, SimSpec, run_spec
+from repro.engine import (
+    HierarchySpec, PluginSpec, SimSpec, TaintSpec, run_spec,
+)
 from repro.isa.assembler import Assembler
 from repro.pipeline.config import CPUConfig
 
@@ -84,7 +86,9 @@ class RegisterFileCompressionAttack:
             plugins=(PluginSpec.of("register-file-compression",
                                    variant=self.variant),),
             mem_writes=((VICTIM_ADDR, victim_value, 8),),
-            label=f"victim={victim_value:#x}")
+            label=f"victim={victim_value:#x}",
+            taint=TaintSpec.of(secret=((VICTIM_ADDR,
+                                        VICTIM_ADDR + 8),)))
 
     def measure(self, victim_value):
         result = run_spec(self.measure_spec(victim_value))

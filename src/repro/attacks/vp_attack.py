@@ -14,7 +14,9 @@ whether ``secret == guess``, and 256 replays recover a secret byte.
 
 from dataclasses import dataclass
 
-from repro.engine import HierarchySpec, PluginSpec, SimSpec, run_spec
+from repro.engine import (
+    HierarchySpec, PluginSpec, SimSpec, TaintSpec, run_spec,
+)
 from repro.isa.assembler import Assembler
 
 TRAIN_ADDR = 0x1000
@@ -79,7 +81,12 @@ class ValuePredictionAttack:
             hierarchy=HierarchySpec(memory_size=1 << 16),
             plugins=(PluginSpec.of("value-prediction",
                                    threshold=self.threshold),),
-            mem_writes=tuple(writes), label=f"guess={guess:#x}")
+            mem_writes=tuple(writes), label=f"guess={guess:#x}",
+            taint=TaintSpec.of(
+                secret=((SECRET_ADDR, SECRET_ADDR + 8),),
+                public=((TRAIN_ADDR, TRAIN_ADDR + 8),
+                        (TABLE_ADDR,
+                         TABLE_ADDR + 8 * self.iterations))))
 
     def measure(self, guess):
         """One experiment: train with ``guess``, then victim load."""

@@ -34,7 +34,7 @@ from repro.engine.runner import (
 from repro.engine.session import RunResult, Session
 from repro.engine.specs import (
     CacheSpec, HierarchySpec, LatencySpec, PluginSpec, SimSpec,
-    SpecError, TLBSpec, TraceSpec, register_plugin,
+    SpecError, TaintSpec, TLBSpec, TraceSpec, register_plugin,
 )
 from repro.stats import SimStats, merge_all
 from repro.trace import BatchTrace
@@ -42,7 +42,8 @@ from repro.trace import BatchTrace
 __all__ = [
     "BatchTrace", "CacheSpec", "HierarchySpec", "LatencySpec",
     "PluginSpec", "ResultCache", "RunResult", "Session", "SimSpec",
-    "SimStats", "SpecError", "TLBSpec", "TraceSpec", "derive_seed",
+    "SimStats", "SpecError", "TLBSpec", "TaintSpec", "TraceSpec",
+    "derive_seed",
     "execute_spec", "merge_all", "register_plugin", "run_batch",
     "run_spec", "run_trials",
 ]

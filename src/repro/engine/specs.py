@@ -25,7 +25,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 
-from repro.isa.assembler import Program
+from repro.isa.assembler import Program, normalize_regions
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Op
 from repro.memory.cache import Cache
@@ -158,6 +158,13 @@ def register_plugin(name, factory):
     _PLUGIN_REGISTRY[name] = factory
 
 
+def plugin_names():
+    """Every registered plug-in name (built-ins included), sorted."""
+    if not _PLUGIN_REGISTRY:
+        _PLUGIN_REGISTRY.update(_builtin_plugins())
+    return sorted(_PLUGIN_REGISTRY)
+
+
 def plugin_factory(name):
     if not _PLUGIN_REGISTRY:
         _PLUGIN_REGISTRY.update(_builtin_plugins())
@@ -213,6 +220,38 @@ class TraceSpec:
 
 
 # ----------------------------------------------------------------------
+# taint description
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """Static taint seed for the :mod:`repro.lint` checker.
+
+    ``secret`` / ``public`` are canonical ``(start, end)`` byte ranges
+    (end exclusive) marking which parts of the initial memory image
+    hold secrets (resp. attacker-chosen data); ``secret_regs`` names
+    architectural registers preloaded with secret values.  The spec is
+    *metadata about* a simulation, not part of it: attaching or
+    changing a ``TaintSpec`` never alters simulated behaviour, so —
+    like ``fastpath`` — it stays outside :meth:`SimSpec.fingerprint`
+    and cached results survive annotation.  Program-level ``.secret`` /
+    ``.public`` directives are merged in by the checker.
+    """
+
+    secret: tuple = ()        # (start, end) byte ranges, end exclusive
+    public: tuple = ()
+    secret_regs: tuple = ()   # architectural register indices
+
+    @classmethod
+    def of(cls, secret=(), public=(), secret_regs=()):
+        """Build a normalized spec (sorted, validated regions)."""
+        return cls(secret=normalize_regions(secret, "secret"),
+                   public=normalize_regions(public, "public"),
+                   secret_regs=tuple(sorted(set(
+                       int(reg) for reg in secret_regs))))
+
+
+# ----------------------------------------------------------------------
 # the simulation spec
 # ----------------------------------------------------------------------
 
@@ -240,6 +279,10 @@ class SimSpec:
     default) or the reference :class:`~repro.pipeline.cpu.CPU` loop;
     the two are bitwise-equivalent by contract, so the toggle never
     enters the fingerprint and both kernels share cached results.
+    ``taint`` optionally attaches a :class:`TaintSpec` for the static
+    leakage checker; like ``fastpath`` it is lint metadata about the
+    run, never changes (or re-fingerprints) the simulation, and
+    existing cache entries survive its addition.
     """
 
     program: Program
@@ -257,6 +300,7 @@ class SimSpec:
     collect_stats: bool = True
     trace: object = None              # TraceSpec or None (tracing off)
     fastpath: bool = True             # fast-path kernel (bitwise-equal)
+    taint: object = None              # TaintSpec or None (lint metadata)
 
     def replace(self, **changes):
         return dataclasses.replace(self, **changes)
@@ -295,6 +339,10 @@ class SimSpec:
                      inst.annotation]
                     for inst in self.program],
                 "labels": dict(self.program.labels),
+                "secret_regions": _canonical(
+                    self.program.secret_regions),
+                "public_regions": _canonical(
+                    self.program.public_regions),
             },
             "config": (None if self.config is None
                        else _canonical(self.config)),
@@ -313,6 +361,8 @@ class SimSpec:
             "trace": (None if self.trace is None
                       else _canonical(self.trace)),
             "fastpath": self.fastpath,
+            "taint": (None if self.taint is None
+                      else _canonical(self.taint)),
         }
 
     def to_json(self, **kwargs):
@@ -328,7 +378,12 @@ class SimSpec:
                         pc=pc, annotation=annotation)
             for pc, (op, rd, rs1, rs2, imm, width, target, annotation)
             in enumerate(data["program"]["instructions"])]
-        program = Program(instructions, data["program"]["labels"])
+        program = Program(
+            instructions, data["program"]["labels"],
+            secret_regions=_from_canonical(
+                data["program"].get("secret_regions", [])),
+            public_regions=_from_canonical(
+                data["program"].get("public_regions", [])))
         return cls(
             program=program,
             config=_from_canonical(data["config"]),
@@ -345,7 +400,8 @@ class SimSpec:
             meta=_from_canonical(data.get("meta", [])),
             collect_stats=data.get("collect_stats", True),
             trace=_from_canonical(data.get("trace")),
-            fastpath=data.get("fastpath", True))
+            fastpath=data.get("fastpath", True),
+            taint=_from_canonical(data.get("taint")))
 
     @classmethod
     def from_json(cls, text):
@@ -371,7 +427,10 @@ class SimSpec:
         (enforced by ``tests/test_fastpath_equivalence.py``), so a
         result computed by either kernel satisfies both — which is
         also what lets the differential suite compare cached goldens
-        across kernels at all.
+        across kernels at all.  ``taint`` likewise never enters the
+        hash: it only seeds the static checker, so annotating a spec
+        with lint metadata keeps every previously cached result (and
+        golden-fingerprint pin) valid.
 
         The digest is memoized on the (frozen) instance: sweeps and
         repeated batches fingerprint the same spec object many times,
@@ -456,7 +515,7 @@ def _spec_types():
     from repro.pipeline.config import CPUConfig
     return {cls.__name__: cls
             for cls in (CacheSpec, TLBSpec, LatencySpec, HierarchySpec,
-                        PluginSpec, TraceSpec, CPUConfig)}
+                        PluginSpec, TraceSpec, TaintSpec, CPUConfig)}
 
 
 def _from_canonical(obj):

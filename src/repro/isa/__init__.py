@@ -1,15 +1,19 @@
 """RISC-like ISA: opcodes, assembler, decoder, golden-model interpreter."""
 
-from repro.isa.assembler import Assembler, AssemblyError, Program, parse_reg
+from repro.isa.assembler import (
+    Assembler, AssemblyError, Program, normalize_regions, parse_reg,
+)
 from repro.isa.disassembler import (
     DecodeError, decode_instruction, decode_program,
 )
 from repro.isa.instruction import Instruction
 from repro.isa.interpreter import ArchState, Interpreter, run_program
 from repro.isa.opcodes import Op
+from repro.isa.text import assemble_file, assemble_source, render_source
 
 __all__ = [
     "Assembler", "AssemblyError", "DecodeError", "Program", "parse_reg",
     "Instruction", "ArchState", "Interpreter", "run_program", "Op",
-    "decode_instruction", "decode_program",
+    "decode_instruction", "decode_program", "normalize_regions",
+    "assemble_file", "assemble_source", "render_source",
 ]

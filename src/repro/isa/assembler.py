@@ -25,6 +25,31 @@ class AssemblyError(Exception):
     """Raised for malformed programs (bad registers, unresolved labels)."""
 
 
+def normalize_regions(regions, kind="region"):
+    """Validate and canonicalize taint regions.
+
+    Each region is a ``(start, end)`` byte range with an exclusive end,
+    mirroring Python slices.  The canonical form — sorted, de-duplicated
+    tuple of int pairs — makes region sets comparable across the
+    assemble/render/decode round trips regardless of declaration order.
+    """
+    canonical = set()
+    for region in regions:
+        try:
+            start, end = region
+            start, end = int(start), int(end)
+        except (TypeError, ValueError) as exc:
+            raise AssemblyError(
+                f"{kind} {region!r} is not a (start, end) pair") from exc
+        if start < 0:
+            raise AssemblyError(f"{kind} start {start:#x} is negative")
+        if end <= start:
+            raise AssemblyError(
+                f"{kind} {start:#x}..{end:#x} is empty (end is exclusive)")
+        canonical.add((start, end))
+    return tuple(sorted(canonical))
+
+
 def parse_reg(reg):
     """Accept ``'x12'`` or ``12`` and return the architectural index."""
     if isinstance(reg, str):
@@ -43,11 +68,22 @@ class Program:
     (:meth:`Instruction.intern_key`): labels are resolved by now, so the
     semantic key is final, and equal static instructions — across
     programs and trials — share one tuple object.
+
+    ``secret_regions`` / ``public_regions`` carry the ``.secret`` /
+    ``.public`` assembler directives: canonicalized ``(start, end)``
+    byte ranges (end exclusive) naming which memory the program treats
+    as secret-tainted (resp. explicitly attacker-visible).  They seed
+    the :mod:`repro.lint` taint analysis and ride the wire encoding, but
+    only when non-empty — directive-free programs encode byte-identically
+    to pre-directive builds, so engine fingerprints are unaffected.
     """
 
-    def __init__(self, instructions, labels):
+    def __init__(self, instructions, labels, secret_regions=(),
+                 public_regions=()):
         self.instructions = instructions
         self.labels = dict(labels)
+        self.secret_regions = normalize_regions(secret_regions, ".secret")
+        self.public_regions = normalize_regions(public_regions, ".public")
         for inst in instructions:
             inst.intern_key()
 
@@ -65,13 +101,20 @@ class Program:
 
         Covers every field that affects execution (opcode, registers,
         immediate, width, resolved target) but not annotations; used by
-        the experiment engine to content-address simulations.
+        the experiment engine to content-address simulations.  Taint
+        directives append ``.secret,start,end`` / ``.public,start,end``
+        records *after* the instruction stream — absent directives the
+        encoding is byte-identical to historical builds.
         """
         records = []
         for inst in self.instructions:
             target = -1 if inst.target is None else int(inst.target)
             records.append(f"{inst.op.value},{inst.rd},{inst.rs1},"
                            f"{inst.rs2},{inst.imm},{inst.width},{target}")
+        for start, end in self.secret_regions:
+            records.append(f".secret,{start},{end}")
+        for start, end in self.public_regions:
+            records.append(f".public,{start},{end}")
         return "\n".join(records).encode()
 
     def listing(self):
@@ -80,6 +123,10 @@ class Program:
         for name, pc in self.labels.items():
             pc_to_labels.setdefault(pc, []).append(name)
         lines = []
+        for start, end in self.secret_regions:
+            lines.append(f".secret {start:#x}..{end:#x}")
+        for start, end in self.public_regions:
+            lines.append(f".public {start:#x}..{end:#x}")
         for pc, inst in enumerate(self.instructions):
             for name in pc_to_labels.get(pc, ()):
                 lines.append(f"{name}:")
@@ -94,6 +141,8 @@ class Assembler:
         self._instructions = []
         self._labels = {}
         self._annotation = ""
+        self._secret_regions = []
+        self._public_regions = []
 
     def __len__(self):
         return len(self._instructions)
@@ -108,6 +157,36 @@ class Assembler:
         if name in self._labels:
             raise AssemblyError(f"duplicate label {name!r}")
         self._labels[name] = len(self._instructions)
+        return self
+
+    # --- taint directives ---------------------------------------------------
+    def secret(self, start, end=None, *, length=None):
+        """``.secret`` directive: mark ``[start, end)`` as secret memory.
+
+        With neither ``end`` nor ``length`` given, one 8-byte word at
+        ``start`` is marked (the machine's natural word).
+        """
+        return self._region(self._secret_regions, ".secret", start, end,
+                            length)
+
+    def public(self, start, end=None, *, length=None):
+        """``.public`` directive: declassify ``[start, end)``.
+
+        Public regions override overlapping secret regions, letting a
+        program carve attacker-visible windows out of a secret blob.
+        """
+        return self._region(self._public_regions, ".public", start, end,
+                            length)
+
+    def _region(self, bucket, kind, start, end, length):
+        if end is not None and length is not None:
+            raise AssemblyError(f"{kind}: give end or length, not both")
+        start = int(start)
+        if length is not None:
+            end = start + int(length)
+        elif end is None:
+            end = start + 8
+        bucket.append(normalize_regions([(start, end)], kind)[0])
         return self
 
     def _emit(self, op, rd=0, rs1=0, rs2=0, imm=0, width=8, target=None):
@@ -261,4 +340,6 @@ class Assembler:
             if not 0 <= inst.target <= len(self._instructions):
                 raise AssemblyError(
                     f"branch target {inst.target} out of range")
-        return Program(list(self._instructions), self._labels)
+        return Program(list(self._instructions), self._labels,
+                       secret_regions=self._secret_regions,
+                       public_regions=self._public_regions)

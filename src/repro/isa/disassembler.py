@@ -9,10 +9,12 @@ is what the property-based round-trip tests pin down.
 
 Label names and annotations are presentation-only and not part of the
 encoding (branch targets are resolved instruction indices), so a
-decoded program carries an empty label map.
+decoded program carries an empty label map.  ``.secret`` / ``.public``
+taint directives *are* part of the encoding (trailing
+``.secret,start,end`` records) and survive the round trip.
 """
 
-from repro.isa.assembler import Program
+from repro.isa.assembler import AssemblyError, Program
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Op
 
@@ -45,11 +47,38 @@ def decode_instruction(record, pc=-1):
                        target=None if target == -1 else target, pc=pc)
 
 
+def _decode_directive(record):
+    """Decode a ``.secret,start,end`` / ``.public,start,end`` record."""
+    parts = record.split(",")
+    if parts[0] not in (".secret", ".public") or len(parts) != 3:
+        raise DecodeError(f"unknown directive record {record!r}")
+    try:
+        start, end = int(parts[1]), int(parts[2])
+    except ValueError as exc:
+        raise DecodeError(f"non-integer field in {record!r}") from exc
+    return parts[0], (start, end)
+
+
 def decode_program(blob):
     """Rebuild a :class:`Program` from :meth:`Program.encode` output."""
     if isinstance(blob, (bytes, bytearray)):
         blob = bytes(blob).decode()
     if not blob:
         return Program([], {})
-    return Program([decode_instruction(record, pc=pc)
-                    for pc, record in enumerate(blob.split("\n"))], {})
+    instructions, regions = [], {".secret": [], ".public": []}
+    for record in blob.split("\n"):
+        if record.startswith("."):
+            kind, region = _decode_directive(record)
+            regions[kind].append(region)
+        elif regions[".secret"] or regions[".public"]:
+            raise DecodeError(
+                f"instruction record {record!r} after directives")
+        else:
+            instructions.append(
+                decode_instruction(record, pc=len(instructions)))
+    try:
+        return Program(instructions, {},
+                       secret_regions=regions[".secret"],
+                       public_regions=regions[".public"])
+    except AssemblyError as exc:
+        raise DecodeError(str(exc)) from exc

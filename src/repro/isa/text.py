@@ -1,0 +1,247 @@
+"""Text-form assembly: parse ``.s`` source into a :class:`Program`.
+
+The builder API (:class:`~repro.isa.assembler.Assembler`) is how attack
+gadgets are constructed in code; this module is the file-facing surface
+behind ``python -m repro lint <program.s>``.  The grammar is one
+statement per line:
+
+* ``# ...`` — comment (trailing comments become instruction
+  annotations, shown in listings and traces);
+* ``name:`` — label, optionally followed by an instruction on the same
+  line;
+* ``.secret <addr>`` / ``.secret <start>..<end>`` /
+  ``.secret <start> +<len>`` — mark memory as secret for
+  :mod:`repro.lint` (one 8-byte word, an end-exclusive range, or a
+  length in bytes); ``.public`` declassifies with the same forms;
+* instructions — RISC-style mnemonics with comma- or space-separated
+  operands: ``add x1, x2, x3``; ``addi x1, x2, -5``; ``li x1, 0x1000``;
+  ``mv x2, x1``; ``load x2, 0(x1)`` and ``store x2, 0(x1)`` with an
+  optional ``.N`` width suffix (``load.2 x2, 0(x1)``); branches take a
+  label or an absolute instruction index (``bne x1, x0, loop``);
+  ``jmp``, ``rdcycle x5``, ``fence``, ``nop``, ``halt``.
+
+:func:`render_source` is the inverse: the rendered text reassembles to
+a byte-identical :meth:`Program.encode` with the same label map and
+taint regions, which the property suite pins down.
+"""
+
+import re
+
+from repro.isa.assembler import Assembler, AssemblyError
+from repro.isa.opcodes import Op
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z_0-9]*):(.*)$")
+_MEM_RE = re.compile(r"^(-?(?:0[xX][0-9a-fA-F]+|\d+))?\((x\d+)\)$")
+
+#: Mnemonics that map straight onto Assembler builder methods.
+_RR = ("add", "sub", "sll", "srl", "sra", "slt", "sltu", "mul", "div",
+       "rem")
+_RI = ("addi", "andi", "ori", "xori", "slli", "srli", "slti")
+_BRANCHES = ("beq", "bne", "blt", "bge", "bltu", "bgeu")
+
+
+def _int(token, where):
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblyError(f"{where}: bad integer {token!r}") from exc
+
+
+def _split_operands(rest):
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [tok for tok in re.split(r"[,\s]+", rest) if tok]
+
+
+def _parse_directive(asm, mnemonic, operands, where):
+    if mnemonic not in (".secret", ".public"):
+        raise AssemblyError(f"{where}: unknown directive {mnemonic!r}")
+    emit = asm.secret if mnemonic == ".secret" else asm.public
+    if len(operands) == 1 and ".." in operands[0]:
+        start_text, _, end_text = operands[0].partition("..")
+        emit(_int(start_text, where), _int(end_text, where))
+    elif len(operands) == 1:
+        emit(_int(operands[0], where))
+    elif len(operands) == 2 and operands[1].startswith("+"):
+        emit(_int(operands[0], where),
+             length=_int(operands[1][1:], where))
+    else:
+        raise AssemblyError(
+            f"{where}: {mnemonic} expects <addr>, <start>..<end> or "
+            f"<start> +<len>, got {' '.join(operands) or 'nothing'}")
+
+
+def _parse_mem_operand(token, where):
+    """Parse ``imm(xN)`` into ``(base_reg, imm)``."""
+    match = _MEM_RE.match(token)
+    if not match:
+        raise AssemblyError(
+            f"{where}: expected imm(reg) memory operand, got {token!r}")
+    imm_text, reg = match.groups()
+    return reg, _int(imm_text, where) if imm_text else 0
+
+
+def _want(operands, count, mnemonic, where):
+    if len(operands) != count:
+        raise AssemblyError(
+            f"{where}: {mnemonic} takes {count} operand(s), "
+            f"got {len(operands)}")
+    return operands
+
+
+def _parse_instruction(asm, mnemonic, operands, where):
+    base, _, suffix = mnemonic.partition(".")
+    width = 8
+    if suffix:
+        if base not in ("load", "store"):
+            raise AssemblyError(
+                f"{where}: width suffix only valid on load/store, "
+                f"got {mnemonic!r}")
+        width = _int(suffix, where)
+        if width not in (1, 2, 4, 8):
+            raise AssemblyError(f"{where}: bad access width {width}")
+    if base in _RR:
+        rd, rs1, rs2 = _want(operands, 3, base, where)
+        getattr(asm, base)(rd, rs1, rs2)
+    elif base in ("and", "or", "xor"):
+        rd, rs1, rs2 = _want(operands, 3, base, where)
+        # `and`/`or` shadow keywords, so the builder suffixes them.
+        method = base if base == "xor" else base + "_"
+        getattr(asm, method)(rd, rs1, rs2)
+    elif base in _RI:
+        rd, rs1, imm = _want(operands, 3, base, where)
+        getattr(asm, base)(rd, rs1, _int(imm, where))
+    elif base == "li":
+        rd, imm = _want(operands, 2, base, where)
+        asm.li(rd, _int(imm, where))
+    elif base == "mv":
+        rd, rs1 = _want(operands, 2, base, where)
+        asm.mv(rd, rs1)
+    elif base == "load":
+        rd, mem = _want(operands, 2, base, where)
+        reg, imm = _parse_mem_operand(mem, where)
+        asm.load(rd, reg, imm, width=width)
+    elif base == "store":
+        rs2, mem = _want(operands, 2, base, where)
+        reg, imm = _parse_mem_operand(mem, where)
+        asm.store(rs2, reg, imm, width=width)
+    elif base in _BRANCHES:
+        rs1, rs2, target = _want(operands, 3, base, where)
+        getattr(asm, base)(rs1, rs2, _target(target))
+    elif base == "jmp":
+        (target,) = _want(operands, 1, base, where)
+        asm.jmp(_target(target))
+    elif base == "rdcycle":
+        (rd,) = _want(operands, 1, base, where)
+        asm.rdcycle(rd)
+    elif base in ("fence", "nop", "halt"):
+        _want(operands, 0, base, where)
+        getattr(asm, base)()
+    else:
+        raise AssemblyError(f"{where}: unknown mnemonic {mnemonic!r}")
+
+
+def _target(token):
+    """Branch targets are label names or absolute instruction indices."""
+    try:
+        return int(token, 0)
+    except ValueError:
+        return token
+
+
+def assemble_source(text, name="<source>"):
+    """Assemble ``.s`` source text into a :class:`Program`."""
+    asm = Assembler()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        where = f"{name}:{lineno}"
+        line, _, comment = raw.partition("#")
+        line = line.strip()
+        comment = comment.strip()
+        match = _LABEL_RE.match(line)
+        if match:
+            asm.label(match.group(1))
+            line = match.group(2).strip()
+        if not line:
+            continue
+        head = line.split(None, 1)
+        mnemonic = head[0].lower()
+        rest = head[1] if len(head) > 1 else ""
+        operands = _split_operands(rest)
+        if comment:
+            asm.annotate(comment)
+        if mnemonic.startswith("."):
+            _parse_directive(asm, mnemonic, operands, where)
+        else:
+            _parse_instruction(asm, mnemonic, operands, where)
+    return asm.assemble()
+
+
+def assemble_file(path):
+    """Assemble a ``.s`` file from disk."""
+    with open(path) as handle:
+        return assemble_source(handle.read(), name=path)
+
+
+def _render_instruction(inst, labels_at):
+    op = inst.op
+    mnemonic = op.value
+    if op is Op.LOAD:
+        if inst.width != 8:
+            mnemonic = f"load.{inst.width}"
+        return f"{mnemonic} x{inst.rd}, {inst.imm}(x{inst.rs1})"
+    if op is Op.STORE:
+        if inst.width != 8:
+            mnemonic = f"store.{inst.width}"
+        return f"{mnemonic} x{inst.rs2}, {inst.imm}(x{inst.rs1})"
+    if op is Op.LI:
+        return f"li x{inst.rd}, {inst.imm}"
+    if op.value in _RR or op.value in ("and", "or", "xor"):
+        return f"{mnemonic} x{inst.rd}, x{inst.rs1}, x{inst.rs2}"
+    if op.value in _RI:
+        return f"{mnemonic} x{inst.rd}, x{inst.rs1}, {inst.imm}"
+    if op.value in _BRANCHES:
+        target = labels_at.get(inst.target, [str(inst.target)])[0]
+        return f"{mnemonic} x{inst.rs1}, x{inst.rs2}, {target}"
+    if op is Op.JMP:
+        target = labels_at.get(inst.target, [str(inst.target)])[0]
+        return f"jmp {target}"
+    if op is Op.RDCYCLE:
+        return f"rdcycle x{inst.rd}"
+    return mnemonic
+
+
+def render_instruction(inst, labels_at=None):
+    """Render one instruction in parseable ``.s`` form.
+
+    ``labels_at`` optionally maps branch-target pcs to label names so
+    control flow renders symbolically.
+    """
+    return _render_instruction(inst, labels_at or {})
+
+
+def render_source(program):
+    """Render a :class:`Program` back to parseable ``.s`` text.
+
+    Reassembling the result reproduces the program bitwise: same
+    :meth:`Program.encode`, same label map, same taint regions.
+    Annotations round-trip as trailing comments.
+    """
+    lines = []
+    for start, end in program.secret_regions:
+        lines.append(f".secret {start:#x}..{end:#x}")
+    for start, end in program.public_regions:
+        lines.append(f".public {start:#x}..{end:#x}")
+    labels_at = {}
+    for name, pc in sorted(program.labels.items()):
+        labels_at.setdefault(pc, []).append(name)
+    for pc, inst in enumerate(program.instructions):
+        for name in labels_at.get(pc, ()):
+            lines.append(f"{name}:")
+        text = "    " + _render_instruction(inst, labels_at)
+        if inst.annotation:
+            text += f"  # {inst.annotation}"
+        lines.append(text)
+    for name in labels_at.get(len(program.instructions), ()):
+        lines.append(f"{name}:")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,48 @@
+"""Static MLD leakage checker over assembled repro-ISA programs.
+
+The paper's microarchitectural leakage descriptor (MLD) is a
+*stateless function* of operand and state values, which makes leakage
+reachability a static question: if no secret-tainted value can flow
+into an MLD's operand inputs, the optimization cannot leak on that
+program, no matter the schedule.  This package decides that question:
+
+* :mod:`repro.lint.cfg` — control-flow graph + reaching definitions
+  over :class:`~repro.isa.assembler.Program`;
+* :mod:`repro.lint.taint` — a secret-taint abstract interpretation
+  (registers, memory regions, control flags) seeded by ``.secret`` /
+  ``.public`` assembler directives and
+  :class:`~repro.engine.specs.TaintSpec` metadata;
+* :mod:`repro.lint.contracts` — per-optimization *static leakage
+  contracts* compiled from the declarative ``LINT_CONTRACT``
+  descriptors each plug-in class exports;
+* :mod:`repro.lint.checker` — the verdict pass: per static
+  instruction, ``SAFE`` or ``LEAKS(opt, mld)`` with a taint-flow
+  witness;
+* :mod:`repro.lint.soundness` — the differential harness that runs
+  secret-pair trials through :mod:`repro.engine.runner` and asserts
+  every dynamically observed MLD divergence was statically flagged.
+
+Surface: ``python -m repro lint <program.s> [--opts ...] [--json]``.
+"""
+
+from repro.lint.cfg import BasicBlock, build_cfg, reaching_definitions
+from repro.lint.checker import lint_program, lint_spec
+from repro.lint.contracts import (
+    ContractRow, KNOWN_TAPS, LintError, contract_rows,
+    contracted_plugin_names, rows_for_names, rows_for_specs,
+)
+from repro.lint.report import Finding, LintReport
+from repro.lint.soundness import (
+    SoundnessResult, check_soundness, divergent_plugins, secret_variants,
+)
+from repro.lint.taint import TaintAnalysis, analyze_taint
+
+__all__ = [
+    "BasicBlock", "ContractRow", "Finding", "KNOWN_TAPS", "LintError",
+    "LintReport", "SoundnessResult", "TaintAnalysis", "analyze_taint",
+    "build_cfg", "check_soundness", "contract_rows",
+    "contracted_plugin_names", "divergent_plugins", "lint_program",
+    "lint_spec",
+    "reaching_definitions", "rows_for_names", "rows_for_specs",
+    "secret_variants",
+]

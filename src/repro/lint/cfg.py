@@ -1,0 +1,155 @@
+"""Control-flow graph and reaching definitions over programs.
+
+The machine is word-indexed at the instruction level (one pc per
+instruction), so the CFG works directly on instruction indices: no
+byte offsets, no delay slots.  ``len(program)`` is the single exit
+node — ``halt``, a fall-off-the-end, and a branch to the end all flow
+there (the assembler already bounds targets to ``0..len``).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Op, is_branch, reads_rs1, writes_register
+
+#: Pseudo-pc of the "definition" every register has on entry (the
+#: initial register file / :class:`~repro.engine.specs.SimSpec` regs).
+ENTRY_DEF = -1
+
+
+def successors(program, pc):
+    """Static successor pcs of ``program[pc]`` (exit = ``len(program)``)."""
+    inst = program[pc]
+    op = inst.op
+    if op is Op.HALT:
+        return (len(program),)
+    if op is Op.JMP:
+        return (inst.target,)
+    if is_branch(op):
+        fall, taken = pc + 1, inst.target
+        return (fall,) if taken == fall else (fall, taken)
+    return (pc + 1,)
+
+
+@dataclass
+class BasicBlock:
+    """Maximal straight-line run ``[start, end)`` of instructions."""
+
+    start: int
+    end: int
+    succs: tuple = ()
+    preds: tuple = field(default_factory=tuple)
+
+    def __iter__(self):
+        return iter(range(self.start, self.end))
+
+
+def build_cfg(program):
+    """Partition ``program`` into basic blocks with edges.
+
+    Returns ``(blocks, block_of)``: the block list in program order and
+    a pc → block-index map.  The exit node ``len(program)`` appears as
+    a zero-length block so every edge has a real endpoint.
+    """
+    size = len(program)
+    leaders = {0, size}
+    for pc in range(size):
+        if program[pc].is_branch or program[pc].op in (Op.JMP, Op.HALT):
+            for succ in successors(program, pc):
+                leaders.add(succ)
+            leaders.add(pc + 1)
+    starts = sorted(leader for leader in leaders if leader <= size)
+    if starts[-1] != size:
+        starts.append(size)
+    blocks = []
+    block_of = {}
+    for index, start in enumerate(starts):
+        end = starts[index + 1] if index + 1 < len(starts) else size
+        blocks.append(BasicBlock(start=start, end=end))
+        for pc in range(start, end):
+            block_of[pc] = index
+    block_of[size] = len(blocks) - 1      # the zero-length exit block
+    index_of = {block.start: index for index, block in enumerate(blocks)}
+    preds = {index: [] for index in range(len(blocks))}
+    for index, block in enumerate(blocks):
+        if block.start == block.end:        # exit block
+            continue
+        last = block.end - 1
+        succ_indices = tuple(sorted(index_of[succ]
+                                    for succ in successors(program, last)))
+        block.succs = succ_indices
+        for succ in succ_indices:
+            preds[succ].append(index)
+    for index, block in enumerate(blocks):
+        block.preds = tuple(sorted(set(preds[index])))
+    return blocks, block_of
+
+
+def reaching_definitions(program):
+    """Per-pc reaching definitions for every architectural register.
+
+    Returns ``reach`` with ``reach[pc][reg]`` = frozenset of defining
+    pcs that may reach ``pc``'s *inputs* (:data:`ENTRY_DEF` stands for
+    the initial register file).  Classic forward may-analysis at
+    instruction granularity — programs are tiny (static instructions),
+    so the simple worklist converges in a handful of passes.
+    """
+    size = len(program)
+    entry = {reg: frozenset((ENTRY_DEF,)) for reg in range(32)}
+    reach = {pc: None for pc in range(size + 1)}
+    reach[0] = dict(entry)
+    worklist = [0]
+    while worklist:
+        pc = worklist.pop()
+        state = reach[pc]
+        if pc >= size:
+            continue
+        inst = program[pc]
+        out = state
+        if writes_register(inst.op) and inst.rd != 0:
+            out = dict(state)
+            out[inst.rd] = frozenset((pc,))
+        for succ in successors(program, pc):
+            current = reach[succ]
+            if current is None:
+                reach[succ] = dict(out)
+                worklist.append(succ)
+                continue
+            changed = False
+            for reg, defs in out.items():
+                merged = current[reg] | defs
+                if merged != current[reg]:
+                    current[reg] = merged
+                    changed = True
+            if changed:
+                worklist.append(succ)
+    for pc in range(size + 1):          # unreachable code: entry defs
+        if reach[pc] is None:
+            reach[pc] = dict(entry)
+    return reach
+
+
+def def_chain(program, reach, pc, reg, limit=8):
+    """Witness helper: one def-use chain ending at ``pc``'s use of ``reg``.
+
+    Walks reaching definitions backwards (picking the highest defining
+    pc for determinism) until the entry definition or ``limit`` frames.
+    Returns a tuple of pcs, most recent first.
+    """
+    chain = []
+    seen = set()
+    current_pc, current_reg = pc, reg
+    while len(chain) < limit:
+        defs = reach[current_pc].get(current_reg)
+        if not defs:
+            break
+        def_pc = max(defs)
+        if def_pc == ENTRY_DEF or def_pc in seen:
+            break
+        seen.add(def_pc)
+        chain.append(def_pc)
+        inst = program[def_pc]
+        if reads_rs1(inst.op) and inst.rs1 != 0:
+            current_pc, current_reg = def_pc, inst.rs1
+        else:
+            break
+    return tuple(chain)

@@ -1,0 +1,152 @@
+"""Static leakage contracts, compiled from plug-in descriptors.
+
+Every optimization plug-in class in :mod:`repro.optimizations` exports
+a declarative ``LINT_CONTRACT`` descriptor naming which operand
+positions feed its MLD — the static mirror of the dynamic leakage
+function the plug-in implements.  The descriptor is plain data::
+
+    LINT_CONTRACT = {
+        "mld": "store_silence",              # MLD outcome label
+        "rows": (
+            {"ops": (Op.STORE,),             # ops the MLD observes
+             "taps": ("store_value", "old_memory_value"),
+             "detail": "store is elided iff ..."},
+        ),
+    }
+
+Rows may be *conditional* on constructor kwargs: a ``"when"`` mapping
+selects the row only when the named kwarg (with the descriptor's
+``"defaults"`` filling in unspecified ones) equals — or, for
+tuple-valued kwargs such as rule lists, contains — the given value.
+That is how ``computation-simplification`` exposes one row per
+configured rule and how ``computation-reuse`` exposes *no* rows for
+the value-independent ``sn`` variant.  ``"ops"`` may also be the
+string ``"kwarg:<name>"`` to follow an op-set kwarg (value prediction,
+computation reuse), or ``None`` for "any result-producing op"
+(register-file compression).
+
+This module compiles descriptors + :class:`~repro.engine.specs.
+PluginSpec` kwargs into concrete :class:`ContractRow` tuples for the
+checker.  Keeping compilation here (and the descriptors as inert class
+attributes) avoids any import cycle between the optimizations and the
+lint layer.
+"""
+
+from dataclasses import dataclass
+
+from repro.engine.specs import PluginSpec, plugin_factory, plugin_names
+from repro.isa.opcodes import Op, writes_register
+
+#: Tap names the checker knows how to resolve.
+KNOWN_TAPS = frozenset({
+    "rs1", "rs2", "store_value", "old_memory_value", "loaded_value",
+    "address", "result",
+})
+
+
+class LintError(Exception):
+    """Raised for malformed contracts or checker misuse."""
+
+
+@dataclass(frozen=True)
+class ContractRow:
+    """One compiled contract clause: ops × taps → MLD outcome."""
+
+    plugin: str
+    mld: str
+    ops: object                # frozenset[Op] | None (any producing op)
+    taps: tuple
+    detail: str = ""
+
+    def matches_op(self, op):
+        if self.ops is None:
+            return writes_register(op)
+        return op in self.ops
+
+
+def _coerce_ops(ops):
+    if ops is None:
+        return None
+    coerced = frozenset(op if isinstance(op, Op) else Op(op)
+                        for op in ops)
+    if not coerced:
+        raise LintError("contract row has an empty op set")
+    return coerced
+
+
+def _kwarg(name, kwargs, defaults, plugin):
+    if name in kwargs:
+        return kwargs[name]
+    if name in defaults:
+        return defaults[name]
+    raise LintError(f"contract for {plugin!r} references kwarg "
+                    f"{name!r} with no default")
+
+
+def _row_selected(row, kwargs, defaults, plugin):
+    for name, needed in row.get("when", {}).items():
+        actual = _kwarg(name, kwargs, defaults, plugin)
+        if isinstance(actual, (tuple, list, set, frozenset)):
+            if needed not in actual:
+                return False
+        elif actual != needed:
+            return False
+    return True
+
+
+def contract_rows(plugin_spec):
+    """Compile one plug-in's contract into :class:`ContractRow` tuples.
+
+    A plug-in without a ``LINT_CONTRACT`` descriptor (the pipeline
+    tracer, out-of-tree observers) contributes no rows: it asserts no
+    MLD, so the checker has nothing to flag for it.
+    """
+    factory = plugin_factory(plugin_spec.name)
+    descriptor = getattr(factory, "LINT_CONTRACT", None)
+    if descriptor is None:
+        return ()
+    kwargs = dict(plugin_spec.kwargs)
+    defaults = descriptor.get("defaults", {})
+    mld = descriptor["mld"]
+    rows = []
+    for row in descriptor["rows"]:
+        if not _row_selected(row, kwargs, defaults, plugin_spec.name):
+            continue
+        ops = row.get("ops")
+        if isinstance(ops, str):
+            if not ops.startswith("kwarg:"):
+                raise LintError(f"bad ops reference {ops!r} in "
+                                f"{plugin_spec.name!r} contract")
+            ops = _kwarg(ops[len("kwarg:"):], kwargs, defaults,
+                         plugin_spec.name)
+        taps = tuple(row["taps"])
+        unknown = set(taps) - KNOWN_TAPS
+        if unknown:
+            raise LintError(
+                f"{plugin_spec.name!r} contract uses unknown taps "
+                f"{sorted(unknown)}; known: {sorted(KNOWN_TAPS)}")
+        rows.append(ContractRow(
+            plugin=plugin_spec.name, mld=mld, ops=_coerce_ops(ops),
+            taps=taps, detail=row.get("detail", "")))
+    return tuple(rows)
+
+
+def rows_for_specs(plugin_specs):
+    """Compile contracts for a tuple of :class:`PluginSpec`."""
+    rows = []
+    for spec in plugin_specs:
+        rows.extend(contract_rows(spec))
+    return tuple(rows)
+
+
+def rows_for_names(names):
+    """Compile contracts for registry names (default constructions)."""
+    return rows_for_specs(tuple(PluginSpec.of(name) for name in names))
+
+
+def contracted_plugin_names():
+    """Registry names of every plug-in exporting a contract, sorted."""
+    return tuple(
+        name for name in plugin_names()
+        if getattr(plugin_factory(name), "LINT_CONTRACT", None)
+        is not None)

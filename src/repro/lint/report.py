@@ -1,0 +1,110 @@
+"""Verdict structures and rendering for the static leakage checker."""
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One ``LEAKS(opt, mld)`` verdict at one static instruction."""
+
+    pc: int
+    op: str
+    text: str                  # rendered instruction
+    plugin: str
+    mld: str
+    taps: tuple                # tainted tap names, in contract order
+    witness: tuple             # human-readable taint-flow frames
+    detail: str = ""
+
+    @property
+    def verdict(self):
+        return f"LEAKS({self.plugin}, {self.mld})"
+
+    def to_json_dict(self):
+        return {
+            "pc": self.pc, "op": self.op, "text": self.text,
+            "plugin": self.plugin, "mld": self.mld,
+            "taps": list(self.taps), "witness": list(self.witness),
+            "detail": self.detail, "verdict": self.verdict,
+        }
+
+
+@dataclass
+class LintReport:
+    """Full checker output for one program under one contract set."""
+
+    program_name: str
+    instructions: list          # rendered instruction texts, by pc
+    findings: list = field(default_factory=list)
+    contracts: tuple = ()       # plug-in names that were checked
+    secret_regions: tuple = ()
+    public_regions: tuple = ()
+    unreachable: tuple = ()     # statically dead pcs (never flagged)
+
+    @property
+    def ok(self):
+        return not self.findings
+
+    def flagged_pcs(self, plugin=None):
+        return sorted({finding.pc for finding in self.findings
+                       if plugin is None or finding.plugin == plugin})
+
+    def leaking_plugins(self):
+        return sorted({finding.plugin for finding in self.findings})
+
+    def verdict(self, pc):
+        """The per-instruction verdict string for ``pc``."""
+        hits = [finding for finding in self.findings
+                if finding.pc == pc]
+        if not hits:
+            return "SAFE"
+        return "; ".join(finding.verdict for finding in hits)
+
+    def to_json_dict(self):
+        return {
+            "program": self.program_name,
+            "contracts": list(self.contracts),
+            "secret_regions": [list(region)
+                               for region in self.secret_regions],
+            "public_regions": [list(region)
+                               for region in self.public_regions],
+            "ok": self.ok,
+            "verdicts": [
+                {"pc": pc, "text": text, "verdict": self.verdict(pc)}
+                for pc, text in enumerate(self.instructions)],
+            "findings": [finding.to_json_dict()
+                         for finding in self.findings],
+            "unreachable": list(self.unreachable),
+        }
+
+    def to_json(self, **kwargs):
+        return json.dumps(self.to_json_dict(), sort_keys=True, **kwargs)
+
+    def render(self):
+        """Terminal listing: one verdict per static instruction."""
+        lines = [f"lint: {self.program_name or '<program>'}  "
+                 f"[contracts: {', '.join(self.contracts) or 'none'}]"]
+        for start, end in self.secret_regions:
+            lines.append(f"  .secret {start:#x}..{end:#x}")
+        for start, end in self.public_regions:
+            lines.append(f"  .public {start:#x}..{end:#x}")
+        by_pc = {}
+        for finding in self.findings:
+            by_pc.setdefault(finding.pc, []).append(finding)
+        for pc, text in enumerate(self.instructions):
+            verdict = self.verdict(pc)
+            if pc in self.unreachable:
+                verdict = "DEAD"
+            lines.append(f"  {pc:4d}  {text:<28s} {verdict}")
+            for finding in by_pc.get(pc, ()):
+                taps = ", ".join(finding.taps)
+                lines.append(f"        ^ tainted taps: {taps}")
+                for frame in finding.witness:
+                    lines.append(f"          via {frame}")
+        flagged = len({finding.pc for finding in self.findings})
+        lines.append(
+            f"  => {'CLEAN' if self.ok else 'LEAKS'}: "
+            f"{len(self.findings)} finding(s) at {flagged} "
+            f"instruction(s)")
+        return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Differential soundness validation: dynamic divergence ⊆ static flags.
+
+The checker's claim is *no false negatives*: if running a spec with two
+different secrets makes any enabled optimization behave observably
+differently (its MLD diverges), the checker must have flagged that
+optimization on the program.  This module closes the loop:
+
+1. :func:`secret_variants` derives secret-pair specs by XOR-perturbing
+   exactly the bytes the taint seed calls secret — everything else
+   (program, geometry, seeds, public inputs) is held fixed, so any
+   observable difference is attributable to the secret;
+2. the variants run through :func:`repro.engine.runner.run_batch`
+   (cache-friendly, deterministic);
+3. :func:`divergent_plugins` compares per-plug-in observation stats
+   and cycle counts between runs;
+4. :func:`check_soundness` asserts the divergent set is a subset of
+   the statically flagged set.
+
+A spec whose variants never diverge passes vacuously — that is the
+checker being *allowed* to over-approximate (flagging is permitted;
+missing is not).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.engine.runner import run_batch
+from repro.lint.checker import lint_spec
+
+#: Byte patterns XORed over the secret regions to build variants.
+#: 0xA5/0x5A flip mixed bit patterns, 0xFF flips everything; together
+#: with the unmodified baseline they exercise equality MLDs (silent
+#: stores, reuse, VP) and width MLDs (packing, early termination).
+DEFAULT_PATTERNS = (0xA5, 0x5A, 0xFF)
+
+
+def _perturb_write(entry, regions, pattern):
+    addr, value, width = entry
+    flipped = value
+    for index in range(width):
+        byte_addr = addr + index
+        if any(start <= byte_addr < end for start, end in regions):
+            flipped ^= pattern << (8 * index)
+    return (addr, flipped, width)
+
+
+def _perturb_blob(entry, regions, pattern):
+    addr, data = entry
+    blob = bytearray(bytes(data))
+    for index in range(len(blob)):
+        byte_addr = addr + index
+        if any(start <= byte_addr < end for start, end in regions):
+            blob[index] ^= pattern
+    return (addr, bytes(blob))
+
+
+def secret_regions_of(spec):
+    """The spec's effective secret byte ranges (taint + directives)."""
+    regions = list(spec.program.secret_regions)
+    if spec.taint is not None:
+        regions.extend(spec.taint.secret)
+    return tuple(sorted(set(regions)))
+
+
+def secret_variants(spec, patterns=DEFAULT_PATTERNS):
+    """Baseline + secret-perturbed variants of ``spec``.
+
+    Returns ``[spec, variant1, ...]``; with no secret regions declared
+    the baseline alone comes back (nothing to perturb — the harness
+    then passes vacuously).
+    """
+    regions = secret_regions_of(spec)
+    variants = [spec]
+    if not regions:
+        return variants
+    for pattern in patterns:
+        mem_writes = tuple(_perturb_write(entry, regions, pattern)
+                           for entry in spec.mem_writes)
+        mem_blobs = tuple(_perturb_blob(entry, regions, pattern)
+                          for entry in spec.mem_blobs)
+        if mem_writes == spec.mem_writes and \
+                mem_blobs == spec.mem_blobs:
+            continue                    # secret not in the image
+        variants.append(spec.replace(
+            mem_writes=mem_writes, mem_blobs=mem_blobs,
+            label=f"{spec.label or 'spec'}/secret^{pattern:#04x}"))
+    return variants
+
+
+def divergent_plugins(result_a, result_b, enabled=()):
+    """Plug-in names whose dynamic behaviour differs between two runs.
+
+    Per-plug-in observation stats are the MLD outcome counters the
+    plug-ins maintain (silent vs non-silent cases, reuse hits, squash
+    counts, packs, credits...).  A cycle-count difference with
+    identical per-plug-in stats is still attributed to every enabled
+    optimization: the timing *is* the observable, and on the
+    single-plug-in attack specs the attribution is exact.
+    """
+    stats_a = result_a.observations.get("plugins", {})
+    stats_b = result_b.observations.get("plugins", {})
+    names = set(stats_a) | set(stats_b) | set(enabled)
+    names.discard("pipeline-tracer")
+    divergent = {name for name in names
+                 if stats_a.get(name) != stats_b.get(name)}
+    if result_a.cycles != result_b.cycles:
+        divergent |= {name for name in names}
+    return divergent
+
+
+@dataclass
+class SoundnessResult:
+    """Outcome of one spec's differential soundness check."""
+
+    label: str
+    flagged: tuple              # plug-ins the checker flagged
+    divergent: tuple            # plug-ins that dynamically diverged
+    unflagged: tuple            # divergent but not flagged — BUG
+    variants: int = 0
+    details: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.unflagged
+
+    @property
+    def vacuous(self):
+        """True when no variant diverged (nothing was demonstrable)."""
+        return not self.divergent
+
+
+def check_soundness(spec, patterns=DEFAULT_PATTERNS, workers=1,
+                    cache=None, report=None):
+    """Differential no-false-negatives check for one spec.
+
+    Runs the secret-pair variants through the engine, diffs every
+    variant against the baseline, and compares the dynamically
+    divergent plug-in set against the statically flagged one.  Pass a
+    precomputed ``report`` (from :func:`~repro.lint.checker.lint_spec`)
+    to skip re-linting.
+    """
+    report = report if report is not None else lint_spec(spec)
+    flagged = set(report.leaking_plugins())
+    variants = secret_variants(spec, patterns=patterns)
+    results = run_batch(variants, workers=workers, cache=cache)
+    baseline, rest = results[0], results[1:]
+    enabled = tuple(plugin.name for plugin in spec.plugins)
+    divergent = set()
+    details = []
+    for variant_spec, result in zip(variants[1:], rest):
+        delta = divergent_plugins(baseline, result, enabled=enabled)
+        if delta:
+            details.append((variant_spec.label, sorted(delta)))
+        divergent |= delta
+    return SoundnessResult(
+        label=spec.label or "<spec>",
+        flagged=tuple(sorted(flagged)),
+        divergent=tuple(sorted(divergent)),
+        unflagged=tuple(sorted(divergent - flagged)),
+        variants=len(variants) - 1,
+        details=details)

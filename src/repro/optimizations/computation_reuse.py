@@ -35,6 +35,22 @@ class ComputationReusePlugin(OptimizationPlugin):
 
     VARIANTS = ("sv", "sn")
 
+    #: Static leakage contract (:mod:`repro.lint.contracts`): only the
+    #: value-keyed ``sv`` variant leaks — its table hits iff the
+    #: operand tuple repeats.  The name-keyed ``sn`` variant keys on
+    #: (pc, producer names) and is value-independent, so it selects no
+    #: rows and every instruction is statically SAFE under it.
+    LINT_CONTRACT = {
+        "mld": "reuse_hit",
+        "rows": (
+            {"ops": "kwarg:ops", "taps": ("rs1", "rs2"),
+             "when": {"variant": "sv"},
+             "detail": "reuse table hits iff the operand value tuple "
+                       "was seen before"},
+        ),
+        "defaults": {"variant": "sv", "ops": DEFAULT_REUSABLE_OPS},
+    }
+
     def __init__(self, variant="sv", ops=DEFAULT_REUSABLE_OPS,
                  table_size=256):
         super().__init__()

@@ -94,6 +94,38 @@ class ComputationSimplificationPlugin(OptimizationPlugin):
     #: Only ``execute_latency`` (invoked at issue) — pure.
     ff_policy = FF_PURE
 
+    #: Static leakage contract (:mod:`repro.lint.contracts`): each rule
+    #: is a trivial-operand test, so its MLD reads exactly the operand
+    #: positions the predicate inspects.  Rows are selected by the
+    #: ``rules`` constructor kwarg — an unconfigured rule cannot fire
+    #: dynamically and is not flagged statically.
+    LINT_CONTRACT = {
+        "mld": "trivial_operand",
+        "rows": (
+            {"ops": (Op.MUL,), "taps": ("rs1", "rs2"),
+             "when": {"rules": "zero_skip_mul"},
+             "detail": "multiply skips the array when either operand "
+                       "is zero"},
+            {"ops": (Op.MUL,), "taps": ("rs1", "rs2"),
+             "when": {"rules": "one_skip_mul"},
+             "detail": "multiply by one becomes a move"},
+            {"ops": (Op.DIV, Op.REM), "taps": ("rs2",),
+             "when": {"rules": "pow2_div"},
+             "detail": "divide by a power of two degrades to a shift"},
+            {"ops": (Op.DIV, Op.REM), "taps": ("rs1",),
+             "when": {"rules": "zero_over_anything_div"},
+             "detail": "zero dividend needs no division"},
+            {"ops": (Op.AND, Op.OR, Op.XOR), "taps": ("rs1", "rs2"),
+             "when": {"rules": "trivial_bitwise"},
+             "detail": "absorbing/identity operand skips the logic "
+                       "array"},
+            {"ops": (Op.ADD, Op.SUB), "taps": ("rs1", "rs2"),
+             "when": {"rules": "trivial_add"},
+             "detail": "zero operand bypasses the adder"},
+        ),
+        "defaults": {"rules": DEFAULT_RULES},
+    }
+
     def __init__(self, rules=DEFAULT_RULES, trivial_latency=TRIVIAL_LATENCY):
         super().__init__()
         unknown = set(rules) - set(RULES)

@@ -32,6 +32,7 @@ aggravates the attack (L2 still fills).
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.isa.opcodes import Op
 from repro.memory.flatmem import MemoryError_
 from repro.pipeline.plugins import FF_WAKEUP, OptimizationPlugin
 
@@ -87,6 +88,19 @@ class IndirectMemoryPrefetcher(OptimizationPlugin):
         if not self._jobs:
             return None
         return max(self.cpu.cycle + 1, self._jobs[0].ready_cycle)
+
+    #: Static leakage contract (:mod:`repro.lint.contracts`): the
+    #: indirection solver dereferences values returned by loads — a
+    #: secret loaded value becomes a prefetch *address*, observable
+    #: through the cache (the paper's universal read gadget).
+    LINT_CONTRACT = {
+        "mld": "prefetch_target",
+        "rows": (
+            {"ops": (Op.LOAD,), "taps": ("loaded_value",),
+             "detail": "loaded values are dereferenced as prefetch "
+                       "pointers"},
+        ),
+    }
 
     def __init__(self, levels=3, delta=4, stride_threshold=2,
                  link_threshold=2, stage_latency=8, max_jobs=8,

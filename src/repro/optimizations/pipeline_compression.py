@@ -41,6 +41,19 @@ class OperandPackingPlugin(OptimizationPlugin):
     #: Only ``pack_pair`` (invoked at issue) — pure.
     ff_policy = FF_PURE
 
+    #: Static leakage contract (:mod:`repro.lint.contracts`): a pair
+    #: packs iff every operand of both instructions is narrow, so the
+    #: register operands' widths feed the MLD (immediates are program
+    #: text, never secret).
+    LINT_CONTRACT = {
+        "mld": "pack_width",
+        "rows": (
+            {"ops": SIMPLE_ALU_OPS, "taps": ("rs1", "rs2"),
+             "detail": "two ALU ops share one slot iff all their "
+                       "operands are narrow"},
+        ),
+    }
+
     def __init__(self, narrow_bits=NARROW_BITS):
         super().__init__()
         self.narrow_bits = narrow_bits
@@ -73,6 +86,18 @@ class EarlyTerminatingMultiplierPlugin(OptimizationPlugin):
 
     #: Only ``execute_latency`` (invoked at issue) — pure.
     ff_policy = FF_PURE
+
+    #: Static leakage contract (:mod:`repro.lint.contracts`): the
+    #: digit-serial array terminates after rs2's significant digits,
+    #: so only the multiplier operand feeds the latency MLD.
+    LINT_CONTRACT = {
+        "mld": "early_termination",
+        "rows": (
+            {"ops": (Op.MUL,), "taps": ("rs2",),
+             "detail": "multiply latency tracks the significant bytes "
+                       "of rs2"},
+        ),
+    }
 
     def __init__(self, digit_bytes=2):
         super().__init__()

@@ -36,6 +36,20 @@ class RegisterFileCompressionPlugin(OptimizationPlugin):
 
     VARIANTS = ("any", "zero-one")
 
+    #: Static leakage contract (:mod:`repro.lint.contracts`): rename
+    #: headroom is granted iff the produced value duplicates one in
+    #: the window (``any``) or is a compressible constant
+    #: (``zero-one``) — either way the register *contents* feed the
+    #: MLD, for every result-producing op.
+    LINT_CONTRACT = {
+        "mld": "compression_credit",
+        "rows": (
+            {"ops": None, "taps": ("result",),
+             "detail": "physical-register credit depends on the "
+                       "produced register value"},
+        ),
+    }
+
     def __init__(self, variant="any", pool_size=16, window=48):
         super().__init__()
         if variant not in self.VARIANTS:

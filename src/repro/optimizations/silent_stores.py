@@ -22,6 +22,7 @@ stores (the paper notes Case C is "operationally equivalent" to the
 baseline).
 """
 
+from repro.isa.opcodes import Op
 from repro.pipeline.dyninst import SilentState
 from repro.pipeline.plugins import FF_WAKEUP, OptimizationPlugin
 
@@ -30,6 +31,20 @@ class SilentStorePlugin(OptimizationPlugin):
     """Read-port-stealing silent-store detection."""
 
     name = "silent-stores"
+
+    #: Static leakage contract (:mod:`repro.lint.contracts`): the
+    #: dynamic MLD elides a store iff the value being stored equals the
+    #: word already in memory, so both sides of that comparison feed
+    #: the observable outcome (Figure 4's silent/non-silent cases).
+    LINT_CONTRACT = {
+        "mld": "store_silence",
+        "rows": (
+            {"ops": (Op.STORE,),
+             "taps": ("store_value", "old_memory_value"),
+             "detail": "store is elided iff the stored value equals "
+                       "the old memory value"},
+        ),
+    }
 
     #: ``end_of_cycle`` retries the port steal (and ages the Case C
     #: retry window) every cycle while candidates are pending, so

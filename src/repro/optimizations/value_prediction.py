@@ -37,6 +37,21 @@ class ValuePredictionPlugin(OptimizationPlugin):
 
     PREDICTORS = ("last_value", "stride")
 
+    #: Static leakage contract (:mod:`repro.lint.contracts`): correct
+    #: vs squashed prediction is decided by comparing the predicted
+    #: value against the real one, so the produced (loaded) value feeds
+    #: the MLD regardless of predictor heuristic.  Predicted ops follow
+    #: the ``ops`` constructor kwarg.
+    LINT_CONTRACT = {
+        "mld": "value_misprediction",
+        "rows": (
+            {"ops": "kwarg:ops", "taps": ("loaded_value",),
+             "detail": "predict-then-verify squashes iff the produced "
+                       "value differs from the prediction"},
+        ),
+        "defaults": {"ops": (Op.LOAD,)},
+    }
+
     def __init__(self, ops=(Op.LOAD,), threshold=2, max_confidence=7,
                  table_size=1024, predictor="last_value"):
         super().__init__()

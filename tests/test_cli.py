@@ -31,7 +31,7 @@ def test_urg_command(capsys):
 
 def test_command_registry_complete():
     assert set(COMMANDS) == {"tables", "urg", "fig6", "audit", "stats",
-                             "trace", "bench"}
+                             "trace", "bench", "lint"}
 
 
 def test_bench_command(tmp_path, capsys):
@@ -45,6 +45,67 @@ def test_bench_command(tmp_path, capsys):
     for entry in report["workloads"].values():
         assert entry["identical"]
         assert entry["fastpath"]["instructions"] > 0
+
+
+def test_lint_command_flags_leaky_program(tmp_path, capsys):
+    prog = tmp_path / "leaky.s"
+    prog.write_text(
+        ".secret 0x1000 +8\n"
+        "    li x1, 0x1000\n"
+        "    load x2, 0(x1)\n"
+        "    store x2, 0(x1)\n"
+        "    halt\n")
+    assert main(["lint", str(prog)]) == 1
+    out = capsys.readouterr().out
+    assert "LEAKS(silent-stores, store_silence)" in out
+    assert "=> LEAKS" in out
+
+
+def test_lint_command_clean_program_and_opts(tmp_path, capsys):
+    prog = tmp_path / "clean.s"
+    prog.write_text(
+        ".secret 0x1000 +8\n"
+        "    li x1, 0x2000\n"
+        "    store x1, 0(x1)\n"
+        "    halt\n")
+    assert main(["lint", str(prog), "--opts", "silent-stores"]) == 0
+    out = capsys.readouterr().out
+    assert "=> CLEAN" in out
+    assert "[contracts: silent-stores]" in out
+
+
+def test_lint_command_json_out(tmp_path, capsys):
+    import json
+    prog = tmp_path / "leaky.s"
+    prog.write_text(
+        ".secret 0x1000 +8\n"
+        "    li x1, 0x1000\n"
+        "    load x2, 0(x1)\n"
+        "    store x2, 0(x1)\n"
+        "    halt\n")
+    out_path = tmp_path / "report.json"
+    assert main(["lint", str(prog), "--json",
+                 "--out", str(out_path)]) == 1
+    payload = json.loads(out_path.read_text())
+    assert payload["ok"] is False
+    (report,) = payload["reports"]
+    assert report["findings"]
+    verdicts = {entry["pc"]: entry["verdict"]
+                for entry in report["verdicts"]}
+    assert verdicts[0] == "SAFE"
+    assert "silent-stores" in verdicts[2] or "silent-stores" in \
+        verdicts[1]
+
+
+def test_lint_command_rejects_bad_input(tmp_path, capsys):
+    assert main(["lint"]) == 1
+    assert "usage" in capsys.readouterr().out
+    assert main(["lint", str(tmp_path / "missing.s")]) == 1
+    assert "lint:" in capsys.readouterr().out
+    prog = tmp_path / "ok.s"
+    prog.write_text("    halt\n")
+    assert main(["lint", str(prog), "--opts", "not-a-plugin"]) == 1
+    assert "bad --opts" in capsys.readouterr().out
 
 
 def test_trace_command(tmp_path, capsys):

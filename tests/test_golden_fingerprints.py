@@ -75,6 +75,21 @@ def test_fingerprint_depends_on_collect_stats_only_when_disabled():
         GOLDEN["amplification"]
 
 
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_fingerprint_ignores_taint_metadata(name):
+    """Lint metadata must never re-key the result cache: the taint
+    seed changes what the *checker* says, not what the machine does.
+    Every catalog spec already ships a TaintSpec, and stripping or
+    rewriting it must not move the pinned hash."""
+    from repro.engine import TaintSpec
+    spec = attack_specs()[name]
+    assert spec.taint is not None
+    assert spec.replace(taint=None).fingerprint() == GOLDEN[name]
+    assert spec.replace(taint=TaintSpec.of(
+        secret=((0, 1 << 12),), secret_regs=(1, 2, 3),
+    )).fingerprint() == GOLDEN[name]
+
+
 def test_fingerprint_depends_on_trace_only_when_set():
     from repro.engine import TraceSpec
     spec = attack_specs()["amplification"]

@@ -1,0 +1,320 @@
+"""Unit tests for the static MLD leakage checker (repro.lint)."""
+
+import pytest
+
+from repro.engine import PluginSpec, SimSpec, TaintSpec
+from repro.isa.assembler import Assembler
+from repro.isa.text import assemble_source
+from repro.lint import (
+    LintError, analyze_taint, build_cfg, contract_rows,
+    contracted_plugin_names, lint_program, lint_spec,
+    reaching_definitions, rows_for_names,
+)
+from repro.lint.cfg import ENTRY_DEF
+
+
+def asm_program(text):
+    return assemble_source(text, name="<test>")
+
+
+# ---------------------------------------------------------------- CFG
+
+
+def test_cfg_blocks_split_at_branches():
+    program = asm_program("""
+        li x1, 1
+        beq x1, x0, out
+        addi x2, x2, 1
+    out:
+        halt
+    """)
+    blocks, block_of = build_cfg(program)
+    starts = sorted(block.start for block in blocks)
+    assert 0 in starts
+    assert 2 in starts            # branch fall-through leader
+    assert 3 in starts            # branch target leader
+    assert block_of[0] == block_of[1]       # li + beq share a block
+    assert block_of[2] != block_of[3]
+
+
+def test_cfg_exit_block_and_back_edge():
+    program = asm_program("""
+    loop:
+        addi x1, x1, -1
+        bne x1, x0, loop
+        halt
+    """)
+    blocks, block_of = build_cfg(program)
+    exit_index = block_of[len(program)]
+    assert blocks[exit_index].start == len(program)
+    loop_block = blocks[block_of[0]]
+    assert 0 in loop_block.succs            # the back edge
+
+
+def test_reaching_definitions_join_and_kill():
+    program = asm_program("""
+        li x1, 1
+        beq x0, x0, two
+        li x1, 2
+    two:
+        add x2, x1, x0
+        halt
+    """)
+    reach = reaching_definitions(program)
+    # beq x0,x0 folds nothing statically: both defs of x1 may reach.
+    assert reach[3][1] == frozenset({0, 2})
+    # x2 at pc 4 sees only the pc-3 def.
+    assert reach[4][2] == frozenset({3})
+    # an unwritten register still carries the entry definition
+    assert reach[3][5] == frozenset({ENTRY_DEF})
+
+
+# -------------------------------------------------------------- taint
+
+
+def test_taint_load_from_secret_region():
+    program = asm_program("""
+    .secret 0x100 +8
+        li x1, 0x100
+        load x2, 0(x1)
+        halt
+    """)
+    analysis = analyze_taint(program,
+                             secret_regions=program.secret_regions,
+                             public_regions=())
+    assert analysis.state(2).reg(2).tainted
+    assert not analysis.state(2).reg(1).tainted
+
+
+def test_public_carves_out_secret():
+    program = asm_program("""
+    .secret 0x100 +16
+    .public 0x108 +8
+        li x1, 0x108
+        load x2, 0(x1)
+        halt
+    """)
+    analysis = analyze_taint(program,
+                             secret_regions=program.secret_regions,
+                             public_regions=program.public_regions)
+    assert not analysis.state(2).reg(2).tainted
+
+
+def test_taint_spreads_through_alu_and_memory():
+    program = asm_program("""
+    .secret 0x100 +8
+        li x1, 0x100
+        load x2, 0(x1)
+        add x3, x2, x0
+        store x3, 8(x1)
+        li x4, 0x108
+        load x5, 0(x4)
+        halt
+    """)
+    analysis = analyze_taint(program,
+                             secret_regions=program.secret_regions,
+                             public_regions=())
+    # tainted value laundered through memory at 0x108 and reloaded
+    assert analysis.state(6).reg(5).tainted
+
+
+def test_constant_folding_untaints_overwritten_value():
+    program = asm_program("""
+    .secret 0x100 +8
+        li x1, 0x100
+        load x2, 0(x1)
+        li x2, 7
+        add x3, x2, x2
+        halt
+    """)
+    analysis = analyze_taint(program,
+                             secret_regions=program.secret_regions,
+                             public_regions=())
+    state = analysis.state(4)
+    assert not state.reg(2).tainted
+    assert state.reg(3).const == 14
+
+
+def test_tainted_branch_sets_control_flag():
+    program = asm_program("""
+    .secret 0x100 +8
+        li x1, 0x100
+        load x2, 0(x1)
+        beq x2, x0, out
+        addi x3, x3, 1
+    out:
+        halt
+    """)
+    analysis = analyze_taint(program,
+                             secret_regions=program.secret_regions,
+                             public_regions=())
+    assert analysis.state(3).control
+    assert analysis.state(3).reg(3) is not None
+
+
+def test_untainted_constant_branch_folds_exactly():
+    program = asm_program("""
+        li x1, 1
+        beq x1, x0, dead
+        halt
+    dead:
+        addi x2, x2, 1
+        halt
+    """)
+    analysis = analyze_taint(program, secret_regions=(),
+                             public_regions=())
+    assert analysis.state(3) is None        # statically unreachable
+
+
+# ---------------------------------------------------------- contracts
+
+
+def test_every_optimization_exports_a_contract():
+    names = contracted_plugin_names()
+    assert set(names) == {
+        "silent-stores", "computation-simplification",
+        "computation-reuse", "value-prediction", "operand-packing",
+        "early-terminating-multiplier", "register-file-compression",
+        "indirect-memory-prefetcher",
+    }
+    for name in names:
+        assert rows_for_names((name,))      # compiles to >= 1 row
+
+
+def test_reuse_sn_variant_has_no_rows():
+    sv = contract_rows(PluginSpec.of("computation-reuse",
+                                     variant="sv"))
+    sn = contract_rows(PluginSpec.of("computation-reuse",
+                                     variant="sn"))
+    assert sv
+    assert sn == ()
+
+
+def test_compsimp_rows_follow_configured_rules():
+    default = contract_rows(PluginSpec.of("computation-simplification"))
+    assert {row.detail or row.mld for row in default}
+    mul_only = contract_rows(PluginSpec.of(
+        "computation-simplification", rules=("zero_skip_mul",)))
+    assert len(mul_only) == 1
+    div_too = contract_rows(PluginSpec.of(
+        "computation-simplification",
+        rules=("zero_skip_mul", "pow2_div", "trivial_bitwise")))
+    assert len(div_too) == 3
+
+
+def test_unknown_tap_is_rejected():
+    class BadPlugin:
+        LINT_CONTRACT = {"mld": "x",
+                         "rows": ({"ops": None, "taps": ("bogus",)},)}
+
+    from repro.engine.specs import _PLUGIN_REGISTRY, register_plugin
+    register_plugin("bad-tap-plugin", BadPlugin)
+    try:
+        with pytest.raises(LintError, match="unknown taps"):
+            rows_for_names(("bad-tap-plugin",))
+    finally:
+        del _PLUGIN_REGISTRY["bad-tap-plugin"]
+
+
+# ----------------------------------------------------------- verdicts
+
+
+LEAKY = """
+.secret 0x1000 +8
+.public 0x2000 +8
+    li x1, 0x1000
+    li x2, 0x2000
+    load x3, 0(x1)
+    load x4, 0(x2)
+    mul x5, x3, x4
+    mul x6, x4, x4
+    store x5, 0(x2)
+    halt
+"""
+
+
+def test_early_termination_taps_rs2_only():
+    program = asm_program(LEAKY)
+    report = lint_program(program,
+                          opts=("early-terminating-multiplier",))
+    # mul x5, x3(secret), x4(public): ETM keys on rs2 width -> SAFE;
+    # swap operands and it leaks.
+    assert report.verdict(4) == "SAFE"
+    swapped = asm_program(LEAKY.replace("mul x5, x3, x4",
+                                        "mul x5, x4, x3"))
+    report = lint_program(swapped,
+                          opts=("early-terminating-multiplier",))
+    assert "early-terminating-multiplier" in report.verdict(4)
+
+
+def test_silent_store_flags_value_and_old_memory():
+    program = asm_program(LEAKY)
+    report = lint_program(program, opts=("silent-stores",))
+    assert report.flagged_pcs() == [6]
+    (finding,) = report.findings
+    assert finding.taps == ("store_value",)
+    assert any("load from 0x1000" in frame
+               for frame in finding.witness)
+    assert any("def-use" in frame for frame in finding.witness)
+
+
+def test_public_operands_stay_safe():
+    program = asm_program(LEAKY)
+    report = lint_program(program, opts=("operand-packing",))
+    # mul is not a packing op; the only simple-ALU ops here touch
+    # nothing tainted -> clean.
+    assert report.ok
+
+
+def test_lint_spec_checks_only_enabled_plugins():
+    program = asm_program("""
+        li x1, 0x1000
+        load x2, 0(x1)
+        store x2, 0(x1)
+        halt
+    """)
+    spec = SimSpec(
+        program=program,
+        plugins=(PluginSpec.of("silent-stores"),),
+        taint=TaintSpec.of(secret=((0x1000, 0x1008),)),
+        label="enabled-only")
+    report = lint_spec(spec)
+    assert report.leaking_plugins() == ["silent-stores"]
+    assert report.contracts == ("silent-stores",)
+    # the same program under the full catalog flags more
+    full = lint_spec(spec, opts=contracted_plugin_names())
+    assert len(full.leaking_plugins()) > 1
+
+
+def test_lint_spec_merges_program_directives_and_taintspec():
+    asm = Assembler()
+    asm.secret(0x3000, length=8)
+    asm.li(1, 0x3000).load(2, 1, 0).halt()
+    program = asm.assemble()
+    spec = SimSpec(program=program,
+                   plugins=(PluginSpec.of("value-prediction"),))
+    report = lint_spec(spec)
+    assert report.secret_regions == ((0x3000, 0x3008),)
+    assert not report.ok
+
+
+def test_dead_code_is_never_flagged():
+    program = asm_program("""
+    .secret 0x100 +8
+        jmp out
+        li x1, 0x100
+        load x2, 0(x1)
+    out:
+        halt
+    """)
+    report = lint_program(program, opts=("value-prediction",))
+    assert report.ok
+    assert 2 in report.unreachable
+    assert "DEAD" in report.render()
+
+
+def test_opts_and_contracts_are_exclusive():
+    program = asm_program("halt")
+    rows = rows_for_names(("silent-stores",))
+    with pytest.raises(LintError, match="not both"):
+        lint_program(program, contracts=rows, opts=("silent-stores",))

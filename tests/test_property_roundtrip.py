@@ -14,13 +14,17 @@ derives its examples from the test's source rather than a random seed.
 
 import json
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.engine import (
-    CacheSpec, HierarchySpec, LatencySpec, PluginSpec, SimSpec, TLBSpec,
+    CacheSpec, HierarchySpec, LatencySpec, PluginSpec, SimSpec,
+    TaintSpec, TLBSpec,
 )
 from repro.isa import Instruction, Op, Program, decode_program
+from repro.isa.assembler import AssemblyError
+from repro.isa.disassembler import DecodeError
 from repro.isa.opcodes import BRANCH_OPS
 from repro.pipeline.config import CPUConfig
 
@@ -37,7 +41,16 @@ _IMMS = st.integers(-(1 << 32), (1 << 32) - 1)
 
 
 @st.composite
-def programs(draw):
+def regions(draw, max_regions=3):
+    result = []
+    for _ in range(draw(st.integers(0, max_regions))):
+        start = draw(st.integers(0, 1 << 20))
+        result.append((start, start + draw(st.integers(1, 64))))
+    return tuple(result)
+
+
+@st.composite
+def programs(draw, with_regions=False):
     length = draw(st.integers(min_value=1, max_value=24))
     instructions = []
     for pc in range(length):
@@ -49,7 +62,10 @@ def programs(draw):
         instructions.append(Instruction(
             op=op, rd=draw(_REGS), rs1=draw(_REGS), rs2=draw(_REGS),
             imm=draw(_IMMS), width=draw(_WIDTHS), target=target, pc=pc))
-    return Program(instructions, {})
+    secret = draw(regions()) if with_regions else ()
+    public = draw(regions()) if with_regions else ()
+    return Program(instructions, {}, secret_regions=secret,
+                   public_regions=public)
 
 
 @BOUNDED
@@ -66,6 +82,104 @@ def test_encode_decode_roundtrip(program):
         assert (rebuilt.imm, rebuilt.width, rebuilt.target) == \
             (original.imm, original.width, original.target)
         assert rebuilt.pc == original.pc
+
+
+@BOUNDED
+@given(program=programs(with_regions=True))
+def test_directive_encode_decode_roundtrip(program):
+    """``.secret`` / ``.public`` records survive the wire form."""
+    blob = program.encode()
+    decoded = decode_program(blob)
+    assert decoded.secret_regions == program.secret_regions
+    assert decoded.public_regions == program.public_regions
+    assert decoded.encode() == blob
+
+
+@BOUNDED
+@given(program=programs(with_regions=True))
+def test_directive_free_programs_encode_without_directives(program):
+    """A program with no regions encodes byte-identically to the
+    pre-directive wire form — golden fingerprints cannot move."""
+    bare = Program(list(program.instructions), dict(program.labels))
+    assert b".secret" not in bare.encode()
+    assert b".public" not in bare.encode()
+    if program.secret_regions:
+        assert b".secret" in program.encode()
+
+
+@st.composite
+def canonical_programs(draw):
+    """Programs the text form can express: fields an op does not use
+    sit at their defaults (the wire form keeps every field, the source
+    form only the meaningful ones)."""
+    from repro.isa.opcodes import (
+        ALU_RI_OPS, MEMORY_OPS, reads_rs1, reads_rs2, writes_register,
+    )
+    program = draw(programs(with_regions=True))
+    canonical = []
+    for inst in program.instructions:
+        op = inst.op
+        uses_imm = op in ALU_RI_OPS or op in MEMORY_OPS or op is Op.LI
+        canonical.append(Instruction(
+            op=op,
+            rd=inst.rd if writes_register(op) else 0,
+            rs1=inst.rs1 if reads_rs1(op) else 0,
+            rs2=inst.rs2 if reads_rs2(op) else 0,
+            imm=inst.imm if uses_imm else 0,
+            width=inst.width if op in MEMORY_OPS else 8,
+            target=inst.target, pc=inst.pc))
+    return Program(canonical, {},
+                   secret_regions=program.secret_regions,
+                   public_regions=program.public_regions)
+
+
+@BOUNDED
+@given(program=canonical_programs())
+def test_directive_source_roundtrip(program):
+    """Text rendering reassembles bitwise, regions included."""
+    from repro.isa.text import assemble_source, render_source
+    rendered = render_source(program)
+    again = assemble_source(rendered)
+    assert again.encode() == program.encode()
+    assert again.secret_regions == program.secret_regions
+    assert again.public_regions == program.public_regions
+
+
+@pytest.mark.parametrize("record", [
+    ".secret,16",                   # missing end
+    ".secret,16,8",                 # end <= start
+    ".secret,-1,8",                 # negative start
+    ".secret,a,b",                  # non-integers
+    ".public,16,8,4",               # too many fields
+    ".classified,0,8",              # unknown directive
+])
+def test_malformed_directive_records_are_rejected(record):
+    blob = Program([Instruction(op=Op.HALT, pc=0)], {}).encode() + \
+        (record + "\n").encode()
+    with pytest.raises(DecodeError):
+        decode_program(blob)
+
+
+def test_directive_before_instructions_is_rejected():
+    program = Program([Instruction(op=Op.HALT, pc=0)], {})
+    (line,) = [line for line in program.encode().splitlines() if line]
+    blob = b".secret,0,8\n" + line + b"\n"
+    with pytest.raises(DecodeError):
+        decode_program(blob)
+
+
+@pytest.mark.parametrize("source", [
+    ".secret\n    halt",                    # no operands
+    ".secret 8..8\n    halt",               # empty range
+    ".secret 8 16\n    halt",               # two operands, no +len
+    ".secret 0x10 +0\n    halt",            # zero length
+    ".public banana\n    halt",             # non-integer
+    ".declassify 0x10\n    halt",           # unknown directive
+])
+def test_malformed_source_directives_are_rejected(source):
+    from repro.isa.text import assemble_source
+    with pytest.raises(AssemblyError):
+        assemble_source(source)
 
 
 # ----------------------------------------------------------------------
@@ -110,8 +224,13 @@ def sim_specs(draw):
     regs = tuple((draw(st.integers(1, 31)),
                   draw(st.integers(0, (1 << 64) - 1)))
                  for _ in range(draw(st.integers(0, 3))))
+    taint = (TaintSpec.of(
+        secret=draw(regions()), public=draw(regions()),
+        secret_regs=draw(st.sets(st.integers(1, 31), max_size=3)))
+        if draw(st.booleans()) else None)
     return SimSpec(
-        program=draw(programs()), config=config, hierarchy=hierarchy,
+        program=draw(programs(with_regions=draw(st.booleans()))),
+        config=config, hierarchy=hierarchy, taint=taint,
         plugins=plugins, mem_writes=mem_writes, mem_blobs=mem_blobs,
         regs=regs,
         max_cycles=draw(st.sampled_from([None, 10_000])),
@@ -136,3 +255,10 @@ def test_spec_json_roundtrip_preserves_fingerprint(spec):
     # Presentation fields survive too (they are outside the hash).
     assert rebuilt.label == spec.label
     assert rebuilt.collect_stats == spec.collect_stats
+    # Lint metadata round-trips but never re-fingerprints a result.
+    assert rebuilt.taint == spec.taint
+    assert rebuilt.program.secret_regions == spec.program.secret_regions
+    relabeled = spec.replace(
+        taint=TaintSpec.of(secret=((0, 8),), secret_regs=(5,)))
+    assert relabeled.fingerprint() == \
+        spec.replace(taint=None).fingerprint()

@@ -140,3 +140,98 @@ def test_the_papers_attacker_program_verifies():
     Verifier().verify(build_attacker_program(16, null_checks=True))
     with pytest.raises(VerifierError):
         Verifier().verify(build_attacker_program(16, null_checks=False))
+
+
+# ------------------------------------------------------ taint pass
+
+
+def secret_load_program(**follow_on):
+    """r3 = Z[0] (secret), then whatever ``follow_on`` asks for."""
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),
+                                 BpfArray("Y", 8, 4)))
+    program.mov_imm(1, 0)
+    program.lookup(2, "Z", 1)
+    program.jeq_imm(2, 0, "out")
+    program.load(3, 2, 0)
+    for step in follow_on.get("steps", ()):
+        step(program)
+    program.label("out")
+    program.exit()
+    return program
+
+
+def flows_of(program, secret_arrays=("Z",)):
+    verifier = Verifier(secret_arrays=secret_arrays)
+    verifier.verify(program)
+    return verifier.taint_flows
+
+
+def test_taint_pass_records_secret_load():
+    flows = flows_of(secret_load_program())
+    assert (3, "load_secret", "Z") in flows
+
+
+def test_taint_pass_is_off_without_secret_arrays():
+    verifier = Verifier()
+    verifier.verify(secret_load_program())
+    assert verifier.taint_flows == []
+
+
+def test_taint_flows_through_alu_and_branch():
+    flows = flows_of(secret_load_program(steps=(
+        lambda p: p.add_imm(3, 1),
+        lambda p: p.jlt_imm(3, 100, "out"),
+    )))
+    kinds = {kind for _, kind, _ in flows}
+    assert "load_secret" in kinds
+    assert "tainted_alu" in kinds
+    assert "tainted_branch" in kinds
+
+
+def test_taint_flags_secret_indexed_lookup():
+    """The Figure 1 gadget: a secret value used as a lookup index."""
+    flows = flows_of(secret_load_program(steps=(
+        lambda p: p.lookup(4, "Y", 3),
+    )))
+    assert any(kind == "tainted_index_lookup" and detail == "Y"
+               for _, kind, detail in flows)
+
+
+def test_taint_flags_secret_store():
+    program = BpfProgram(arrays=(BpfArray("Z", 8, 4),
+                                 BpfArray("P", 8, 4)))
+    program.mov_imm(1, 0)
+    program.lookup(2, "Z", 1)
+    program.jeq_imm(2, 0, "out")
+    program.load(3, 2, 0)            # secret scalar
+    program.lookup(4, "P", 1)
+    program.jeq_imm(4, 0, "out")
+    program.store(4, 3, 0)           # secret value into public array
+    program.label("out")
+    program.exit()
+    flows = flows_of(program)
+    assert any(kind == "tainted_store" and detail == "P"
+               for _, kind, detail in flows)
+
+
+def test_papers_attacker_program_taint_chain():
+    """The verified Figure 7a program still leaks via the prefetcher:
+    the taint pass shows the full chain the safety rules cannot see."""
+    program = build_attacker_program(16, null_checks=True)
+    verifier = Verifier(secret_arrays=("Z",))
+    verifier.verify(program)
+    kinds = [kind for _, kind, _ in verifier.taint_flows]
+    assert "load_secret" in kinds
+    assert "tainted_index_lookup" in kinds
+    # chained lookups: the secret indexes Y, whose value indexes X
+    lookups = [detail for _, kind, detail in verifier.taint_flows
+               if kind == "tainted_index_lookup"]
+    assert set(lookups) == {"X", "Y"}
+
+
+def test_taint_flows_reset_between_verifications():
+    verifier = Verifier(secret_arrays=("Z",))
+    verifier.verify(secret_load_program())
+    first = list(verifier.taint_flows)
+    verifier.verify(secret_load_program())
+    assert verifier.taint_flows == first

@@ -1,0 +1,81 @@
+"""The determinism lint tool (tools/lint_determinism.py)."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+TOOL = os.path.join(os.path.dirname(__file__), os.pardir, "tools",
+                    "lint_determinism.py")
+
+
+@pytest.fixture(scope="module")
+def tool():
+    spec = importlib.util.spec_from_file_location("lint_determinism",
+                                                  TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def check_source(tool, tmp_path, source):
+    path = tmp_path / "sample.py"
+    path.write_text(source)
+    return tool.check_file(str(path))
+
+
+def test_core_packages_are_clean(tool, capsys):
+    assert tool.main([]) == 0
+    out = capsys.readouterr().out
+    assert "0 violation(s)" in out
+
+
+@pytest.mark.parametrize("source,needle", [
+    ("import time\nx = time.time()\n", "time.time"),
+    ("import time as t\nx = t.time_ns()\n", "time.time_ns"),
+    ("from time import time\nx = time()\n", "time.time"),
+    ("import random\nx = random.random()\n", "random.random"),
+    ("import random\nx = random.randint(1, 6)\n", "random.randint"),
+    ("from random import shuffle\nshuffle([])\n", "random.shuffle"),
+    ("import datetime\nx = datetime.datetime.now()\n", "now"),
+    ("from datetime import datetime\nx = datetime.utcnow()\n",
+     "utcnow"),
+])
+def test_banned_calls_are_flagged(tool, tmp_path, source, needle):
+    violations = check_source(tool, tmp_path, source)
+    assert len(violations) == 1
+    assert needle in violations[0]
+
+
+@pytest.mark.parametrize("source", [
+    "import time\nx = time.perf_counter()\n",       # host measurement
+    "import time\nx = time.perf_counter_ns()\n",
+    "import random\nrng = random.Random(42)\n",      # seeded instance
+    "import random\nrng = random.Random(0)\nrng.random()\n",
+    "x = time.time()\n",                             # no import: n/a
+    "class C:\n    def time(self):\n        return 0\n",
+])
+def test_sanctioned_idioms_pass(tool, tmp_path, source):
+    assert check_source(tool, tmp_path, source) == []
+
+
+def test_allow_marker_suppresses(tool, tmp_path):
+    source = "import time\nx = time.time()  # det-lint: allow\n"
+    assert check_source(tool, tmp_path, source) == []
+    # but only on the marked line
+    source += "y = time.time()\n"
+    assert len(check_source(tool, tmp_path, source)) == 1
+
+
+def test_syntax_errors_are_reported(tool, tmp_path):
+    violations = check_source(tool, tmp_path, "def broken(:\n")
+    assert violations and "syntax error" in violations[0]
+
+
+def test_main_exit_code_on_violation(tool, tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nx = time.time()\n")
+    assert tool.main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "1 violation(s)" in out

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Ban nondeterminism sources from the simulation core.
+
+Reproducibility is a load-bearing property of this repo: the engine
+fingerprints results by spec, the differential suites compare serial
+vs pooled runs bitwise, and the golden tests pin exact cycle counts.
+One stray ``time.time()`` or unseeded ``random.random()`` in the
+simulation path silently breaks all of that, so this checker bans them
+*structurally* in the core packages (``pipeline``, ``memory``,
+``optimizations``, ``engine``):
+
+* wall-clock reads — ``time.time``, ``time.time_ns``;
+* ``datetime`` "current moment" constructors — ``now``, ``utcnow``,
+  ``today``;
+* module-level ``random.<fn>()`` calls, whose hidden global state
+  escapes the spec's seed.  Instantiating ``random.Random(seed)`` is
+  the sanctioned idiom and stays allowed.
+
+``time.perf_counter``/``perf_counter_ns`` are *not* banned: measuring
+host wall-clock for throughput reporting is legitimate — it never
+feeds simulated state.
+
+A line may opt out with a ``# det-lint: allow`` comment, which is a
+grep-able audit trail.  Usage::
+
+    python tools/lint_determinism.py [path ...]
+
+Paths default to the four core packages; exits 1 on any violation.
+"""
+
+import ast
+import os
+import sys
+
+CORE_PACKAGES = ("pipeline", "memory", "optimizations", "engine")
+MARKER = "det-lint: allow"
+
+BANNED_TIME = {"time", "time_ns"}
+BANNED_DATETIME = {"now", "utcnow", "today"}
+ALLOWED_RANDOM = {"Random", "SystemRandom", "getstate", "setstate"}
+TRACKED_MODULES = ("time", "random", "datetime")
+
+
+def _dotted(node):
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class DeterminismChecker(ast.NodeVisitor):
+    def __init__(self, path, lines):
+        self.path = path
+        self.lines = lines
+        self.aliases = {}          # local name -> canonical dotted path
+        self.violations = []
+
+    def _allow(self, node):
+        line = self.lines[node.lineno - 1] \
+            if node.lineno - 1 < len(self.lines) else ""
+        return MARKER in line
+
+    def _report(self, node, what, hint):
+        if self._allow(node):
+            return
+        self.violations.append(
+            f"{self.path}:{node.lineno}: {what} — {hint}")
+
+    def visit_Import(self, node):
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in TRACKED_MODULES:
+                self.aliases[alias.asname or root] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node):
+        if node.module and node.module.split(".")[0] in TRACKED_MODULES:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    def visit_Call(self, node):
+        path = _dotted(node.func)
+        if path is not None:
+            head, _, rest = path.partition(".")
+            canonical = self.aliases.get(head)
+            if canonical is not None:
+                full = canonical + ("." + rest if rest else "")
+                self._check(node, full)
+        self.generic_visit(node)
+
+    def _check(self, node, full):
+        parts = full.split(".")
+        if parts[0] == "time" and len(parts) == 2 \
+                and parts[1] in BANNED_TIME:
+            self._report(node, f"call to {full}()",
+                         "wall-clock reads break run reproducibility; "
+                         "thread timestamps in via the spec")
+        elif parts[0] == "datetime" and parts[-1] in BANNED_DATETIME:
+            self._report(node, f"call to {full}()",
+                         "'current moment' constructors break run "
+                         "reproducibility")
+        elif parts[0] == "random" and len(parts) == 2 \
+                and parts[1] not in ALLOWED_RANDOM:
+            self._report(node, f"call to {full}()",
+                         "global random state escapes the spec seed; "
+                         "use a random.Random(seed) instance")
+
+
+def check_file(path):
+    with open(path) as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [f"{path}: syntax error: {error}"]
+    checker = DeterminismChecker(path, source.splitlines())
+    checker.visit(tree)
+    return checker.violations
+
+
+def iter_files(paths):
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, _, filenames in os.walk(path):
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if not argv:
+        root = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, "src", "repro")
+        argv = [os.path.normpath(os.path.join(root, package))
+                for package in CORE_PACKAGES]
+    violations = []
+    checked = 0
+    for path in iter_files(argv):
+        violations.extend(check_file(path))
+        checked += 1
+    for violation in violations:
+        print(violation)
+    print(f"det-lint: {checked} file(s) checked, "
+          f"{len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
