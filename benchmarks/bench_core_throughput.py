@@ -17,7 +17,9 @@ import os
 
 from conftest import emit, emit_json
 
-from repro.analysis.throughput import render_table, run_suite, write_report
+from repro.analysis.throughput import (
+    render_backend_table, render_table, run_suite, write_report,
+)
 
 REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(__file__), os.pardir))
@@ -26,6 +28,7 @@ REPO_ROOT = os.path.abspath(
 def test_core_throughput(once):
     report = once(run_suite)
     emit("core_throughput", render_table(report))
+    emit("core_throughput_backends", render_backend_table(report))
     emit_json("core_throughput", report)
     write_report(report, path=os.path.join(REPO_ROOT, "BENCH_PERF.json"))
 
@@ -39,10 +42,23 @@ def test_core_throughput(once):
                 == entry["reference"]["sim_cycles"])
 
     # The headline target is the fig6 end-to-end attack.  Locally it
-    # lands near 3.2x; the gate is 2x so shared-CI jitter can't flake.
-    assert workloads["fig6"]["speedup"] >= 2.0
+    # lands near 3.2x; the gate is 2.5x (ratcheted from the initial 2x)
+    # with headroom left for shared-CI jitter.
+    assert workloads["fig6"]["speedup"] >= 2.5
 
     # The fast-forward and template machinery must actually engage.
     counters = workloads["fig6"]["fastpath_counters"]
     assert counters["fastpath.cycles_skipped"] > 0
     assert counters["fastpath.template_hits"] > 0
+
+    # Execution backends: bitwise-identical results, and the lockstep
+    # cohort backend must beat the per-batch process pool on the
+    # lint-soundness secret-pair workload (locally ~2.5-3x; the gate is
+    # the acceptance floor of 1.5x).
+    backends = report["backends"]
+    assert backends["identical"], "execution backends diverged"
+    for name in ("serial", "pool", "lockstep"):
+        assert backends[name]["instructions"] > 0
+        assert backends[name]["sim_cycles"] == \
+            backends["serial"]["sim_cycles"]
+    assert backends["lockstep_vs_pool"] >= 1.5

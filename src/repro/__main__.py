@@ -23,6 +23,14 @@ Commands
              ``.public`` directives, contracts from the named
              optimizations (default: every one with a contract);
              exits 1 if any program leaks
+``backends`` list the registered trial-execution backends and their
+             capability flags
+
+Every command accepts a global ``--backend NAME`` flag (equivalent to
+setting ``REPRO_BACKEND=NAME``) that selects the execution backend —
+``serial``, ``pool``, or ``lockstep`` — for every engine batch the
+command runs.  Results are bitwise identical across backends; only
+scheduling and wall-clock change.
 """
 
 import sys
@@ -168,7 +176,8 @@ def cmd_bench(*args):
     differential suite would also fail).
     """
     from repro.analysis.throughput import (
-        REPORT_NAME, render_table, run_suite, write_report,
+        REPORT_NAME, render_backend_table, render_table, run_suite,
+        write_report,
     )
     args = list(args)
     out = REPORT_NAME
@@ -185,6 +194,8 @@ def cmd_bench(*args):
                        secret=b"Pan!" if quick else b"Pandora!",
                        best_of=1 if quick else 5)
     print(render_table(report))
+    print("\nexecution backends (lint-soundness secret-pair workload):")
+    print(render_backend_table(report))
     path = write_report(report, path=out)
     print(f"\nwrote {path}")
     drifted = [name for name, entry in report["workloads"].items()
@@ -192,6 +203,24 @@ def cmd_bench(*args):
     if drifted:
         print(f"ERROR: kernels diverged on: {', '.join(drifted)}")
         raise SystemExit(1)
+    if not report.get("backends", {}).get("identical", True):
+        print("ERROR: execution backends produced divergent results")
+        raise SystemExit(1)
+
+
+def cmd_backends():
+    """List the registered execution backends and their capabilities."""
+    from repro.engine import REPRO_BACKEND_ENV, backend_from_name, \
+        backend_names
+    print(f"{'backend':10s} {'parallel':>8s} {'in-process':>10s} "
+          f"{'shared-decode':>13s}")
+    for name in backend_names():
+        backend = backend_from_name(name)
+        print(f"{name:10s} {str(backend.parallel):>8s} "
+              f"{str(backend.in_process):>10s} "
+              f"{str(backend.shares_decode_state):>13s}")
+    print(f"\nselect with --backend NAME or {REPRO_BACKEND_ENV}=NAME "
+          "(or per-call: run_batch(..., backend=NAME))")
 
 
 def cmd_lint(*args):
@@ -271,11 +300,30 @@ def cmd_lint(*args):
 
 COMMANDS = {"tables": cmd_tables, "urg": cmd_urg, "fig6": cmd_fig6,
             "audit": cmd_audit, "stats": cmd_stats, "trace": cmd_trace,
-            "bench": cmd_bench, "lint": cmd_lint}
+            "bench": cmd_bench, "lint": cmd_lint,
+            "backends": cmd_backends}
 
 
 def main(argv=None):
-    argv = sys.argv[1:] if argv is None else argv
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--backend" in argv:
+        # Global flag: route every engine batch this command runs
+        # through the named execution backend (same effect as setting
+        # REPRO_BACKEND in the environment).
+        import os
+        from repro.engine import REPRO_BACKEND_ENV, backend_names
+        flag = argv.index("--backend")
+        try:
+            name = argv[flag + 1]
+        except IndexError:
+            print("usage: python -m repro [command] --backend "
+                  + "|".join(backend_names()))
+            return 1
+        if name not in backend_names():
+            print(f"unknown backend {name!r}; known: {backend_names()}")
+            return 1
+        del argv[flag:flag + 2]
+        os.environ[REPRO_BACKEND_ENV] = name
     command = argv[0] if argv else "tables"
     if command not in COMMANDS:
         print(__doc__)

@@ -1,6 +1,6 @@
 """The experiment engine: one way to build and run every simulation.
 
-Three layers (Section II-2's replay-attack structure, industrialized):
+Four layers (Section II-2's replay-attack structure, industrialized):
 
 * **Specs** (:mod:`repro.engine.specs`) — :class:`SimSpec` and friends:
   a declarative, picklable, content-hashable description of one
@@ -10,9 +10,18 @@ Three layers (Section II-2's replay-attack structure, industrialized):
   a spec into a ready core and packages each run as a structured,
   JSON-serializable :class:`RunResult`.
 * **Runner + cache** (:mod:`repro.engine.runner`,
-  :mod:`repro.engine.cache`) — :func:`run_batch` fans independent
-  trials across worker processes with deterministic per-trial seeds
-  and an optional content-addressed :class:`ResultCache`.
+  :mod:`repro.engine.cache`) — :func:`run_batch` builds idempotent
+  trial jobs keyed by the spec fingerprint, bulk-probes the optional
+  content-addressed :class:`ResultCache`, and hands only misses to the
+  selected execution backend.
+* **Backends** (:mod:`repro.engine.backends`) — the pluggable
+  *how-trials-execute* layer behind the :class:`ExecutionBackend`
+  protocol: :class:`SerialBackend` (in-process, trace-friendly),
+  :class:`PoolBackend` (process-pool fan-out), and
+  :class:`LockstepBatchBackend` (interleaved same-program cohorts with
+  shared decode state).  All backends are bitwise-equivalent; pick one
+  per call (``backend="lockstep"``), per environment
+  (``REPRO_BACKEND=lockstep``), or per spec (``SimSpec.backend``).
 
 Typical use::
 
@@ -23,10 +32,16 @@ Typical use::
                      mem_writes=((0x8000, guess, 2),),
                      label=f"guess={guess:#x}")
              for guess in range(256)]
-    results = run_batch(specs, workers=4)
+    results = run_batch(specs, workers=4)          # pool backend
+    variants = run_batch(specs, backend="lockstep")  # shared-state cohorts
     cycles = [result.cycles for result in results]
 """
 
+from repro.engine.backends import (
+    ExecutedTrial, ExecutionBackend, LockstepBatchBackend, PoolBackend,
+    REPRO_BACKEND_ENV, SerialBackend, TrialJob, backend_from_name,
+    backend_names, register_backend, resolve_backend,
+)
 from repro.engine.cache import ResultCache
 from repro.engine.runner import (
     derive_seed, execute_spec, run_batch, run_spec, run_trials,
@@ -40,10 +55,12 @@ from repro.stats import SimStats, merge_all
 from repro.trace import BatchTrace
 
 __all__ = [
-    "BatchTrace", "CacheSpec", "HierarchySpec", "LatencySpec",
-    "PluginSpec", "ResultCache", "RunResult", "Session", "SimSpec",
-    "SimStats", "SpecError", "TLBSpec", "TaintSpec", "TraceSpec",
-    "derive_seed",
-    "execute_spec", "merge_all", "register_plugin", "run_batch",
-    "run_spec", "run_trials",
+    "BatchTrace", "CacheSpec", "ExecutedTrial", "ExecutionBackend",
+    "HierarchySpec", "LatencySpec", "LockstepBatchBackend",
+    "PluginSpec", "PoolBackend", "REPRO_BACKEND_ENV", "ResultCache",
+    "RunResult", "SerialBackend", "Session", "SimSpec", "SimStats",
+    "SpecError", "TLBSpec", "TaintSpec", "TraceSpec", "TrialJob",
+    "backend_from_name", "backend_names", "derive_seed",
+    "execute_spec", "merge_all", "register_backend", "register_plugin",
+    "resolve_backend", "run_batch", "run_spec", "run_trials",
 ]

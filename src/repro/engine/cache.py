@@ -49,23 +49,59 @@ class ResultCache:
     def _file_for(self, fingerprint):
         return os.path.join(self.path, f"{fingerprint}.json")
 
+    def _load(self, fingerprint):
+        """Read one persisted result into the in-memory map (or None)."""
+        try:
+            with open(self._file_for(fingerprint)) as handle:
+                result = RunResult.from_json(handle.read())
+        except FileNotFoundError:
+            return None
+        self._results[fingerprint] = result
+        return result
+
     def get(self, fingerprint):
         """The cached result (marked ``cached=True``), or None."""
         result = self._results.get(fingerprint)
         if result is None and self.path is not None:
-            file_path = self._file_for(fingerprint)
-            try:
-                with open(file_path) as handle:
-                    result = RunResult.from_json(handle.read())
-            except FileNotFoundError:
-                result = None
-            else:
-                self._results[fingerprint] = result
+            result = self._load(fingerprint)
         if result is None:
             self.misses += 1
             return None
         self.hits += 1
         return dataclasses.replace(result, cached=True)
+
+    def probe_many(self, fingerprints):
+        """Bulk lookup: one result-or-None per fingerprint, in order.
+
+        The semantics (including the hit/miss counters and the
+        ``cached=True`` marking) match one :meth:`get` per fingerprint;
+        what changes is the store traffic.  A persistent cache is
+        scanned **once** — a single directory listing — and only files
+        known to exist are opened, so a thousand-trial batch costs one
+        ``listdir`` instead of a thousand per-trial ``stat``/``open``
+        attempts.  Duplicate fingerprints within one batch behave like
+        the sequential probes always did: every occurrence before the
+        result is deposited misses.
+        """
+        listing = None
+        out = []
+        for fingerprint in fingerprints:
+            result = self._results.get(fingerprint)
+            if result is None and self.path is not None:
+                if listing is None:
+                    try:
+                        listing = set(os.listdir(self.path))
+                    except FileNotFoundError:
+                        listing = set()
+                if f"{fingerprint}.json" in listing:
+                    result = self._load(fingerprint)
+            if result is None:
+                self.misses += 1
+                out.append(None)
+            else:
+                self.hits += 1
+                out.append(dataclasses.replace(result, cached=True))
+        return out
 
     def put(self, result):
         if not result.fingerprint:

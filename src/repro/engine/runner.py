@@ -1,16 +1,28 @@
-"""Trial fan-out: run many independent specs, serially or in parallel.
+"""Trial fan-out: build jobs, probe the cache once, hand misses off.
 
 The paper's experiments are embarrassingly parallel — Figure 6 needs
 many encryption calls per guess type, replay narrowing issues hundreds
 of oracle queries, key recovery budgets up to 524,288 of them — and
 every trial is an independent simulator run.  :func:`run_batch` is the
-one fan-out point: it takes a list of picklable
-:class:`~repro.engine.specs.SimSpec`, consults the optional result
-cache, ships cache misses to a ``ProcessPoolExecutor`` when
-``workers > 1`` (with a graceful in-process fallback for
-``workers <= 1``), and returns results in input order — bitwise
-identical to a serial run, because every randomness source in a spec
-is seeded.
+one fan-out point, and since the backend refactor it does exactly
+three things:
+
+1. build one idempotent :class:`~repro.engine.backends.TrialJob` per
+   spec, keyed by the spec's content fingerprint (derived once and
+   shared by the cache probe, the session build and the stored
+   result);
+2. probe the optional :class:`~repro.engine.cache.ResultCache` once,
+   in bulk (:meth:`~repro.engine.cache.ResultCache.probe_many`), so
+   the store is scanned per batch, not stat'ed per trial;
+3. hand only the misses to the selected
+   :class:`~repro.engine.backends.ExecutionBackend` — serial, process
+   pool, or lockstep cohorts — and deposit the fresh results back.
+
+Results come back in input order, bitwise identical across every
+backend, because every randomness source in a spec is seeded.
+Backend selection priority: the explicit ``backend=`` argument (name
+or instance), the ``REPRO_BACKEND`` environment variable, a unanimous
+``SimSpec.backend`` hint, then the legacy ``workers`` heuristic.
 
 :func:`derive_seed` gives deterministic per-trial seeds: hash the base
 seed with the trial index, so trial *i* sees the same perturbation no
@@ -18,11 +30,16 @@ matter how the batch is scheduled.
 """
 
 import hashlib
-import os
-import time
-from concurrent.futures import ProcessPoolExecutor
 
+from repro.engine.backends import (
+    TrialJob, execute_spec, resolve_backend,
+)
 from repro.trace.batch import record_executed_trial
+
+__all__ = [
+    "derive_seed", "execute_spec", "run_batch", "run_spec",
+    "run_trials",
+]
 
 #: Bin width (microseconds) of the ``engine.trial_wall_us`` histogram.
 _WALL_BIN_US = 10_000
@@ -32,40 +49,6 @@ def derive_seed(base_seed, index):
     """A stable, well-mixed per-trial seed (independent of scheduling)."""
     blob = f"{base_seed}:{index}".encode()
     return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
-
-
-def execute_spec(spec, fingerprint=None):
-    """Build and run one spec (module-level: picklable for the pool).
-
-    ``fingerprint`` is the spec's precomputed content hash; passing it
-    spares :meth:`Session.from_spec` from hashing the spec again (the
-    hash covers the whole program and memory image, so for short runs
-    recomputing it was a measurable fraction of the trial).
-    """
-    from repro.engine.session import Session
-    return Session.from_spec(spec, fingerprint=fingerprint).run()
-
-
-def _execute_job(job):
-    """Pool target: ``(spec, fingerprint) -> RunResult``."""
-    spec, fingerprint = job
-    return execute_spec(spec, fingerprint)
-
-
-def _timed_execute(job):
-    """Like :func:`_execute_job`, plus wall-clock + worker telemetry.
-
-    Returns ``(result, start_us, elapsed_us, pid)``.  The telemetry
-    never enters the :class:`RunResult` — wall time and pids are
-    scheduling-dependent, and results must stay bitwise identical
-    between serial and pooled runs; it feeds ``batch_stats`` and the
-    caller-owned :class:`repro.trace.BatchTrace` instead.
-    """
-    spec, fingerprint = job
-    start_us = time.perf_counter_ns() // 1000
-    result = execute_spec(spec, fingerprint)
-    elapsed_us = max(1, time.perf_counter_ns() // 1000 - start_us)
-    return result, start_us, elapsed_us, os.getpid()
 
 
 def run_spec(spec, cache=None, bypass_cache=False):
@@ -85,103 +68,104 @@ def run_spec(spec, cache=None, bypass_cache=False):
     return result
 
 
+def _probe(cache, fingerprints, bypass_cache):
+    """Bulk cache probe; a list aligned with ``fingerprints`` (or None
+    when there is nothing to probe).  Falls back to per-fingerprint
+    ``get`` for duck-typed caches without ``probe_many``."""
+    if cache is None or bypass_cache:
+        return None
+    probe_many = getattr(cache, "probe_many", None)
+    if probe_many is not None:
+        return probe_many(fingerprints)
+    return [cache.get(fingerprint) for fingerprint in fingerprints]
+
+
 def run_batch(specs, workers=1, cache=None, bypass_cache=False,
-              chunksize=None, batch_stats=None, batch_trace=None):
+              chunksize=None, batch_stats=None, batch_trace=None,
+              backend=None):
     """Run ``specs`` and return their results in input order.
 
-    ``workers > 1`` fans cache misses out across that many worker
-    processes; ``workers <= 1`` (the default) runs everything in
-    process.  Results are identical either way.
+    ``backend`` selects the execution backend by name (``"serial"``,
+    ``"pool"``, ``"lockstep"``) or as a ready
+    :class:`~repro.engine.backends.ExecutionBackend` instance (which
+    the caller owns — the runner never opens or closes it).  With no
+    explicit backend the historical behaviour is preserved exactly:
+    ``workers > 1`` fans cache misses across that many pooled worker
+    processes, ``workers <= 1`` (the default) runs everything in
+    process.  Results are identical whichever backend runs them.
 
     ``batch_stats`` (an optional :class:`~repro.stats.SimStats`)
     receives *engine-level* telemetry: cache hits/misses, executed
-    trial count, a per-trial wall-time histogram and the number of
-    distinct worker processes used.  ``batch_trace`` (an optional
-    :class:`repro.trace.BatchTrace`) receives the event-level view of
-    the same story: one wall-clock span per executed trial tagged with
-    its worker pid, and one instant per cache hit — exportable to a
-    Perfetto-loadable Chrome trace.  These quantities depend on
-    scheduling, which is exactly why they live here and never in a
-    :class:`RunResult`.
+    trial count, a per-trial wall-time histogram, the number of
+    distinct workers used, and per-backend batch/trial counters
+    (``engine.backend.<name>.batches`` / ``.trials``).  ``batch_trace``
+    (an optional :class:`repro.trace.BatchTrace`) receives the
+    event-level view of the same story: one wall-clock span per
+    executed trial tagged with its worker pid, and one instant per
+    cache hit — exportable to a Perfetto-loadable Chrome trace.  These
+    quantities depend on scheduling, which is exactly why they live
+    here and never in a :class:`RunResult`.
     """
     specs = list(specs)
     # One fingerprint derivation per trial, shared by the cache probe,
     # the (possibly pooled) session build, and the stored result.
     fingerprints = [spec.fingerprint() for spec in specs]
     results = [None] * len(specs)
-    pending = []
     track = batch_stats is not None and batch_stats.enabled
     timed = track or batch_trace is not None
+
+    hits = _probe(cache, fingerprints, bypass_cache)
+    jobs = []
     for index, spec in enumerate(specs):
-        if cache is not None and not bypass_cache:
-            hit = cache.get(fingerprints[index])
-            if hit is not None:
-                results[index] = hit
-                if track:
-                    batch_stats.inc("engine.cache_hits")
-                if batch_trace is not None:
-                    batch_trace.record_cache_hit(spec.label, index)
-                continue
-        pending.append(index)
+        hit = hits[index] if hits is not None else None
+        if hit is not None:
+            results[index] = hit
+            if track:
+                batch_stats.inc("engine.cache_hits")
+            if batch_trace is not None:
+                batch_trace.record_cache_hit(spec.label, index)
+            continue
+        jobs.append(TrialJob(index=index, spec=spec,
+                             fingerprint=fingerprints[index]))
+
+    chosen = resolve_backend(backend, workers=workers,
+                             chunksize=chunksize, pending=len(jobs),
+                             specs=specs)
     if track:
         batch_stats.inc("engine.batches")
-        batch_stats.inc("engine.trials_executed", len(pending))
+        batch_stats.inc("engine.trials_executed", len(jobs))
+        batch_stats.inc(f"engine.backend.{chosen.name}.batches")
         if cache is not None and not bypass_cache:
-            batch_stats.inc("engine.cache_misses", len(pending))
+            batch_stats.inc("engine.cache_misses", len(jobs))
 
-    if workers <= 1 or len(pending) <= 1:
-        for index in pending:
-            if timed:
-                result, start_us, elapsed_us, pid = _timed_execute(
-                    (specs[index], fingerprints[index]))
-                if track:
-                    batch_stats.observe("engine.trial_wall_us",
-                                        elapsed_us,
-                                        bin_width=_WALL_BIN_US)
-                record_executed_trial(batch_trace, specs[index].label,
-                                      index, start_us, elapsed_us, pid)
-                results[index] = result
-            else:
-                results[index] = execute_spec(specs[index],
-                                              fingerprints[index])
-        if track and pending:
-            batch_stats.peak("engine.workers_used", 1)
-    else:
-        if chunksize is None:
-            chunksize = max(1, len(pending) // (4 * workers))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            job = [(specs[index], fingerprints[index])
-                   for index in pending]
-            if timed:
-                pids = set()
-                fresh = pool.map(_timed_execute, job,
-                                 chunksize=chunksize)
-                for index, (result, start_us, elapsed_us,
-                            pid) in zip(pending, fresh):
-                    results[index] = result
-                    if track:
-                        batch_stats.observe("engine.trial_wall_us",
-                                            elapsed_us,
-                                            bin_width=_WALL_BIN_US)
-                    record_executed_trial(batch_trace,
-                                          specs[index].label, index,
-                                          start_us, elapsed_us, pid)
-                    pids.add(pid)
-                if track:
-                    batch_stats.peak("engine.workers_used", len(pids))
-            else:
-                fresh = pool.map(_execute_job, job, chunksize=chunksize)
-                for index, result in zip(pending, fresh):
-                    results[index] = result
+    if jobs:
+        executed = chosen.submit(jobs, timed=timed)
+        workers_used = set()
+        for job, trial in zip(jobs, executed):
+            results[job.index] = trial.result
+            if track:
+                batch_stats.observe("engine.trial_wall_us",
+                                    trial.elapsed_us,
+                                    bin_width=_WALL_BIN_US)
+                batch_stats.inc(f"engine.backend.{chosen.name}.trials")
+            record_executed_trial(batch_trace, job.spec.label,
+                                  job.index, trial.start_us,
+                                  trial.elapsed_us, trial.worker)
+            if trial.worker is not None:
+                workers_used.add(trial.worker)
+        if track:
+            batch_stats.peak("engine.workers_used",
+                             max(1, len(workers_used)))
 
     if cache is not None:
-        for index in pending:
-            cache.put(results[index])
+        for job in jobs:
+            cache.put(results[job.index])
     return results
 
 
 def run_trials(make_spec, trials, workers=1, cache=None,
-               bypass_cache=False, batch_stats=None, batch_trace=None):
+               bypass_cache=False, batch_stats=None, batch_trace=None,
+               backend=None):
     """Map ``make_spec(trial) -> SimSpec`` over ``trials`` and run all.
 
     Convenience wrapper for replay loops: the caller supplies a spec
@@ -191,4 +175,4 @@ def run_trials(make_spec, trials, workers=1, cache=None,
     return run_batch([make_spec(trial) for trial in trials],
                      workers=workers, cache=cache,
                      bypass_cache=bypass_cache, batch_stats=batch_stats,
-                     batch_trace=batch_trace)
+                     batch_trace=batch_trace, backend=backend)

@@ -129,7 +129,7 @@ class SoundnessResult:
 
 
 def check_soundness(spec, patterns=DEFAULT_PATTERNS, workers=1,
-                    cache=None, report=None):
+                    cache=None, report=None, backend=None):
     """Differential no-false-negatives check for one spec.
 
     Runs the secret-pair variants through the engine, diffs every
@@ -137,11 +137,19 @@ def check_soundness(spec, patterns=DEFAULT_PATTERNS, workers=1,
     divergent plug-in set against the statically flagged one.  Pass a
     precomputed ``report`` (from :func:`~repro.lint.checker.lint_spec`)
     to skip re-linting.
+
+    ``backend`` selects the execution backend
+    (:mod:`repro.engine.backends`).  The variant batch is the lockstep
+    backend's native shape — N secret-perturbed trials of one program
+    — so ``backend="lockstep"`` runs the whole differential in one
+    shared-decode cohort with no per-trial process setup; results are
+    bitwise identical whichever backend runs them.
     """
     report = report if report is not None else lint_spec(spec)
     flagged = set(report.leaking_plugins())
     variants = secret_variants(spec, patterns=patterns)
-    results = run_batch(variants, workers=workers, cache=cache)
+    results = run_batch(variants, workers=workers, cache=cache,
+                        backend=backend)
     baseline, rest = results[0], results[1:]
     enabled = tuple(plugin.name for plugin in spec.plugins)
     divergent = set()

@@ -31,7 +31,25 @@ def test_urg_command(capsys):
 
 def test_command_registry_complete():
     assert set(COMMANDS) == {"tables", "urg", "fig6", "audit", "stats",
-                             "trace", "bench", "lint"}
+                             "trace", "bench", "lint", "backends"}
+
+
+def test_backends_command(capsys):
+    assert main(["backends"]) == 0
+    out = capsys.readouterr().out
+    for name in ("serial", "pool", "lockstep", "REPRO_BACKEND"):
+        assert name in out
+
+
+def test_global_backend_flag(capsys, monkeypatch):
+    from repro.engine import REPRO_BACKEND_ENV
+    monkeypatch.delenv(REPRO_BACKEND_ENV, raising=False)
+    assert main(["backends", "--backend", "lockstep"]) == 0
+    import os
+    assert os.environ.get(REPRO_BACKEND_ENV) == "lockstep"
+    monkeypatch.delenv(REPRO_BACKEND_ENV, raising=False)
+    assert main(["backends", "--backend", "warp-drive"]) == 1
+    assert "unknown backend" in capsys.readouterr().out
 
 
 def test_bench_command(tmp_path, capsys):

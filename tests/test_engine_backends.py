@@ -1,0 +1,311 @@
+"""Differential + unit suite for the execution-backend layer.
+
+The backend contract (:mod:`repro.engine.backends`) is that *how*
+cache-missing trials execute — in process, across a pool, or
+interleaved in lockstep cohorts — is pure scheduling: every backend
+must return bitwise-identical :class:`RunResult`\\ s, in input order,
+for every spec.  This suite pins that three ways:
+
+* the full attack-spec catalog runs under serial, pool and lockstep
+  and the serialized results must match byte for byte (plain and with
+  event tracing on — lockstep's interleaving must not perturb traces);
+* backend *selection* is deterministic and follows the documented
+  priority: explicit instance > explicit name > ``REPRO_BACKEND`` env
+  > unanimous ``SimSpec.backend`` hint > legacy ``workers`` heuristic;
+* the mechanics underneath — bulk cache probes, job descriptors, the
+  registry, pool lifecycle, cohort grouping — behave as documented.
+"""
+
+import pytest
+
+from repro.engine import (
+    LockstepBatchBackend, PoolBackend, REPRO_BACKEND_ENV, ResultCache,
+    SerialBackend, TraceSpec, TrialJob, backend_from_name,
+    backend_names, derive_seed, register_backend, resolve_backend,
+    run_batch,
+)
+from repro.engine.backends import ExecutedTrial, _BACKEND_REGISTRY
+from repro.engine.runner import execute_spec, run_spec
+from repro.lint.soundness import secret_variants
+from tests.spec_catalog import attack_specs
+
+
+def _catalog_specs(**overrides):
+    specs = []
+    for index, (name, spec) in enumerate(sorted(attack_specs().items())):
+        specs.append(spec.replace(seed=derive_seed(index, 0),
+                                  label=f"{name}/backend-diff",
+                                  **overrides))
+    return specs
+
+
+def _serialized(results):
+    return [result.to_json() for result in results]
+
+
+# ----------------------------------------------------------------------
+# the contract: bitwise identity across backends
+# ----------------------------------------------------------------------
+
+def test_catalog_bitwise_identical_across_backends():
+    specs = _catalog_specs()
+    serial = run_batch(specs, backend="serial")
+    pooled = run_batch(specs, backend="pool")
+    lockstep = run_batch(specs, backend="lockstep")
+    assert len(serial) == len(specs)
+    for spec, ref, pool, lock in zip(specs, serial, pooled, lockstep):
+        assert ref.to_json() == pool.to_json(), spec.label
+        assert ref.to_json() == lock.to_json(), spec.label
+        # Sanity: the comparison is not vacuous.
+        assert ref.cycles > 0, spec.label
+        assert ref.stats["retired"] > 0, spec.label
+
+
+def test_traced_catalog_identical_across_backends():
+    """Interleaved lockstep execution must not perturb event traces —
+    every per-cycle event a serially-run core emits must come back
+    verbatim from a cohort-scheduled one."""
+    specs = _catalog_specs(trace=TraceSpec())
+    serial = run_batch(specs, backend="serial")
+    lockstep = run_batch(specs, backend="lockstep")
+    for spec, ref, lock in zip(specs, serial, lockstep):
+        assert ref.to_json() == lock.to_json(), spec.label
+        assert ref.trace["events"], spec.label
+
+
+def test_secret_variant_cohorts_identical_across_backends():
+    """The lockstep backend's native shape: N secret variants of one
+    program, grouped into a single shared-decode cohort."""
+    for name, spec in sorted(attack_specs().items()):
+        variants = secret_variants(spec)
+        serial = run_batch(variants, backend="serial")
+        lockstep = run_batch(variants, backend="lockstep")
+        assert _serialized(serial) == _serialized(lockstep), name
+
+
+def test_lockstep_quantum_is_invisible():
+    """The interleaving granularity is pure scheduling: a 1-step
+    quantum (maximum interleaving) changes nothing."""
+    specs = _catalog_specs()[:3]
+    reference = run_batch(specs, backend="serial")
+    fine = run_batch(specs,
+                     backend=LockstepBatchBackend(cohort=2, quantum=1))
+    assert _serialized(reference) == _serialized(fine)
+
+
+# ----------------------------------------------------------------------
+# selection: the documented priority chain
+# ----------------------------------------------------------------------
+
+def test_resolve_explicit_instance_wins(monkeypatch):
+    monkeypatch.setenv(REPRO_BACKEND_ENV, "pool")
+    mine = LockstepBatchBackend()
+    assert resolve_backend(mine, workers=8) is mine
+
+
+def test_resolve_explicit_name_beats_env(monkeypatch):
+    monkeypatch.setenv(REPRO_BACKEND_ENV, "lockstep")
+    assert resolve_backend("serial", workers=8).name == "serial"
+
+
+def test_resolve_env_beats_spec_hint(monkeypatch):
+    monkeypatch.setenv(REPRO_BACKEND_ENV, "lockstep")
+    specs = [spec.replace(backend="pool")
+             for spec in _catalog_specs()[:2]]
+    chosen = resolve_backend(None, workers=1, specs=specs)
+    assert chosen.name == "lockstep"
+
+
+def test_resolve_unanimous_spec_hint(monkeypatch):
+    monkeypatch.delenv(REPRO_BACKEND_ENV, raising=False)
+    specs = [spec.replace(backend="lockstep")
+             for spec in _catalog_specs()[:2]]
+    assert resolve_backend(None, specs=specs).name == "lockstep"
+    # A split vote falls through to the workers heuristic.
+    mixed = [specs[0], specs[1].replace(backend="")]
+    assert resolve_backend(None, workers=1, specs=mixed).name == "serial"
+
+
+def test_resolve_legacy_workers_heuristic(monkeypatch):
+    monkeypatch.delenv(REPRO_BACKEND_ENV, raising=False)
+    specs = _catalog_specs()[:2]
+    assert resolve_backend(None, workers=1, specs=specs).name == "serial"
+    assert resolve_backend(None, workers=4, specs=specs).name == "pool"
+    # Singleton batches stay in process whatever ``workers`` says.
+    assert resolve_backend(None, workers=4, specs=specs,
+                           pending=1).name == "serial"
+
+
+def test_env_override_drives_run_batch(monkeypatch):
+    """``REPRO_BACKEND`` (the CI lockstep leg) reroutes batches that
+    pass no explicit backend — bitwise-identically."""
+    specs = _catalog_specs()[:3]
+    monkeypatch.delenv(REPRO_BACKEND_ENV, raising=False)
+    reference = run_batch(specs)
+    monkeypatch.setenv(REPRO_BACKEND_ENV, "lockstep")
+    rerouted = run_batch(specs)
+    assert _serialized(reference) == _serialized(rerouted)
+
+
+def test_backend_hint_stays_outside_fingerprint():
+    """Like ``fastpath``: the hint changes scheduling, never identity,
+    so all backends share cache entries."""
+    spec = _catalog_specs()[0]
+    hinted = spec.replace(backend="lockstep")
+    assert hinted.backend == "lockstep"
+    assert spec.fingerprint() == hinted.fingerprint()
+    roundtrip = type(spec).from_json_dict(hinted.to_json_dict())
+    assert roundtrip.backend == "lockstep"
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+def test_registry_names_and_unknown():
+    assert backend_names() == ["lockstep", "pool", "serial"]
+    with pytest.raises(ValueError, match="unknown execution backend"):
+        backend_from_name("gpu")
+
+
+def test_register_out_of_tree_backend():
+    class TracingSerial(SerialBackend):
+        name = "tracing-serial"
+
+    register_backend("tracing-serial",
+                     lambda workers, chunksize: TracingSerial())
+    try:
+        chosen = resolve_backend("tracing-serial")
+        assert chosen.name == "tracing-serial"
+        spec = _catalog_specs()[0]
+        assert (run_batch([spec], backend="tracing-serial")[0].to_json()
+                == run_batch([spec], backend="serial")[0].to_json())
+    finally:
+        del _BACKEND_REGISTRY["tracing-serial"]
+
+
+def test_capability_flags():
+    assert not SerialBackend.parallel and SerialBackend.in_process
+    assert PoolBackend.parallel and not PoolBackend.in_process
+    assert not LockstepBatchBackend.parallel
+    assert LockstepBatchBackend.in_process
+    assert LockstepBatchBackend.shares_decode_state
+    assert not SerialBackend.shares_decode_state
+    assert not PoolBackend.shares_decode_state
+
+
+# ----------------------------------------------------------------------
+# mechanics: jobs, pool lifecycle, cohorts, bulk cache probes
+# ----------------------------------------------------------------------
+
+def test_trial_job_is_frozen():
+    spec = _catalog_specs()[0]
+    job = TrialJob(index=0, spec=spec, fingerprint=spec.fingerprint())
+    with pytest.raises(AttributeError):
+        job.index = 1
+    assert ExecutedTrial(result=None).elapsed_us == 0
+    assert ExecutedTrial(result=None).worker is None
+
+
+def test_pool_backend_lifecycle():
+    """An opened pool persists across submits; close is idempotent."""
+    spec = _catalog_specs()[0]
+    job = TrialJob(index=0, spec=spec, fingerprint=spec.fingerprint())
+    expected = execute_spec(spec).to_json()
+    with PoolBackend(workers=2) as pool:
+        warm = pool._pool
+        assert warm is not None
+        first = pool.submit([job])
+        second = pool.submit([job], timed=True)
+        assert pool._pool is warm
+    assert pool._pool is None
+    pool.close()                       # idempotent
+    assert first[0].result.to_json() == expected
+    assert second[0].result.to_json() == expected
+    assert second[0].elapsed_us >= 1
+    assert second[0].worker is not None
+
+
+def test_lockstep_cohort_grouping():
+    """Grouping is by program identity, capped at ``cohort``; cohort
+    boundaries preserve submission order within a program."""
+    specs = _catalog_specs()[:2]
+    same = [specs[0].replace(seed=derive_seed(7, i)) for i in range(5)]
+    jobs = [TrialJob(index=i, spec=spec, fingerprint="")
+            for i, spec in enumerate(same + [specs[1]])]
+    backend = LockstepBatchBackend(cohort=2)
+    cohorts = list(backend._cohorts(jobs))
+    assert cohorts == [[0, 1], [2, 3], [4], [5]]
+
+
+def test_probe_many_matches_get_semantics(tmp_path):
+    spec = _catalog_specs()[0]
+    fingerprint = spec.fingerprint()
+    store = str(tmp_path / "cache")
+    writer = ResultCache(path=store)
+    result = run_spec(spec, cache=writer)
+    assert not result.cached
+
+    # Fresh process: everything comes off disk, via one listing.
+    reader = ResultCache(path=store)
+    probe = reader.probe_many([fingerprint, "0" * 64, fingerprint])
+    assert probe[0] is not None and probe[0].cached
+    assert probe[1] is None
+    assert probe[2] is not None
+    assert (reader.hits, reader.misses) == (2, 1)
+    assert probe[0].fingerprint == fingerprint
+    assert probe[0].to_json().replace('"cached": true',
+                                      '"cached": false') \
+        == result.to_json()
+
+    # Memory-only cache: same counter semantics, no store.
+    memory = ResultCache()
+    assert memory.probe_many([fingerprint]) == [None]
+    assert (memory.hits, memory.misses) == (0, 1)
+    memory.put(result)
+    hit = memory.probe_many([fingerprint])[0]
+    assert hit is not None and hit.cached
+    assert (memory.hits, memory.misses) == (1, 1)
+
+
+def test_probe_many_duplicates_miss_until_deposited(tmp_path):
+    """Duplicate fingerprints in one batch behave exactly like the
+    sequential per-trial probes always did: both occurrences miss."""
+    spec = _catalog_specs()[0]
+    fingerprint = spec.fingerprint()
+    cache = ResultCache(path=str(tmp_path / "cache"))
+    assert cache.probe_many([fingerprint, fingerprint]) == [None, None]
+    assert cache.misses == 2
+
+
+def test_run_batch_bulk_probe_and_duck_typed_cache(tmp_path):
+    specs = _catalog_specs()[:3]
+    cache = ResultCache(path=str(tmp_path / "cache"))
+    first = run_batch(specs, cache=cache)
+    assert cache.hits == 0 and cache.misses == len(specs)
+    second = run_batch(specs, cache=cache)
+    assert cache.hits == len(specs)
+    assert all(result.cached for result in second)
+    assert _serialized(first) == [
+        result.to_json().replace('"cached": true', '"cached": false')
+        for result in second]
+
+    class GetOnlyCache:
+        """A cache without ``probe_many`` — run_batch must fall back."""
+
+        def __init__(self):
+            self.stored = {}
+            self.gets = 0
+
+        def get(self, fingerprint):
+            self.gets += 1
+            return self.stored.get(fingerprint)
+
+        def put(self, result):
+            self.stored[result.fingerprint] = result
+
+    duck = GetOnlyCache()
+    third = run_batch(specs, cache=duck)
+    assert duck.gets == len(specs)
+    assert len(duck.stored) == len(specs)
+    assert _serialized(third) == _serialized(first)
