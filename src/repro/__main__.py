@@ -23,6 +23,14 @@ Commands
              ``.public`` directives, contracts from the named
              optimizations (default: every one with a contract);
              exits 1 if any program leaks
+``synthesize`` learn each optimization's leakage contract by
+             differential secret-pair fuzzing and diff it against the
+             declared LINT_CONTRACT:
+             ``python -m repro synthesize [--opt NAME] [--budget N]
+             [--seed N] [--no-minimize] [--json] [--out PATH]`` —
+             prints the learned-vs-declared status table (or the JSON
+             report CI archives); exits 1 on any learned-but-
+             undeclared clause
 ``backends`` list the registered trial-execution backends and their
              capability flags
 
@@ -298,10 +306,83 @@ def cmd_lint(*args):
     return 0 if payload["ok"] else 1
 
 
+def cmd_synthesize(*args):
+    """Learned-vs-declared contract diff over the plug-in catalog.
+
+    ``python -m repro synthesize [--opt NAME[,NAME...]] [--budget N]
+    [--seed N] [--no-minimize] [--json] [--out PATH]``.  Default scope
+    is every registered optimization with a contract.  ``--json``
+    prints (or with ``--out`` writes) the machine-readable contract-
+    diff report the CI job archives.  Returns 1 if synthesis learned
+    any clause the declared contract misses.
+    """
+    import json
+    from repro.engine import ResultCache
+    from repro.lint import contracted_plugin_names, render_report, \
+        report_json, synthesize_all
+    usage = ("usage: python -m repro synthesize [--opt a,b] "
+             "[--budget N] [--seed N] [--no-minimize] [--json] "
+             "[--out PATH]")
+    args = list(args)
+    as_json = "--json" in args
+    if as_json:
+        args.remove("--json")
+    minimize = "--no-minimize" not in args
+    if not minimize:
+        args.remove("--no-minimize")
+
+    def flag_value(name):
+        if name not in args:
+            return None
+        flag = args.index(name)
+        try:
+            value = args[flag + 1]
+        except IndexError:
+            raise SystemExit(usage)
+        del args[flag:flag + 2]
+        return value
+
+    out = flag_value("--out")
+    opts = flag_value("--opt")
+    budget = flag_value("--budget")
+    seed = flag_value("--seed")
+    if args:
+        print(usage)
+        return 1
+    try:
+        from repro.lint.synthesize import DEFAULT_BUDGET
+        budget = DEFAULT_BUDGET if budget is None else int(budget)
+        seed = 0 if seed is None else int(seed)
+    except ValueError:
+        print(usage)
+        return 1
+    names = contracted_plugin_names() if opts is None \
+        else tuple(name for name in opts.split(",") if name)
+    unknown = set(names) - set(contracted_plugin_names())
+    if unknown:
+        print(f"synthesize: no contract for {sorted(unknown)}; "
+              f"known: {list(contracted_plugin_names())}")
+        return 1
+    results = synthesize_all(opts=names, budget=budget, seed=seed,
+                             cache=ResultCache(), minimize=minimize)
+    payload = report_json(results, budget=budget, seed=seed)
+    if as_json or out:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if out:
+            with open(out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote contract-diff report to {out}")
+        else:
+            print(text)
+    if not as_json:
+        print(render_report(results))
+    return 0 if payload["ok"] else 1
+
+
 COMMANDS = {"tables": cmd_tables, "urg": cmd_urg, "fig6": cmd_fig6,
             "audit": cmd_audit, "stats": cmd_stats, "trace": cmd_trace,
             "bench": cmd_bench, "lint": cmd_lint,
-            "backends": cmd_backends}
+            "synthesize": cmd_synthesize, "backends": cmd_backends}
 
 
 def main(argv=None):

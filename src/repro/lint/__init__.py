@@ -18,31 +18,61 @@ program, no matter the schedule.  This package decides that question:
 * :mod:`repro.lint.checker` — the verdict pass: per static
   instruction, ``SAFE`` or ``LEAKS(opt, mld)`` with a taint-flow
   witness;
+* :mod:`repro.lint.perturb` — the shared secret-pair XOR perturbation
+  helper both differential harnesses build their variants with;
 * :mod:`repro.lint.soundness` — the differential harness that runs
   secret-pair trials through :mod:`repro.engine.runner` and asserts
-  every dynamically observed MLD divergence was statically flagged.
+  every dynamically observed MLD divergence was statically flagged;
+* :mod:`repro.lint.progen` — seeded generation of trigger-shaped
+  programs with secret annotations (plus the promoted hypothesis ISA
+  strategies);
+* :mod:`repro.lint.synthesize` — contract *synthesis*: learn each
+  plug-in's leakage contract from differential secret-pair fuzzing
+  and diff it against the declared ``LINT_CONTRACT``, reporting
+  learned-but-undeclared (soundness blind spot) and
+  declared-but-never-witnessed (imprecision) gaps with minimized
+  witness programs.
 
-Surface: ``python -m repro lint <program.s> [--opts ...] [--json]``.
+Surface: ``python -m repro lint <program.s> [--opts ...] [--json]``
+and ``python -m repro synthesize [--opt NAME] [--budget N] [--json]``.
 """
 
 from repro.lint.cfg import BasicBlock, build_cfg, reaching_definitions
-from repro.lint.checker import lint_program, lint_spec
+from repro.lint.checker import lint_program, lint_spec, \
+    tainted_tap_pairs
 from repro.lint.contracts import (
-    ContractRow, KNOWN_TAPS, LintError, contract_rows,
-    contracted_plugin_names, rows_for_names, rows_for_specs,
+    ContractRow, KNOWN_TAPS, LintError, applicable_taps,
+    canonical_tap, contract_rows, contracted_plugin_names,
+    producing_ops, row_pairs, rows_for_names, rows_for_specs,
 )
+from repro.lint.perturb import (
+    DEFAULT_PATTERNS, perturb_spec, replicate, secret_regions_of,
+    secret_regs_of, secret_variants, xor_blob, xor_regs, xor_write,
+)
+from repro.lint.progen import CaseGenerator, GeneratedCase, \
+    TRIGGER_TEMPLATES
 from repro.lint.report import Finding, LintReport
 from repro.lint.soundness import (
-    SoundnessResult, check_soundness, divergent_plugins, secret_variants,
+    SoundnessResult, check_soundness, divergent_plugins,
+)
+from repro.lint.synthesize import (
+    ContractGap, Observation, SynthesisResult, check_synthesis,
+    minimize_witness, render_report, report_json, synthesize_all,
 )
 from repro.lint.taint import TaintAnalysis, analyze_taint
 
 __all__ = [
-    "BasicBlock", "ContractRow", "Finding", "KNOWN_TAPS", "LintError",
-    "LintReport", "SoundnessResult", "TaintAnalysis", "analyze_taint",
-    "build_cfg", "check_soundness", "contract_rows",
+    "BasicBlock", "CaseGenerator", "ContractGap", "ContractRow",
+    "DEFAULT_PATTERNS", "Finding", "GeneratedCase", "KNOWN_TAPS",
+    "LintError", "LintReport", "Observation", "SoundnessResult",
+    "SynthesisResult", "TRIGGER_TEMPLATES", "TaintAnalysis",
+    "analyze_taint", "applicable_taps", "build_cfg", "canonical_tap",
+    "check_soundness", "check_synthesis", "contract_rows",
     "contracted_plugin_names", "divergent_plugins", "lint_program",
-    "lint_spec",
-    "reaching_definitions", "rows_for_names", "rows_for_specs",
-    "secret_variants",
+    "lint_spec", "minimize_witness", "perturb_spec", "producing_ops",
+    "reaching_definitions", "render_report", "replicate",
+    "report_json", "row_pairs", "rows_for_names", "rows_for_specs",
+    "secret_regions_of", "secret_regs_of", "secret_variants",
+    "synthesize_all", "tainted_tap_pairs", "xor_blob", "xor_regs",
+    "xor_write",
 ]

@@ -13,8 +13,8 @@ constants come from the spec's ``regs``.
 from repro.engine.specs import SimSpec, TaintSpec
 from repro.isa.opcodes import Op, reads_rs1, reads_rs2, writes_register
 from repro.lint.cfg import def_chain, reaching_definitions
-from repro.lint.contracts import LintError, rows_for_names, \
-    rows_for_specs
+from repro.lint.contracts import LintError, applicable_taps, \
+    rows_for_names, rows_for_specs
 from repro.lint.report import Finding, LintReport
 from repro.lint.taint import analyze_taint
 from repro.isa.text import render_instruction
@@ -72,6 +72,44 @@ def _tap_taint(tap, inst, analysis, pc, state):
         av = analysis.result_av(pc)
         return av.tainted, av.origin
     raise LintError(f"unknown tap {tap!r}")
+
+
+def tainted_tap_pairs(program, taint=None, reg_consts=None):
+    """The program's static leakage signature: every canonical
+    (op-name, tap) pair through which a secret can reach an MLD.
+
+    This is the feature extractor of the contract synthesizer
+    (:mod:`repro.lint.synthesize`): it runs the same taint analysis as
+    :func:`lint_program` and resolves the same taps through
+    :func:`_tap_taint`, but aggregates over *all* reachable
+    instructions instead of matching contract rows.  An instruction
+    executing under tainted control contributes every tap it carries —
+    mirroring the checker's implicit-flow rule, where a row fires on a
+    control-dominated op regardless of data taint.  By construction,
+    for any compiled row ``r``: the checker flags ``r`` on this
+    program iff ``signature & row_pairs(r)`` is non-empty (given the
+    program writes no produced results to x0, which the case generator
+    guarantees).
+    """
+    taint = taint if taint is not None else TaintSpec()
+    secret = tuple(program.secret_regions) + tuple(taint.secret)
+    public = tuple(program.public_regions) + tuple(taint.public)
+    analysis = analyze_taint(
+        program, secret_regions=secret, public_regions=public,
+        secret_regs=taint.secret_regs, reg_consts=reg_consts)
+    pairs = set()
+    for pc, inst in enumerate(program):
+        state = analysis.state(pc)
+        if state is None:
+            continue                    # unreachable
+        for tap in applicable_taps(inst.op):
+            if state.control:
+                pairs.add((inst.op.value, tap))
+                continue
+            tainted, _ = _tap_taint(tap, inst, analysis, pc, state)
+            if tainted:
+                pairs.add((inst.op.value, tap))
+    return frozenset(pairs)
 
 
 def lint_program(program, contracts=(), taint=None, opts=None,

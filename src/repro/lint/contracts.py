@@ -35,13 +35,74 @@ lint layer.
 from dataclasses import dataclass
 
 from repro.engine.specs import PluginSpec, plugin_factory, plugin_names
-from repro.isa.opcodes import Op, writes_register
+from repro.isa.opcodes import Op, reads_rs1, reads_rs2, writes_register
 
 #: Tap names the checker knows how to resolve.
 KNOWN_TAPS = frozenset({
     "rs1", "rs2", "store_value", "old_memory_value", "loaded_value",
     "address", "result",
 })
+
+
+def canonical_tap(op, tap):
+    """The canonical name of ``tap`` on ``op``.
+
+    Several tap names are aliases for the same abstract value on a
+    given op — ``store_value`` *is* ``rs2`` on a STORE, ``address``
+    *is* ``rs1`` on a LOAD/STORE, ``loaded_value`` *is* ``result`` on
+    a LOAD — and the checker resolves them identically.  Synthesis
+    compares *sets* of (op, tap) pairs between learned and declared
+    contracts, so both sides must speak the canonical vocabulary or
+    equal contracts would diff as gaps.
+    """
+    if tap == "store_value" and op is Op.STORE:
+        return "rs2"
+    if tap == "address" and op in (Op.LOAD, Op.STORE):
+        return "rs1"
+    if tap == "loaded_value":
+        return "result"
+    return tap
+
+
+def applicable_taps(op):
+    """The canonical taps that carry a value on ``op``, in a fixed
+    order — the feature vector synthesis observes per instruction."""
+    taps = []
+    if reads_rs1(op):
+        taps.append("rs1")
+    if reads_rs2(op):
+        taps.append("rs2")
+    if op is Op.STORE:
+        taps.append("old_memory_value")
+    if writes_register(op):
+        taps.append("result")
+    return tuple(taps)
+
+
+def producing_ops():
+    """Every op that writes a destination register, sorted by name —
+    the expansion of a contract row whose ``ops`` is ``None``."""
+    return tuple(sorted((op for op in Op if writes_register(op)),
+                        key=lambda op: op.value))
+
+
+def row_pairs(row):
+    """One compiled row as a frozenset of canonical (op-name, tap)
+    pairs — the unit the contract differ intersects.
+
+    Pairs whose tap carries no value on the op (a ``result`` tap on an
+    op-set that includes STORE, say) are dropped: the checker can never
+    resolve them tainted, so they are unwitnessable by construction.
+    """
+    ops = row.ops if row.ops is not None else producing_ops()
+    pairs = set()
+    for op in ops:
+        allowed = applicable_taps(op)
+        for tap in row.taps:
+            canon = canonical_tap(op, tap)
+            if canon in allowed:
+                pairs.add((op.value, canon))
+    return frozenset(pairs)
 
 
 class LintError(Exception):

@@ -1,0 +1,147 @@
+"""Secret-pair XOR perturbation — the one shared variant builder.
+
+Both differential harnesses in the lint layer — the soundness check
+(:mod:`repro.lint.soundness`) and the contract synthesizer
+(:mod:`repro.lint.synthesize`) — need the same construction: from one
+:class:`~repro.engine.specs.SimSpec`, derive variants that differ from
+the baseline in *exactly* the bytes the taint seed calls secret, so
+that any observable divergence between the runs is attributable to the
+secret and nothing else.  This module is that construction, extracted
+so the two harnesses cannot drift apart:
+
+* memory secrets — bytes of ``mem_writes`` / ``mem_blobs`` entries
+  that fall inside a declared secret region are XORed with a pattern
+  byte (:func:`xor_write`, :func:`xor_blob`);
+* register secrets — preloaded ``regs`` entries whose architectural
+  index appears in ``taint.secret_regs`` are XORed with the pattern
+  byte replicated across the full 64-bit width (:func:`xor_regs`,
+  :func:`replicate`), so equality MLDs (silent stores, reuse, value
+  prediction) and width MLDs (operand packing, early termination,
+  register-file compression) both see a flip;
+* :func:`secret_variants` assembles ``[baseline, variant, ...]``,
+  skipping patterns that change nothing (a zero pattern, or a secret
+  that never appears in the initial image).
+
+Everything here is pure data transformation: no RNG, no wall clock,
+deterministic for a fixed spec + pattern tuple.
+"""
+
+#: Byte patterns XORed over the secret bytes to build variants.
+#: 0xA5/0x5A flip mixed bit patterns, 0xFF flips everything; together
+#: with the unmodified baseline they exercise equality MLDs (silent
+#: stores, reuse, VP) and width MLDs (packing, early termination).
+DEFAULT_PATTERNS = (0xA5, 0x5A, 0xFF)
+
+#: Architectural register width in bytes (repro-ISA is RV64-shaped).
+REG_WIDTH = 8
+
+_REG_MASK = (1 << (8 * REG_WIDTH)) - 1
+
+
+def replicate(pattern, width=REG_WIDTH):
+    """The pattern byte replicated across ``width`` bytes.
+
+    ``replicate(0xA5)`` is the full-register XOR mask; a zero pattern
+    replicates to zero (the identity perturbation).
+    """
+    pattern &= 0xFF
+    mask = 0
+    for index in range(width):
+        mask |= pattern << (8 * index)
+    return mask
+
+
+def xor_write(entry, regions, pattern):
+    """XOR ``pattern`` into the bytes of one ``(addr, value, width)``
+    memory write that fall inside ``regions``."""
+    addr, value, width = entry
+    flipped = value
+    for index in range(width):
+        byte_addr = addr + index
+        if any(start <= byte_addr < end for start, end in regions):
+            flipped ^= pattern << (8 * index)
+    return (addr, flipped, width)
+
+
+def xor_blob(entry, regions, pattern):
+    """XOR ``pattern`` into the bytes of one ``(addr, bytes)`` blob
+    that fall inside ``regions``."""
+    addr, data = entry
+    blob = bytearray(bytes(data))
+    for index in range(len(blob)):
+        byte_addr = addr + index
+        if any(start <= byte_addr < end for start, end in regions):
+            blob[index] ^= pattern
+    return (addr, bytes(blob))
+
+
+def xor_regs(regs, secret_regs, pattern):
+    """XOR the replicated ``pattern`` into every ``(index, value)``
+    register preload whose index is in ``secret_regs``."""
+    if not secret_regs:
+        return tuple(regs)
+    secret = set(secret_regs)
+    mask = replicate(pattern)
+    return tuple((index, (value ^ mask) & _REG_MASK)
+                 if index in secret else (index, value)
+                 for index, value in regs)
+
+
+def secret_regions_of(spec):
+    """The spec's effective secret byte ranges (taint + directives)."""
+    regions = list(spec.program.secret_regions)
+    if spec.taint is not None:
+        regions.extend(spec.taint.secret)
+    return tuple(sorted(set(regions)))
+
+
+def secret_regs_of(spec):
+    """The spec's secret architectural registers (taint metadata)."""
+    if spec.taint is None:
+        return ()
+    return tuple(sorted(set(spec.taint.secret_regs)))
+
+
+def perturb_spec(spec, pattern, regions=None, secret_regs=None):
+    """One secret-perturbed variant of ``spec``, or ``None``.
+
+    XORs ``pattern`` over the secret bytes of the initial memory image
+    and the secret register preloads.  Returns ``None`` when the
+    perturbation is the identity — a zero pattern, or a secret that
+    never appears in the image — so callers never run a duplicate of
+    the baseline under a variant label.
+    """
+    regions = secret_regions_of(spec) if regions is None else regions
+    secret_regs = secret_regs_of(spec) if secret_regs is None \
+        else secret_regs
+    mem_writes = tuple(xor_write(entry, regions, pattern)
+                       for entry in spec.mem_writes)
+    mem_blobs = tuple(xor_blob(entry, regions, pattern)
+                      for entry in spec.mem_blobs)
+    regs = xor_regs(spec.regs, secret_regs, pattern)
+    if mem_writes == spec.mem_writes and mem_blobs == spec.mem_blobs \
+            and regs == spec.regs:
+        return None                     # identity perturbation
+    return spec.replace(
+        mem_writes=mem_writes, mem_blobs=mem_blobs, regs=regs,
+        label=f"{spec.label or 'spec'}/secret^{pattern:#04x}")
+
+
+def secret_variants(spec, patterns=DEFAULT_PATTERNS):
+    """Baseline + secret-perturbed variants of ``spec``.
+
+    Returns ``[spec, variant1, ...]``; with no secret bytes declared
+    (neither regions nor registers) the baseline alone comes back —
+    nothing to perturb, so a differential harness passes vacuously.
+    """
+    regions = secret_regions_of(spec)
+    secret_regs = secret_regs_of(spec)
+    variants = [spec]
+    if not regions and not secret_regs:
+        return variants
+    for pattern in patterns:
+        variant = perturb_spec(spec, pattern, regions=regions,
+                               secret_regs=secret_regs)
+        if variant is not None:
+            variants.append(variant)
+    return variants

@@ -5,10 +5,12 @@ different secrets makes any enabled optimization behave observably
 differently (its MLD diverges), the checker must have flagged that
 optimization on the program.  This module closes the loop:
 
-1. :func:`secret_variants` derives secret-pair specs by XOR-perturbing
-   exactly the bytes the taint seed calls secret — everything else
-   (program, geometry, seeds, public inputs) is held fixed, so any
-   observable difference is attributable to the secret;
+1. :func:`~repro.lint.perturb.secret_variants` (the perturbation
+   helper shared with :mod:`repro.lint.synthesize`) derives
+   secret-pair specs by XOR-perturbing exactly the bytes the taint
+   seed calls secret — everything else (program, geometry, seeds,
+   public inputs) is held fixed, so any observable difference is
+   attributable to the secret;
 2. the variants run through :func:`repro.engine.runner.run_batch`
    (cache-friendly, deterministic);
 3. :func:`divergent_plugins` compares per-plug-in observation stats
@@ -25,65 +27,14 @@ from dataclasses import dataclass, field
 
 from repro.engine.runner import run_batch
 from repro.lint.checker import lint_spec
+from repro.lint.perturb import (
+    DEFAULT_PATTERNS, secret_regions_of, secret_variants,
+)
 
-#: Byte patterns XORed over the secret regions to build variants.
-#: 0xA5/0x5A flip mixed bit patterns, 0xFF flips everything; together
-#: with the unmodified baseline they exercise equality MLDs (silent
-#: stores, reuse, VP) and width MLDs (packing, early termination).
-DEFAULT_PATTERNS = (0xA5, 0x5A, 0xFF)
-
-
-def _perturb_write(entry, regions, pattern):
-    addr, value, width = entry
-    flipped = value
-    for index in range(width):
-        byte_addr = addr + index
-        if any(start <= byte_addr < end for start, end in regions):
-            flipped ^= pattern << (8 * index)
-    return (addr, flipped, width)
-
-
-def _perturb_blob(entry, regions, pattern):
-    addr, data = entry
-    blob = bytearray(bytes(data))
-    for index in range(len(blob)):
-        byte_addr = addr + index
-        if any(start <= byte_addr < end for start, end in regions):
-            blob[index] ^= pattern
-    return (addr, bytes(blob))
-
-
-def secret_regions_of(spec):
-    """The spec's effective secret byte ranges (taint + directives)."""
-    regions = list(spec.program.secret_regions)
-    if spec.taint is not None:
-        regions.extend(spec.taint.secret)
-    return tuple(sorted(set(regions)))
-
-
-def secret_variants(spec, patterns=DEFAULT_PATTERNS):
-    """Baseline + secret-perturbed variants of ``spec``.
-
-    Returns ``[spec, variant1, ...]``; with no secret regions declared
-    the baseline alone comes back (nothing to perturb — the harness
-    then passes vacuously).
-    """
-    regions = secret_regions_of(spec)
-    variants = [spec]
-    if not regions:
-        return variants
-    for pattern in patterns:
-        mem_writes = tuple(_perturb_write(entry, regions, pattern)
-                           for entry in spec.mem_writes)
-        mem_blobs = tuple(_perturb_blob(entry, regions, pattern)
-                          for entry in spec.mem_blobs)
-        if mem_writes == spec.mem_writes and \
-                mem_blobs == spec.mem_blobs:
-            continue                    # secret not in the image
-        variants.append(spec.replace(
-            mem_writes=mem_writes, mem_blobs=mem_blobs,
-            label=f"{spec.label or 'spec'}/secret^{pattern:#04x}"))
-    return variants
+__all__ = [
+    "DEFAULT_PATTERNS", "SoundnessResult", "check_soundness",
+    "divergent_plugins", "secret_regions_of", "secret_variants",
+]
 
 
 def divergent_plugins(result_a, result_b, enabled=()):

@@ -1,0 +1,403 @@
+"""Contract synthesis: learn leakage contracts, diff against declared.
+
+The soundness harness (:mod:`repro.lint.soundness`) can only *check*
+the hand-written ``LINT_CONTRACT`` each optimization ships.  This
+module inverts the direction, following the leakage-contract-synthesis
+line of work (arXiv 2401.09383, 2402.00641): infer each plug-in's
+contract from the simulator itself and diff it against the declaration.
+
+Observation
+    For every generated case (:mod:`repro.lint.progen`) the plug-in
+    runs twice over a secret-pair cohort built by the shared
+    perturbation helper (:mod:`repro.lint.perturb`): once with *no*
+    plug-ins (the control) and once with exactly the plug-in under
+    study.  A case where the control itself diverges is discarded —
+    its divergence belongs to the baseline machine (cache addressing,
+    port contention on secret-dependent paths), not to the plug-in's
+    MLD.  A case where only the plug-in cohort diverges is a genuine
+    dynamic leak observation.
+
+Generalization
+    Each observed leak is abstracted to the case's *static leakage
+    signature* — the canonical ``(op, tap)`` pairs through which a
+    secret can reach an operand (:func:`repro.lint.checker.
+    tainted_tap_pairs`), the same vocabulary contract rows compile to
+    (:func:`repro.lint.contracts.row_pairs`).  The learned contract is
+    the union of signatures over divergent observations, intersected
+    against the declared pair set.
+
+Diff
+    * **learned-but-undeclared** — a divergent observation whose
+      signature shares *no* pair with the declared contract: the
+      checker could never have flagged this program, so the soundness
+      harness has a blind spot.  Each such gap carries a
+      delta-minimized witness program (+ a runnable spec) that still
+      reproduces the divergence with a clean control.
+    * **declared-but-never-witnessed** — a declared row none of whose
+      pairs intersects any divergent observation at this budget: not
+      unsound, but unexercised (the lint layer may over-flag).
+
+``check_synthesis`` mirrors ``soundness.check_soundness`` (one
+plug-in), ``synthesize_all`` sweeps every contracted plug-in, and the
+``python -m repro synthesize`` CLI renders or archives the report.
+All batches go through :func:`repro.engine.runner.run_batch`; the
+secret-variant cohorts are the lockstep backend's native shape, and
+results — hence learned contracts and witnesses — are bitwise
+identical across backends.
+"""
+
+from dataclasses import dataclass
+
+from repro.engine.runner import run_batch
+from repro.engine.specs import PluginSpec
+from repro.isa.assembler import Program
+from repro.isa.opcodes import Op
+from repro.isa.text import render_source
+from repro.lint.checker import tainted_tap_pairs
+from repro.lint.contracts import contract_rows, \
+    contracted_plugin_names, row_pairs
+from repro.lint.perturb import DEFAULT_PATTERNS, secret_variants
+from repro.lint.progen import CaseGenerator, GeneratedCase
+from repro.lint.soundness import divergent_plugins
+
+#: Cases generated per plug-in when no budget is given — enough for
+#: every trigger template to appear at least once plus generic fuzz.
+DEFAULT_BUDGET = 10
+
+
+def _control_diverged(baseline, result):
+    """Secret-visible divergence of the *plug-in-free* machine."""
+    return baseline.cycles != result.cycles \
+        or baseline.observations != result.observations
+
+
+def _plugin_diverged(baseline, results, plugin):
+    """Whether any variant moved the plug-in's MLD observably."""
+    for result in results:
+        if plugin in divergent_plugins(baseline, result,
+                                       enabled=(plugin,)):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One generated case's differential outcome."""
+
+    case: str                   # generated-case name
+    divergent: bool             # plug-in cohort diverged
+    baseline_divergent: bool    # control cohort diverged → discarded
+    explained: bool             # signature ∩ declared ≠ ∅
+    signature: tuple            # sorted (op, tap) pairs
+    note: str = ""
+
+    def to_json_dict(self):
+        return {"case": self.case, "divergent": self.divergent,
+                "baseline_divergent": self.baseline_divergent,
+                "explained": self.explained,
+                "signature": [list(pair) for pair in self.signature],
+                "note": self.note}
+
+
+@dataclass(frozen=True)
+class ContractGap:
+    """One learned-vs-declared discrepancy."""
+
+    kind: str                   # "undeclared" | "unwitnessed"
+    plugin: str
+    pairs: tuple                # sorted (op, tap) pairs
+    case: str = ""              # originating case (undeclared gaps)
+    detail: str = ""
+    witness_source: str = ""    # minimized witness program (.s text)
+    witness_spec: str = ""      # runnable SimSpec JSON (baseline)
+
+    def to_json_dict(self):
+        return {"kind": self.kind, "plugin": self.plugin,
+                "pairs": [list(pair) for pair in self.pairs],
+                "case": self.case, "detail": self.detail,
+                "witness_source": self.witness_source,
+                "witness_spec": self.witness_spec}
+
+
+@dataclass
+class SynthesisResult:
+    """Learned-vs-declared contract diff for one plug-in."""
+
+    plugin: str
+    budget: int
+    seed: int
+    declared: tuple             # sorted declared (op, tap) pairs
+    learned: tuple              # sorted learned (op, tap) pairs
+    witnessed: tuple            # declared pairs seen leaking
+    undeclared: tuple = ()      # ContractGap (soundness blind spots)
+    unwitnessed: tuple = ()     # ContractGap (precision gaps)
+    observations: tuple = ()
+    discarded: int = 0          # control-divergent cases dropped
+
+    @property
+    def ok(self):
+        """No learned-but-undeclared clause — the declared contract
+        explains every divergence the fuzzer found."""
+        return not self.undeclared
+
+    @property
+    def vacuous(self):
+        """True when no case diverged (nothing was demonstrable)."""
+        return not any(obs.divergent and not obs.baseline_divergent
+                       for obs in self.observations)
+
+    def to_json_dict(self):
+        return {
+            "plugin": self.plugin, "budget": self.budget,
+            "seed": self.seed, "ok": self.ok, "vacuous": self.vacuous,
+            "declared": [list(pair) for pair in self.declared],
+            "learned": [list(pair) for pair in self.learned],
+            "witnessed": [list(pair) for pair in self.witnessed],
+            "undeclared": [gap.to_json_dict()
+                           for gap in self.undeclared],
+            "unwitnessed": [gap.to_json_dict()
+                            for gap in self.unwitnessed],
+            "observations": [obs.to_json_dict()
+                             for obs in self.observations],
+            "discarded": self.discarded,
+        }
+
+
+# ----------------------------------------------------------------------
+# witness minimization
+# ----------------------------------------------------------------------
+
+def _without_instruction(program, index):
+    """``program`` with instruction ``index`` deleted: pcs renumbered,
+    branch targets shifted across the gap (a branch *to* the deleted
+    instruction lands on its successor)."""
+    instructions = []
+    for pc, inst in enumerate(program):
+        if pc == index:
+            continue
+        target = inst.target
+        if target is not None and target > index:
+            target -= 1
+        instructions.append(type(inst)(
+            op=inst.op, rd=inst.rd, rs1=inst.rs1, rs2=inst.rs2,
+            imm=inst.imm, width=inst.width, target=target,
+            pc=len(instructions)))
+    return Program(instructions, {},
+                   secret_regions=program.secret_regions,
+                   public_regions=program.public_regions)
+
+
+def _case_with_program(case, program):
+    return GeneratedCase(
+        name=case.name, program=program, mem_writes=case.mem_writes,
+        mem_blobs=case.mem_blobs, regs=case.regs, taint=case.taint,
+        hierarchy=case.hierarchy, max_cycles=case.max_cycles,
+        note=case.note)
+
+
+def _case_cohorts(case, plugin_spec, patterns):
+    """(control variants, plug-in variants) for one case."""
+    control = secret_variants(
+        case.spec(plugins=(), label=f"{case.name}/control"), patterns)
+    cohort = secret_variants(
+        case.spec(plugins=(plugin_spec,), label=case.name), patterns)
+    return control, cohort
+
+
+def _reproduces(case, plugin_spec, patterns, runner):
+    """Divergent under the plug-in AND clean under the control."""
+    control, cohort = _case_cohorts(case, plugin_spec, patterns)
+    results = runner(control + cohort)
+    control_res = results[:len(control)]
+    cohort_res = results[len(control):]
+    if any(_control_diverged(control_res[0], result)
+           for result in control_res[1:]):
+        return False
+    return _plugin_diverged(cohort_res[0], cohort_res[1:],
+                            plugin_spec.name)
+
+
+def minimize_witness(case, plugin_spec, patterns=DEFAULT_PATTERNS,
+                     runner=None):
+    """Delta-minimize a divergent case: greedily delete instructions
+    while the plug-in cohort still diverges and the control stays
+    clean.  HALT is never deleted (termination stays structural, not
+    ceiling-dependent).  Deterministic: first-deletable-wins, restart
+    after every successful deletion until a fixpoint."""
+    runner = runner or (lambda specs: run_batch(specs))
+    current = case
+    changed = True
+    while changed and len(current.program) > 1:
+        changed = False
+        for index, inst in enumerate(current.program):
+            if inst.op is Op.HALT:
+                continue
+            candidate = _case_with_program(
+                current, _without_instruction(current.program, index))
+            if _reproduces(candidate, plugin_spec, patterns, runner):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+# ----------------------------------------------------------------------
+# the synthesis pass
+# ----------------------------------------------------------------------
+
+def check_synthesis(plugin, budget=DEFAULT_BUDGET, seed=0,
+                    patterns=DEFAULT_PATTERNS, workers=1, cache=None,
+                    backend=None, declared_rows=None, minimize=True):
+    """Differential contract synthesis for one plug-in.
+
+    Generates ``budget`` cases, runs control + plug-in secret-pair
+    cohorts through the engine in one batch (the lockstep backend's
+    native shape), abstracts every attributable divergence to its
+    static leakage signature, and diffs learned vs declared pairs.
+
+    ``declared_rows`` substitutes the compiled contract rows — the
+    mutation hook the golden suite uses to prove the differ catches a
+    deliberately weakened declaration.  ``minimize=False`` skips
+    witness minimization (faster, e.g. for CI smoke budgets).
+    """
+    plugin_spec = PluginSpec.of(plugin)
+    rows = contract_rows(plugin_spec) if declared_rows is None \
+        else tuple(declared_rows)
+    declared = frozenset()
+    for row in rows:
+        declared |= row_pairs(row)
+    cases = CaseGenerator(seed=seed).cases_for(plugin, budget)
+
+    batches = [(case, *_case_cohorts(case, plugin_spec, patterns))
+               for case in cases]
+    fleet = [spec for _, control, cohort in batches
+             for spec in control + cohort]
+    results = run_batch(fleet, workers=workers, cache=cache,
+                        backend=backend)
+
+    def runner(specs):
+        return run_batch(specs, workers=workers, cache=cache,
+                         backend=backend)
+
+    observations = []
+    witnessed = set()
+    undeclared = []
+    discarded = 0
+    cursor = 0
+    for case, control, cohort in batches:
+        control_res = results[cursor:cursor + len(control)]
+        cursor += len(control)
+        cohort_res = results[cursor:cursor + len(cohort)]
+        cursor += len(cohort)
+        baseline_div = any(_control_diverged(control_res[0], result)
+                           for result in control_res[1:])
+        divergent = _plugin_diverged(cohort_res[0], cohort_res[1:],
+                                     plugin)
+        spec = cohort[0]
+        signature = tainted_tap_pairs(case.program, taint=spec.taint,
+                                      reg_consts=dict(spec.regs))
+        explained = bool(signature & declared)
+        observations.append(Observation(
+            case=case.name, divergent=divergent,
+            baseline_divergent=baseline_div,
+            explained=explained,
+            signature=tuple(sorted(signature)), note=case.note))
+        if baseline_div:
+            discarded += 1
+            continue
+        if not divergent:
+            continue
+        if explained:
+            witnessed |= signature & declared
+            continue
+        # Learned-but-undeclared: the checker could never flag this.
+        witness = minimize_witness(case, plugin_spec,
+                                   patterns=patterns, runner=runner) \
+            if minimize else case
+        witness_sig = tainted_tap_pairs(
+            witness.program, taint=witness.taint,
+            reg_consts=dict(witness.regs))
+        undeclared.append(ContractGap(
+            kind="undeclared", plugin=plugin,
+            pairs=tuple(sorted(witness_sig)), case=case.name,
+            detail=case.note,
+            witness_source=render_source(witness.program),
+            witness_spec=witness.spec(
+                plugins=(plugin_spec,),
+                label=f"{case.name}/witness").to_json()))
+
+    unwitnessed = tuple(
+        ContractGap(kind="unwitnessed", plugin=plugin,
+                    pairs=tuple(sorted(row_pairs(row))),
+                    detail=row.detail)
+        for row in rows if not (row_pairs(row) & witnessed))
+    learned = set(witnessed)
+    for gap in undeclared:
+        learned |= set(gap.pairs)
+    return SynthesisResult(
+        plugin=plugin, budget=budget, seed=seed,
+        declared=tuple(sorted(declared)),
+        learned=tuple(sorted(learned)),
+        witnessed=tuple(sorted(witnessed)),
+        undeclared=tuple(undeclared), unwitnessed=unwitnessed,
+        observations=tuple(observations), discarded=discarded)
+
+
+def synthesize_all(opts=None, budget=DEFAULT_BUDGET, seed=0,
+                   patterns=DEFAULT_PATTERNS, workers=1, cache=None,
+                   backend=None, minimize=True):
+    """Contract synthesis for every contracted plug-in (or ``opts``).
+
+    Returns ``{plugin: SynthesisResult}`` in sorted name order.
+    """
+    names = tuple(opts) if opts is not None \
+        else contracted_plugin_names()
+    return {name: check_synthesis(
+        name, budget=budget, seed=seed, patterns=patterns,
+        workers=workers, cache=cache, backend=backend,
+        minimize=minimize) for name in sorted(names)}
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+
+def report_json(results, budget=None, seed=None):
+    """Machine-readable report over ``{plugin: SynthesisResult}``."""
+    payload = {
+        "plugins": {name: result.to_json_dict()
+                    for name, result in sorted(results.items())},
+        "ok": all(result.ok for result in results.values()),
+    }
+    if budget is not None:
+        payload["budget"] = budget
+    if seed is not None:
+        payload["seed"] = seed
+    return payload
+
+
+def render_report(results):
+    """The learned-vs-declared status table for a result mapping."""
+    header = (f"{'optimization':30s} {'declared':>8s} {'learned':>8s} "
+              f"{'witnessed':>9s} {'gaps':>5s} {'unwit.':>6s} "
+              f"{'verdict':>8s}")
+    lines = [header, "-" * len(header)]
+    for name, result in sorted(results.items()):
+        verdict = "SOUND" if result.ok else "GAP"
+        if result.ok and result.vacuous:
+            verdict = "VACUOUS"
+        lines.append(
+            f"{name:30s} {len(result.declared):>8d} "
+            f"{len(result.learned):>8d} {len(result.witnessed):>9d} "
+            f"{len(result.undeclared):>5d} "
+            f"{len(result.unwitnessed):>6d} {verdict:>8s}")
+    gaps = [(name, gap) for name, result in sorted(results.items())
+            for gap in result.undeclared]
+    for name, gap in gaps:
+        lines.append("")
+        lines.append(f"LEARNED-BUT-UNDECLARED {name} "
+                     f"(case {gap.case}): pairs {list(gap.pairs)}")
+        lines.append("minimized witness:")
+        lines.extend("    " + line
+                     for line in gap.witness_source.splitlines())
+    return "\n".join(lines)

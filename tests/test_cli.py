@@ -31,7 +31,8 @@ def test_urg_command(capsys):
 
 def test_command_registry_complete():
     assert set(COMMANDS) == {"tables", "urg", "fig6", "audit", "stats",
-                             "trace", "bench", "lint", "backends"}
+                             "trace", "bench", "lint", "synthesize",
+                             "backends"}
 
 
 def test_backends_command(capsys):

@@ -1,0 +1,179 @@
+"""Unit suite for the shared secret-pair XOR perturbation helper.
+
+Both differential harnesses (``lint.soundness`` and
+``lint.synthesize``) build their cohorts with :mod:`repro.lint.perturb`
+— these tests pin the construction at its edges: the zero pattern is
+the identity (skipped, never run as a fake variant), the full-width
+``0xFF`` flip complements every secret byte, region boundaries are
+byte-precise, and register perturbation XORs the replicated pattern
+across the full 64-bit width.  The soundness module's historical
+surface (``secret_variants`` and friends) must keep re-exporting the
+shared implementation so the harnesses cannot drift apart.
+"""
+
+import pytest
+
+from repro.engine import SimSpec, TaintSpec
+from repro.isa.assembler import Assembler
+from repro.lint.perturb import (
+    DEFAULT_PATTERNS, REG_WIDTH, perturb_spec, replicate,
+    secret_regions_of, secret_regs_of, secret_variants, xor_blob,
+    xor_regs, xor_write,
+)
+
+SECRET = 0x100
+WORD = (1 << 64) - 1
+
+
+def _spec(**overrides):
+    asm = Assembler()
+    asm.secret(SECRET, SECRET + 8)
+    asm.load(1, 0, SECRET)
+    asm.halt()
+    spec = SimSpec(program=asm.assemble(),
+                   mem_writes=((SECRET, 0x1234, 8),),
+                   label="perturb-case")
+    return spec.replace(**overrides) if overrides else spec
+
+
+# ----------------------------------------------------------------------
+# replicate
+# ----------------------------------------------------------------------
+
+def test_replicate_spreads_the_pattern_byte():
+    assert replicate(0xA5) == 0xA5A5A5A5A5A5A5A5
+    assert replicate(0xFF) == WORD
+    assert replicate(0x5A, width=2) == 0x5A5A
+
+
+def test_replicate_zero_is_the_identity_mask():
+    assert replicate(0x00) == 0
+    # Patterns are byte-valued; high bits are discarded, so 0x100
+    # degenerates to the zero (identity) mask too.
+    assert replicate(0x100) == 0
+
+
+# ----------------------------------------------------------------------
+# memory perturbation: byte-precise region intersection
+# ----------------------------------------------------------------------
+
+def test_xor_write_flips_only_in_region_bytes():
+    regions = ((SECRET + 4, SECRET + 8),)
+    addr, value, width = xor_write((SECRET, 0, 8), regions, 0xFF)
+    assert (addr, width) == (SECRET, 8)
+    assert value == 0xFFFFFFFF_00000000
+
+
+def test_xor_write_outside_every_region_is_untouched():
+    entry = (0x40, 0xDEAD, 8)
+    assert xor_write(entry, ((SECRET, SECRET + 8),), 0xA5) == entry
+
+
+def test_xor_write_full_width_flip_complements_the_word():
+    _, value, _ = xor_write((SECRET, 0x1234, 8),
+                            ((SECRET, SECRET + 8),), 0xFF)
+    assert value == 0x1234 ^ WORD
+
+
+def test_xor_blob_flips_only_in_region_bytes():
+    regions = ((SECRET + 1, SECRET + 3),)
+    addr, data = xor_blob((SECRET, b"\x00" * 4), regions, 0xFF)
+    assert addr == SECRET
+    assert data == b"\x00\xff\xff\x00"
+
+
+# ----------------------------------------------------------------------
+# register perturbation: replicated full-width masks
+# ----------------------------------------------------------------------
+
+def test_xor_regs_flips_only_secret_indices():
+    regs = ((5, 0), (6, 0x1234))
+    flipped = xor_regs(regs, {6}, 0xA5)
+    assert flipped == ((5, 0), (6, 0x1234 ^ replicate(0xA5)))
+
+
+def test_xor_regs_full_width_flip_wraps_in_register_width():
+    (_, value), = xor_regs(((6, WORD),), {6}, 0xFF)
+    assert value == 0
+    assert REG_WIDTH == 8
+
+
+def test_xor_regs_without_secret_regs_is_the_identity():
+    regs = ((5, 1), (6, 2))
+    assert xor_regs(regs, (), 0xFF) == regs
+
+
+# ----------------------------------------------------------------------
+# spec-level perturbation
+# ----------------------------------------------------------------------
+
+def test_zero_pattern_is_the_identity_and_returns_none():
+    assert perturb_spec(_spec(), 0x00) is None
+
+
+def test_secret_absent_from_the_image_returns_none():
+    # The declared region never intersects the initial image: there is
+    # nothing to flip, so no variant is produced for any pattern.
+    spec = _spec(mem_writes=((0x40, 7, 8),))
+    for pattern in DEFAULT_PATTERNS:
+        assert perturb_spec(spec, pattern) is None
+    assert secret_variants(spec) == [spec]
+
+
+def test_perturb_spec_flips_memory_and_labels_the_variant():
+    variant = perturb_spec(_spec(), 0xFF)
+    assert variant.mem_writes == ((SECRET, 0x1234 ^ WORD, 8),)
+    assert variant.label == "perturb-case/secret^0xff"
+
+
+def test_perturb_spec_flips_secret_register_preloads():
+    spec = _spec(mem_writes=(), regs=((6, 0x77),),
+                 taint=TaintSpec.of(secret_regs=(6,)))
+    variant = perturb_spec(spec, 0x5A)
+    assert variant.regs == ((6, 0x77 ^ replicate(0x5A)),)
+
+
+def test_secret_variants_cohort_shape():
+    spec = _spec()
+    variants = secret_variants(spec)
+    assert variants[0] is spec          # baseline is the spec itself
+    assert len(variants) == 1 + len(DEFAULT_PATTERNS)
+    assert len({v.label for v in variants}) == len(variants)
+
+
+def test_secret_variants_without_secrets_is_baseline_only():
+    asm = Assembler()
+    asm.load(1, 0, SECRET)
+    asm.halt()
+    spec = SimSpec(program=asm.assemble(),
+                   mem_writes=((SECRET, 9, 8),), label="no-secrets")
+    assert secret_variants(spec) == [spec]
+
+
+# ----------------------------------------------------------------------
+# secret-operand discovery
+# ----------------------------------------------------------------------
+
+def test_secret_regions_merge_directives_and_taint():
+    spec = _spec(taint=TaintSpec.of(secret=((0x200, 0x208),)))
+    assert secret_regions_of(spec) == \
+        ((SECRET, SECRET + 8), (0x200, 0x208))
+
+
+def test_secret_regs_come_sorted_from_taint():
+    spec = _spec(taint=TaintSpec.of(secret_regs=(9, 3)))
+    assert secret_regs_of(spec) == (3, 9)
+    assert secret_regs_of(_spec()) == ()
+
+
+# ----------------------------------------------------------------------
+# backward compatibility: soundness re-exports the shared helper
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", [
+    "DEFAULT_PATTERNS", "secret_regions_of", "secret_variants",
+])
+def test_soundness_reexports_the_shared_implementation(name):
+    import repro.lint.perturb as perturb
+    import repro.lint.soundness as soundness
+    assert getattr(soundness, name) is getattr(perturb, name)

@@ -8,6 +8,11 @@ Two serialization boundaries get randomized coverage:
   :meth:`SimSpec.from_json`, which must preserve the content-address
   (:meth:`SimSpec.fingerprint`) that keys the result cache.
 
+The program strategies (``regions``, ``programs``,
+``canonical_programs``) live in :mod:`repro.lint.progen` — promoted
+out of this file so the contract synthesizer's property coverage and
+these round-trip suites draw from one program vocabulary.
+
 ``derandomize=True`` keeps the suite deterministic in CI: hypothesis
 derives its examples from the test's source rather than a random seed.
 """
@@ -25,47 +30,13 @@ from repro.engine import (
 from repro.isa import Instruction, Op, Program, decode_program
 from repro.isa.assembler import AssemblyError
 from repro.isa.disassembler import DecodeError
-from repro.isa.opcodes import BRANCH_OPS
+from repro.lint.progen import canonical_programs, programs, regions
 from repro.pipeline.config import CPUConfig
 
 BOUNDED = settings(max_examples=60, deadline=None, derandomize=True,
                    suppress_health_check=[HealthCheck.too_slow])
 
-# ----------------------------------------------------------------------
-# random valid programs
-# ----------------------------------------------------------------------
-
-_REGS = st.integers(0, 31)
 _WIDTHS = st.sampled_from([1, 2, 4, 8])
-_IMMS = st.integers(-(1 << 32), (1 << 32) - 1)
-
-
-@st.composite
-def regions(draw, max_regions=3):
-    result = []
-    for _ in range(draw(st.integers(0, max_regions))):
-        start = draw(st.integers(0, 1 << 20))
-        result.append((start, start + draw(st.integers(1, 64))))
-    return tuple(result)
-
-
-@st.composite
-def programs(draw, with_regions=False):
-    length = draw(st.integers(min_value=1, max_value=24))
-    instructions = []
-    for pc in range(length):
-        op = draw(st.sampled_from(sorted(Op, key=lambda o: o.value)))
-        target = None
-        if op in BRANCH_OPS or op is Op.JMP:
-            # Any resolved target in [0, len] is valid post-assembly.
-            target = draw(st.integers(0, length))
-        instructions.append(Instruction(
-            op=op, rd=draw(_REGS), rs1=draw(_REGS), rs2=draw(_REGS),
-            imm=draw(_IMMS), width=draw(_WIDTHS), target=target, pc=pc))
-    secret = draw(regions()) if with_regions else ()
-    public = draw(regions()) if with_regions else ()
-    return Program(instructions, {}, secret_regions=secret,
-                   public_regions=public)
 
 
 @BOUNDED
@@ -105,32 +76,6 @@ def test_directive_free_programs_encode_without_directives(program):
     assert b".public" not in bare.encode()
     if program.secret_regions:
         assert b".secret" in program.encode()
-
-
-@st.composite
-def canonical_programs(draw):
-    """Programs the text form can express: fields an op does not use
-    sit at their defaults (the wire form keeps every field, the source
-    form only the meaningful ones)."""
-    from repro.isa.opcodes import (
-        ALU_RI_OPS, MEMORY_OPS, reads_rs1, reads_rs2, writes_register,
-    )
-    program = draw(programs(with_regions=True))
-    canonical = []
-    for inst in program.instructions:
-        op = inst.op
-        uses_imm = op in ALU_RI_OPS or op in MEMORY_OPS or op is Op.LI
-        canonical.append(Instruction(
-            op=op,
-            rd=inst.rd if writes_register(op) else 0,
-            rs1=inst.rs1 if reads_rs1(op) else 0,
-            rs2=inst.rs2 if reads_rs2(op) else 0,
-            imm=inst.imm if uses_imm else 0,
-            width=inst.width if op in MEMORY_OPS else 8,
-            target=inst.target, pc=inst.pc))
-    return Program(canonical, {},
-                   secret_regions=program.secret_regions,
-                   public_regions=program.public_regions)
 
 
 @BOUNDED
