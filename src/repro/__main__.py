@@ -33,6 +33,18 @@ Commands
              undeclared clause
 ``backends`` list the registered trial-execution backends and their
              capability flags
+``serve-metrics`` expose the process telemetry registry over HTTP
+             (``GET /metrics`` Prometheus text, ``GET /healthz``):
+             ``python -m repro serve-metrics [--port N] [--host H]
+             [--once]`` — by default runs the demo fleet so the
+             endpoint has live data, then serves until interrupted;
+             ``--once`` prints the exposition and exits
+``report``   one-page run report merging the telemetry snapshot
+             (wall-clock phase profile, cache/backends counters) with
+             merged simulated ``RunResult.metrics`` and the
+             ``BENCH_PERF.json`` throughput report when present:
+             ``python -m repro report [--json] [--out PATH]
+             [--perf PATH]``
 
 Every command accepts a global ``--backend NAME`` flag (equivalent to
 setting ``REPRO_BACKEND=NAME``) that selects the execution backend —
@@ -379,10 +391,124 @@ def cmd_synthesize(*args):
     return 0 if payload["ok"] else 1
 
 
+def cmd_serve_metrics(*args):
+    """Serve the process telemetry registry over HTTP.
+
+    ``python -m repro serve-metrics [--port N] [--host H] [--once]``.
+    Runs the demo fleet first so ``/metrics`` has genuine engine
+    traffic to show, then serves until interrupted.  ``--once`` skips
+    the server entirely and prints the Prometheus exposition of the
+    demo-fleet registry to stdout (the scriptable form).
+    """
+    from repro import telemetry
+    from repro.telemetry.report import run_demo_fleet
+    from repro.telemetry.server import DEFAULT_PORT, \
+        start_metrics_server
+    usage = ("usage: python -m repro serve-metrics [--port N] "
+             "[--host H] [--once]")
+    args = list(args)
+    once = "--once" in args
+    if once:
+        args.remove("--once")
+
+    def flag_value(name):
+        if name not in args:
+            return None
+        flag = args.index(name)
+        try:
+            value = args[flag + 1]
+        except IndexError:
+            raise SystemExit(usage)
+        del args[flag:flag + 2]
+        return value
+
+    host = flag_value("--host") or "127.0.0.1"
+    port = flag_value("--port")
+    if args:
+        print(usage)
+        return 1
+    try:
+        port = DEFAULT_PORT if port is None else int(port)
+    except ValueError:
+        print(usage)
+        return 1
+    if not telemetry.enabled():
+        print("note: telemetry is disabled (REPRO_TELEMETRY=0); "
+              "/metrics will be empty")
+    else:
+        run_demo_fleet()
+    if once:
+        print(telemetry.render_prometheus(telemetry.REGISTRY), end="")
+        return 0
+    server = start_metrics_server(host=host, port=port)
+    print(f"serving telemetry on {server.url}/metrics "
+          f"(and {server.url}/healthz); Ctrl-C to stop")
+    try:
+        server._thread.join()
+    except KeyboardInterrupt:
+        server.shutdown()
+    return 0
+
+
+def cmd_report(*args):
+    """One-page run report across all three observability layers.
+
+    ``python -m repro report [--json] [--out PATH] [--perf PATH]``.
+    Runs the demo fleet to populate the telemetry registry, merges its
+    snapshot with the simulated ``RunResult.metrics`` it produced, and
+    folds in ``BENCH_PERF.json`` (``--perf`` to point elsewhere) when
+    present.  ``--json`` prints (or with ``--out`` writes) the
+    machine-readable payload the CI job archives.
+    """
+    import json
+    from repro.analysis.throughput import REPORT_NAME
+    from repro.telemetry.report import (
+        build_report, load_perf, render_report, run_demo_fleet,
+    )
+    usage = ("usage: python -m repro report [--json] [--out PATH] "
+             "[--perf PATH]")
+    args = list(args)
+    as_json = "--json" in args
+    if as_json:
+        args.remove("--json")
+
+    def flag_value(name):
+        if name not in args:
+            return None
+        flag = args.index(name)
+        try:
+            value = args[flag + 1]
+        except IndexError:
+            raise SystemExit(usage)
+        del args[flag:flag + 2]
+        return value
+
+    out = flag_value("--out")
+    perf_path = flag_value("--perf") or REPORT_NAME
+    if args:
+        print(usage)
+        return 1
+    snapshot, simulated = run_demo_fleet()
+    report = build_report(snapshot=snapshot, simulated=simulated,
+                          perf=load_perf(perf_path))
+    if as_json or out:
+        text = json.dumps(report, indent=2, sort_keys=True)
+        if out:
+            with open(out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote run report to {out}")
+        else:
+            print(text)
+    if not as_json:
+        print(render_report(report))
+    return 0
+
+
 COMMANDS = {"tables": cmd_tables, "urg": cmd_urg, "fig6": cmd_fig6,
             "audit": cmd_audit, "stats": cmd_stats, "trace": cmd_trace,
             "bench": cmd_bench, "lint": cmd_lint,
-            "synthesize": cmd_synthesize, "backends": cmd_backends}
+            "synthesize": cmd_synthesize, "backends": cmd_backends,
+            "serve-metrics": cmd_serve_metrics, "report": cmd_report}
 
 
 def main(argv=None):

@@ -26,6 +26,8 @@ import gc
 import json
 import time
 
+from repro import telemetry
+
 __all__ = [
     "BACKENDS", "WORKLOADS", "measure_backends", "measure_workload",
     "run_suite", "write_report", "render_backend_table", "render_table",
@@ -235,8 +237,12 @@ def measure_backends(backends=BACKENDS, workers=4, best_of=3):
         "batches": len(batches),
     }
     signatures = {}
+    tel = telemetry.REGISTRY
     for name in backends:
         best = None
+        tel.inc("repro_bench_measurements_total", max(1, best_of),
+                help="Benchmark measurements taken per workload and "
+                     "kernel", workload="soundness", kernel=name)
         for _ in range(max(1, best_of)):
             with _measurement_conditions():
                 start = _now()
@@ -290,14 +296,20 @@ def measure_workload(name, fastpath, runs_per_type=12,
     dict and the simulation-derived outcome signature used for the
     cross-kernel equivalence check.
     """
-    if name == "fig5":
-        # 4 tiny probes: repeat heavily to reach a timeable region.
-        return _measure_batch(_fig5_specs(fastpath), repeat=8)
-    if name == "fig6":
-        return _measure_batch(_fig6_specs(fastpath, runs_per_type),
-                              repeat=3)
-    if name == "fig7":
-        return _measure_fig7(fastpath, secret)
+    tel = telemetry.REGISTRY
+    kernel = "fastpath" if fastpath else "reference"
+    tel.inc("repro_bench_measurements_total",
+            help="Benchmark measurements taken per workload and kernel",
+            workload=name, kernel=kernel)
+    with tel.phase("analysis.throughput", name):
+        if name == "fig5":
+            # 4 tiny probes: repeat heavily to reach a timeable region.
+            return _measure_batch(_fig5_specs(fastpath), repeat=8)
+        if name == "fig6":
+            return _measure_batch(_fig6_specs(fastpath, runs_per_type),
+                                  repeat=3)
+        if name == "fig7":
+            return _measure_fig7(fastpath, secret)
     raise ValueError(f"unknown workload {name!r}; known: {WORKLOADS}")
 
 

@@ -44,6 +44,8 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from repro import telemetry
+
 #: Environment variable naming the default backend for every
 #: :func:`repro.engine.runner.run_batch` call that doesn't pass one
 #: explicitly.  Empty or unset means "no override".
@@ -132,6 +134,39 @@ def _timed_execute(job):
     result = execute_spec(spec, fingerprint)
     elapsed_us = max(1, _now_us() - start_us)
     return result, start_us, elapsed_us, os.getpid()
+
+
+def _pool_begin_job():
+    """Reset the worker-local registry before a pooled job.
+
+    Fork-started workers inherit a *copy* of the parent's registry;
+    without the reset, the first shipped snapshot would re-merge counts
+    the parent already holds (double counting).  Resetting the worker's
+    copy never touches the parent's registry.
+    """
+    telemetry.REGISTRY.reset()
+
+
+def _pool_finish_job():
+    """Heartbeat + drained snapshot to ship back (None when disabled)."""
+    if not telemetry.REGISTRY.enabled:
+        return None
+    telemetry.worker_heartbeat()
+    return telemetry.REGISTRY.drain()
+
+
+def _pool_execute_job(job):
+    """Pool target shipping a per-job telemetry snapshot alongside."""
+    _pool_begin_job()
+    result = _execute_job(job)
+    return result, _pool_finish_job()
+
+
+def _pool_timed_execute(job):
+    """Timed pool target, likewise snapshot-shipping."""
+    _pool_begin_job()
+    result, start_us, elapsed_us, pid = _timed_execute(job)
+    return result, start_us, elapsed_us, pid, _pool_finish_job()
 
 
 # ----------------------------------------------------------------------
@@ -240,12 +275,30 @@ class PoolBackend(ExecutionBackend):
         chunksize = self.chunksize
         if chunksize is None:
             chunksize = max(1, len(payload) // (4 * self.workers))
-        target = _timed_execute if timed else _execute_job
+        tel = telemetry.REGISTRY
+        submit_us = _now_us()
+        target = _pool_timed_execute if timed else _pool_execute_job
         mapped = pool.map(target, payload, chunksize=chunksize)
-        if timed:
-            return [ExecutedTrial(result, start_us, elapsed_us, pid)
-                    for result, start_us, elapsed_us, pid in mapped]
-        return [ExecutedTrial(result) for result in mapped]
+        out = []
+        for item in mapped:
+            snapshot = item[-1]
+            if snapshot:
+                tel.merge(snapshot)
+            if timed:
+                result, start_us, elapsed_us, pid, _ = item
+                # Time from batch submission until the worker picked
+                # the job up: the pool's queueing delay (includes pool
+                # spawn for ephemeral pools, amortized for warm ones).
+                tel.observe("repro_backend_queue_wait_seconds",
+                            max(0, start_us - submit_us) / 1e6,
+                            help="Seconds a trial waited between "
+                                 "batch submit and worker pickup",
+                            backend=self.name)
+                out.append(ExecutedTrial(result, start_us, elapsed_us,
+                                         pid))
+            else:
+                out.append(ExecutedTrial(item[0]))
+        return out
 
     def submit(self, jobs, timed=False):
         if self._pool is not None:
@@ -332,6 +385,7 @@ class LockstepBatchBackend(ExecutionBackend):
                                start_us, busy_us))
         live = list(lanes)
         quantum = self.quantum
+        quanta_turns = 0
         while live:
             still = []
             for lane in live:
@@ -343,6 +397,7 @@ class LockstepBatchBackend(ExecutionBackend):
                     if not advance(limit):
                         running = False
                         break
+                quanta_turns += 1
                 if running:
                     still.append(lane)
                 else:
@@ -356,12 +411,24 @@ class LockstepBatchBackend(ExecutionBackend):
                 lane.result, start_us=lane.start_us,
                 elapsed_us=max(1, lane.busy_us) if timed else 0,
                 worker=pid)
+        return quanta_turns
 
     def submit(self, jobs, timed=False):
         jobs = list(jobs)
         out = [None] * len(jobs)
+        cohorts = 0
+        quanta_turns = 0
         for positions in self._cohorts(jobs):
-            self._run_cohort(jobs, positions, timed, out)
+            quanta_turns += self._run_cohort(jobs, positions, timed, out)
+            cohorts += 1
+        tel = telemetry.REGISTRY
+        if tel.enabled and cohorts:
+            tel.inc("repro_lockstep_cohorts_total", cohorts,
+                    help="Same-program cohorts the lockstep backend "
+                         "interleaved")
+            tel.inc("repro_lockstep_quanta_total", quanta_turns,
+                    help="Cooperative advance quanta granted across "
+                         "lockstep lanes")
         return out
 
 

@@ -26,17 +26,28 @@ import dataclasses
 import os
 import tempfile
 
+from repro import telemetry
 from repro.engine.session import RunResult
 
 
 class ResultCache:
-    """Maps spec fingerprints to :class:`RunResult` records."""
+    """Maps spec fingerprints to :class:`RunResult` records.
+
+    A corrupted or truncated persisted entry (a crashed writer on a
+    filesystem without atomic rename, a bad disk, a hand-edited file)
+    is treated as a **miss**, never an error: the trial re-executes and
+    the subsequent :meth:`put` atomically replaces the bad file.  Each
+    such entry bumps :attr:`corrupt` and the process-wide
+    ``repro_cache_corrupt_total`` telemetry counter — a growing count
+    is a store-health signal, not a crash mid-batch.
+    """
 
     def __init__(self, path=None):
         self.path = path
         self._results = {}
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
         if path is not None:
             os.makedirs(path, exist_ok=True)
 
@@ -50,14 +61,50 @@ class ResultCache:
         return os.path.join(self.path, f"{fingerprint}.json")
 
     def _load(self, fingerprint):
-        """Read one persisted result into the in-memory map (or None)."""
+        """Read one persisted result into the in-memory map (or None).
+
+        A file that is missing is a plain miss; one that exists but
+        cannot be read or parsed back into a :class:`RunResult` is a
+        *corrupt* miss — counted, tolerated, and overwritten by the
+        next :meth:`put` of the re-executed trial.
+        """
         try:
             with open(self._file_for(fingerprint)) as handle:
-                result = RunResult.from_json(handle.read())
+                text = handle.read()
         except FileNotFoundError:
             return None
+        except OSError:
+            self._count_corrupt()
+            return None
+        try:
+            result = RunResult.from_json(text)
+        except (KeyError, TypeError, ValueError):
+            # Truncated JSON, a non-dict payload, or missing required
+            # fields: the entry is unusable — treat it as a miss.
+            self._count_corrupt()
+            return None
+        telemetry.REGISTRY.inc(
+            "repro_cache_read_bytes_total", len(text),
+            help="Bytes read from the persistent result store")
         self._results[fingerprint] = result
         return result
+
+    def _count_corrupt(self):
+        self.corrupt += 1
+        telemetry.REGISTRY.inc(
+            "repro_cache_corrupt_total",
+            help="Persisted cache entries dropped as corrupt/truncated")
+
+    def _count_probes(self, hits, misses):
+        tel = telemetry.REGISTRY
+        if not tel.enabled:
+            return
+        if hits:
+            tel.inc("repro_cache_hits_total", hits,
+                    help="Result-cache probe hits")
+        if misses:
+            tel.inc("repro_cache_misses_total", misses,
+                    help="Result-cache probe misses")
 
     def get(self, fingerprint):
         """The cached result (marked ``cached=True``), or None."""
@@ -66,8 +113,10 @@ class ResultCache:
             result = self._load(fingerprint)
         if result is None:
             self.misses += 1
+            self._count_probes(0, 1)
             return None
         self.hits += 1
+        self._count_probes(1, 0)
         return dataclasses.replace(result, cached=True)
 
     def probe_many(self, fingerprints):
@@ -81,10 +130,13 @@ class ResultCache:
         ``listdir`` instead of a thousand per-trial ``stat``/``open``
         attempts.  Duplicate fingerprints within one batch behave like
         the sequential probes always did: every occurrence before the
-        result is deposited misses.
+        result is deposited misses.  A corrupted persisted entry is a
+        miss (see :meth:`_load`) — one bad file never aborts the
+        batch's probe.
         """
         listing = None
         out = []
+        hits = misses = 0
         for fingerprint in fingerprints:
             result = self._results.get(fingerprint)
             if result is None and self.path is not None:
@@ -97,10 +149,13 @@ class ResultCache:
                     result = self._load(fingerprint)
             if result is None:
                 self.misses += 1
+                misses += 1
                 out.append(None)
             else:
                 self.hits += 1
+                hits += 1
                 out.append(dataclasses.replace(result, cached=True))
+        self._count_probes(hits, misses)
         return out
 
     def put(self, result):
@@ -114,8 +169,12 @@ class ResultCache:
                 suffix=".tmp")
             try:
                 with os.fdopen(fd, "w") as handle:
-                    handle.write(result.to_json())
+                    text = result.to_json()
+                    handle.write(text)
                 os.replace(tmp_path, self._file_for(result.fingerprint))
+                telemetry.REGISTRY.inc(
+                    "repro_cache_write_bytes_total", len(text),
+                    help="Bytes written to the persistent result store")
             except BaseException:
                 try:
                     os.unlink(tmp_path)
@@ -127,3 +186,4 @@ class ResultCache:
         self._results.clear()
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0

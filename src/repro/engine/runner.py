@@ -31,6 +31,7 @@ matter how the batch is scheduled.
 
 import hashlib
 
+from repro import telemetry
 from repro.engine.backends import (
     TrialJob, execute_spec, resolve_backend,
 )
@@ -95,71 +96,94 @@ def run_batch(specs, workers=1, cache=None, bypass_cache=False,
     process.  Results are identical whichever backend runs them.
 
     ``batch_stats`` (an optional :class:`~repro.stats.SimStats`)
-    receives *engine-level* telemetry: cache hits/misses, executed
-    trial count, a per-trial wall-time histogram, the number of
-    distinct workers used, and per-backend batch/trial counters
-    (``engine.backend.<name>.batches`` / ``.trials``).  ``batch_trace``
-    (an optional :class:`repro.trace.BatchTrace`) receives the
-    event-level view of the same story: one wall-clock span per
-    executed trial tagged with its worker pid, and one instant per
-    cache hit — exportable to a Perfetto-loadable Chrome trace.  These
-    quantities depend on scheduling, which is exactly why they live
-    here and never in a :class:`RunResult`.
+    receives *engine-level* scheduling counters: cache hits/misses,
+    executed trial count, a per-trial wall-time histogram, and the
+    number of distinct workers used.  ``batch_trace`` (an optional
+    :class:`repro.trace.BatchTrace`) receives the event-level view of
+    the same story: one wall-clock span per executed trial tagged with
+    its worker pid, and one instant per cache hit — exportable to a
+    Perfetto-loadable Chrome trace.  These quantities depend on
+    scheduling, which is exactly why they live here and never in a
+    :class:`RunResult`.
+
+    Independently of both, the process-wide
+    :data:`repro.telemetry.REGISTRY` (when enabled) accumulates the
+    fleet view across *every* batch: per-backend batch/trial counters
+    (``repro_backend_batches_total{backend=...}``), per-trial
+    wall-clock histograms, and a phase profile of this function's four
+    steps — job build, cache probe, backend submit, result merge —
+    under ``repro_phase_seconds{layer="engine.runner"}``.
     """
-    specs = list(specs)
-    # One fingerprint derivation per trial, shared by the cache probe,
-    # the (possibly pooled) session build, and the stored result.
-    fingerprints = [spec.fingerprint() for spec in specs]
+    tel = telemetry.REGISTRY
+    with tel.phase("engine.runner", "build"):
+        specs = list(specs)
+        # One fingerprint derivation per trial, shared by the cache
+        # probe, the (possibly pooled) session build, and the stored
+        # result.
+        fingerprints = [spec.fingerprint() for spec in specs]
     results = [None] * len(specs)
     track = batch_stats is not None and batch_stats.enabled
-    timed = track or batch_trace is not None
+    timed = track or batch_trace is not None or tel.enabled
 
-    hits = _probe(cache, fingerprints, bypass_cache)
-    jobs = []
-    for index, spec in enumerate(specs):
-        hit = hits[index] if hits is not None else None
-        if hit is not None:
-            results[index] = hit
-            if track:
-                batch_stats.inc("engine.cache_hits")
-            if batch_trace is not None:
-                batch_trace.record_cache_hit(spec.label, index)
-            continue
-        jobs.append(TrialJob(index=index, spec=spec,
-                             fingerprint=fingerprints[index]))
+    with tel.phase("engine.runner", "probe"):
+        hits = _probe(cache, fingerprints, bypass_cache)
+        jobs = []
+        for index, spec in enumerate(specs):
+            hit = hits[index] if hits is not None else None
+            if hit is not None:
+                results[index] = hit
+                if track:
+                    batch_stats.inc("engine.cache_hits")
+                if batch_trace is not None:
+                    batch_trace.record_cache_hit(spec.label, index)
+                continue
+            jobs.append(TrialJob(index=index, spec=spec,
+                                 fingerprint=fingerprints[index]))
 
     chosen = resolve_backend(backend, workers=workers,
                              chunksize=chunksize, pending=len(jobs),
                              specs=specs)
+    tel.inc("repro_backend_batches_total",
+            help="Batches submitted per execution backend",
+            backend=chosen.name)
+    if jobs:
+        tel.inc("repro_backend_trials_total", len(jobs),
+                help="Cache-missing trials executed per backend",
+                backend=chosen.name)
     if track:
         batch_stats.inc("engine.batches")
         batch_stats.inc("engine.trials_executed", len(jobs))
-        batch_stats.inc(f"engine.backend.{chosen.name}.batches")
         if cache is not None and not bypass_cache:
             batch_stats.inc("engine.cache_misses", len(jobs))
 
     if jobs:
-        executed = chosen.submit(jobs, timed=timed)
-        workers_used = set()
-        for job, trial in zip(jobs, executed):
-            results[job.index] = trial.result
+        with tel.phase("engine.runner", "submit"):
+            executed = chosen.submit(jobs, timed=timed)
+        with tel.phase("engine.runner", "merge"):
+            workers_used = set()
+            for job, trial in zip(jobs, executed):
+                results[job.index] = trial.result
+                if track:
+                    batch_stats.observe("engine.trial_wall_us",
+                                        trial.elapsed_us,
+                                        bin_width=_WALL_BIN_US)
+                tel.observe("repro_trial_seconds",
+                            trial.elapsed_us / 1e6,
+                            help="Wall-clock seconds per executed "
+                                 "trial", backend=chosen.name)
+                record_executed_trial(batch_trace, job.spec.label,
+                                      job.index, trial.start_us,
+                                      trial.elapsed_us, trial.worker)
+                if trial.worker is not None:
+                    workers_used.add(trial.worker)
             if track:
-                batch_stats.observe("engine.trial_wall_us",
-                                    trial.elapsed_us,
-                                    bin_width=_WALL_BIN_US)
-                batch_stats.inc(f"engine.backend.{chosen.name}.trials")
-            record_executed_trial(batch_trace, job.spec.label,
-                                  job.index, trial.start_us,
-                                  trial.elapsed_us, trial.worker)
-            if trial.worker is not None:
-                workers_used.add(trial.worker)
-        if track:
-            batch_stats.peak("engine.workers_used",
-                             max(1, len(workers_used)))
+                batch_stats.peak("engine.workers_used",
+                                 max(1, len(workers_used)))
 
     if cache is not None:
-        for job in jobs:
-            cache.put(results[job.index])
+        with tel.phase("engine.runner", "merge"):
+            for job in jobs:
+                cache.put(results[job.index])
     return results
 
 

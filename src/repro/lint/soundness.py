@@ -25,6 +25,7 @@ missing is not).
 
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.engine.runner import run_batch
 from repro.lint.checker import lint_spec
 from repro.lint.perturb import (
@@ -96,11 +97,17 @@ def check_soundness(spec, patterns=DEFAULT_PATTERNS, workers=1,
     shared-decode cohort with no per-trial process setup; results are
     bitwise identical whichever backend runs them.
     """
+    tel = telemetry.REGISTRY
     report = report if report is not None else lint_spec(spec)
     flagged = set(report.leaking_plugins())
     variants = secret_variants(spec, patterns=patterns)
-    results = run_batch(variants, workers=workers, cache=cache,
-                        backend=backend)
+    tel.inc("repro_soundness_checks_total",
+            help="Differential soundness checks run")
+    tel.inc("repro_soundness_variants_total", max(0, len(variants) - 1),
+            help="Secret-perturbed variants executed by soundness checks")
+    with tel.phase("lint.soundness", "variants"):
+        results = run_batch(variants, workers=workers, cache=cache,
+                            backend=backend)
     baseline, rest = results[0], results[1:]
     enabled = tuple(plugin.name for plugin in spec.plugins)
     divergent = set()
@@ -110,6 +117,9 @@ def check_soundness(spec, patterns=DEFAULT_PATTERNS, workers=1,
         if delta:
             details.append((variant_spec.label, sorted(delta)))
         divergent |= delta
+    if divergent:
+        tel.inc("repro_soundness_divergences_total", len(divergent),
+                help="Plug-ins observed dynamically divergent per check")
     return SoundnessResult(
         label=spec.label or "<spec>",
         flagged=tuple(sorted(flagged)),

@@ -48,6 +48,7 @@ identical across backends.
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.engine.runner import run_batch
 from repro.engine.specs import PluginSpec
 from repro.isa.assembler import Program
@@ -225,19 +226,26 @@ def minimize_witness(case, plugin_spec, patterns=DEFAULT_PATTERNS,
     ceiling-dependent).  Deterministic: first-deletable-wins, restart
     after every successful deletion until a fixpoint."""
     runner = runner or (lambda specs: run_batch(specs))
+    tel = telemetry.REGISTRY
     current = case
     changed = True
-    while changed and len(current.program) > 1:
-        changed = False
-        for index, inst in enumerate(current.program):
-            if inst.op is Op.HALT:
-                continue
-            candidate = _case_with_program(
-                current, _without_instruction(current.program, index))
-            if _reproduces(candidate, plugin_spec, patterns, runner):
-                current = candidate
-                changed = True
-                break
+    with tel.phase("lint.synthesize", "minimize"):
+        while changed and len(current.program) > 1:
+            changed = False
+            for index, inst in enumerate(current.program):
+                if inst.op is Op.HALT:
+                    continue
+                candidate = _case_with_program(
+                    current,
+                    _without_instruction(current.program, index))
+                tel.inc("repro_synthesis_minimize_steps_total",
+                        help="Deletion candidates tried by witness "
+                             "minimization", plugin=plugin_spec.name)
+                if _reproduces(candidate, plugin_spec, patterns,
+                               runner):
+                    current = candidate
+                    changed = True
+                    break
     return current
 
 
@@ -260,20 +268,25 @@ def check_synthesis(plugin, budget=DEFAULT_BUDGET, seed=0,
     deliberately weakened declaration.  ``minimize=False`` skips
     witness minimization (faster, e.g. for CI smoke budgets).
     """
+    tel = telemetry.REGISTRY
     plugin_spec = PluginSpec.of(plugin)
     rows = contract_rows(plugin_spec) if declared_rows is None \
         else tuple(declared_rows)
     declared = frozenset()
     for row in rows:
         declared |= row_pairs(row)
-    cases = CaseGenerator(seed=seed).cases_for(plugin, budget)
-
-    batches = [(case, *_case_cohorts(case, plugin_spec, patterns))
-               for case in cases]
-    fleet = [spec for _, control, cohort in batches
-             for spec in control + cohort]
-    results = run_batch(fleet, workers=workers, cache=cache,
-                        backend=backend)
+    with tel.phase("lint.synthesize", "generate"):
+        cases = CaseGenerator(seed=seed).cases_for(plugin, budget)
+        batches = [(case, *_case_cohorts(case, plugin_spec, patterns))
+                   for case in cases]
+        fleet = [spec for _, control, cohort in batches
+                 for spec in control + cohort]
+    tel.inc("repro_synthesis_cases_total", len(cases),
+            help="Generated differential cases per plug-in",
+            plugin=plugin)
+    with tel.phase("lint.synthesize", "fleet"):
+        results = run_batch(fleet, workers=workers, cache=cache,
+                            backend=backend)
 
     def runner(specs):
         return run_batch(specs, workers=workers, cache=cache,
@@ -307,6 +320,9 @@ def check_synthesis(plugin, budget=DEFAULT_BUDGET, seed=0,
             continue
         if not divergent:
             continue
+        tel.inc("repro_synthesis_divergences_total",
+                help="Attributable plug-in divergences found by "
+                     "synthesis", plugin=plugin)
         if explained:
             witnessed |= signature & declared
             continue

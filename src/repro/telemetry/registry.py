@@ -1,0 +1,441 @@
+"""Process-wide, label-aware fleet metrics: the third observability layer.
+
+The repo already observes the *simulated* machine twice over —
+:mod:`repro.stats` counts simulated events and :mod:`repro.trace`
+records simulated cycles — but nothing observed the engine fleet
+itself: where a sweep spends wall-clock time, how often the result
+cache hits, which execution backend ran how many trials, whether the
+warm pool's workers are alive.  :class:`MetricsRegistry` is that third
+layer.  It is deliberately *outside* the simulation: nothing recorded
+here may feed simulated state (results stay bitwise identical with
+telemetry on or off), nothing here enters a
+:class:`~repro.engine.specs.SimSpec` fingerprint, and a
+:class:`~repro.engine.session.RunResult` never carries it.
+
+Three metric kinds with Prometheus-compatible semantics:
+
+* **counters** — monotone event counts (``repro_cache_hits_total``);
+  snapshots merge by summing.
+* **gauges** — last-written values (worker heartbeat timestamps);
+  snapshots merge by taking the maximum, so the freshest heartbeat
+  wins across workers.
+* **histograms** — wall-clock distributions over a *bounded*, fixed
+  bucket layout (:data:`DEFAULT_BUCKETS` plus a +Inf overflow), so a
+  long-running fleet's registry never grows with the data; snapshots
+  merge by summing per-bucket counts.
+
+Every metric family may carry labels (``backend="lockstep"``,
+``phase="probe"``), giving one naming scheme across the fleet instead
+of ad-hoc dotted counters per subsystem.
+
+Process model: one module-level :data:`~repro.telemetry.REGISTRY` per
+process.  In-process backends (serial, lockstep) record straight into
+it; pool workers record into their own (forked) registry, which the
+pool target resets per job and ships back as a picklable
+:meth:`MetricsRegistry.drain` snapshot that the parent
+:meth:`MetricsRegistry.merge`\\ s — merging is associative and
+commutative, so a 4-worker fan-out aggregates to the same totals as a
+serial run.
+
+Disabled mode (``REPRO_TELEMETRY=0`` or :func:`set_enabled`): every
+recording call returns immediately after one attribute test, handle
+lookups return shared null metrics, and :meth:`MetricsRegistry.phase`
+returns a no-op context manager without reading the clock —
+``benchmarks/bench_telemetry_overhead.py`` gates the disabled path at
+≤2% of the enabled mode's wall time on the fig6 KIPS workload.
+"""
+
+import bisect
+import os
+import re
+import threading
+import time
+
+__all__ = [
+    "DEFAULT_BUCKETS", "Counter", "Gauge", "MetricsRegistry",
+    "PHASE_METRIC", "WallHistogram",
+]
+
+#: Environment variable gating the process-wide registry; unset or any
+#: value other than the listed "off" spellings means enabled.
+REPRO_TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+_OFF_VALUES = {"0", "off", "false", "no"}
+
+#: Bounded upper bounds (seconds) for wall-clock histograms.  The span
+#: covers sub-millisecond cache probes up to ten-second bench phases;
+#: anything slower lands in the +Inf overflow bucket.
+DEFAULT_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                   0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: The one histogram family every phase-profiling hook records into,
+#: labelled by ``layer`` (which subsystem) and ``phase`` (which step).
+PHASE_METRIC = "repro_phase_seconds"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _env_enabled():
+    value = os.environ.get(REPRO_TELEMETRY_ENV, "")
+    return value.strip().lower() not in _OFF_VALUES
+
+
+# ----------------------------------------------------------------------
+# metric instruments
+# ----------------------------------------------------------------------
+
+class Counter:
+    """A monotone event count; merge: sum."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError("counters are monotone; inc() takes "
+                             f"amount >= 0, got {amount}")
+        self.value += amount
+
+    def as_value(self):
+        return self.value
+
+    def merge_value(self, value):
+        self.value += value
+
+
+class Gauge:
+    """A last-written value; merge: max (freshest heartbeat wins)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def as_value(self):
+        return self.value
+
+    def merge_value(self, value):
+        if value > self.value:
+            self.value = value
+
+
+class WallHistogram:
+    """A bounded-bucket distribution; merge: per-bucket sum.
+
+    ``bounds`` are the inclusive upper edges; one extra overflow bucket
+    catches everything above the last bound, so the layout — hence the
+    registry's memory — is fixed no matter what gets observed.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total")
+    kind = "histogram"
+
+    def __init__(self, bounds=DEFAULT_BUCKETS):
+        bounds = tuple(bounds)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a non-empty "
+                             "ascending sequence")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value):
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def as_value(self):
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "count": self.count, "total": self.total}
+
+    def merge_value(self, value):
+        if tuple(value["bounds"]) != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with bucket bounds "
+                f"{tuple(value['bounds'])} and {self.bounds}")
+        for index, extra in enumerate(value["counts"]):
+            self.counts[index] += extra
+        self.count += value["count"]
+        self.total += value["total"]
+
+    @classmethod
+    def from_value(cls, value):
+        hist = cls(bounds=value["bounds"])
+        hist.merge_value(value)
+        return hist
+
+
+class _NullMetric:
+    """Shared handle returned by a disabled registry: records nothing."""
+
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class _NullPhase:
+    """No-op ``phase`` context manager: no clock reads when disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _PhaseTimer:
+    """Times one ``with`` block into a phase histogram."""
+
+    __slots__ = ("_hist", "_start")
+
+    def __init__(self, hist):
+        self._hist = hist
+        self._start = 0.0
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._hist.observe(time.perf_counter() - self._start)
+        return False
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+
+class _Family:
+    """One named metric family: kind + help + per-label-set samples."""
+
+    __slots__ = ("name", "kind", "help", "bounds", "samples")
+
+    def __init__(self, name, kind, help="", bounds=DEFAULT_BUCKETS):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.bounds = tuple(bounds)
+        self.samples = {}       # sorted (label, value) items -> metric
+
+    def sample(self, key):
+        metric = self.samples.get(key)
+        if metric is None:
+            if self.kind == "counter":
+                metric = Counter()
+            elif self.kind == "gauge":
+                metric = Gauge()
+            else:
+                metric = WallHistogram(bounds=self.bounds)
+            self.samples[key] = metric
+        return metric
+
+
+def _label_key(labels):
+    """Canonical, hashable, deterministic form of a label mapping."""
+    if not labels:
+        return ()
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ValueError(f"invalid label name {name!r}")
+    return tuple(sorted((name, str(value))
+                        for name, value in labels.items()))
+
+
+class MetricsRegistry:
+    """Label-aware counters, gauges, and wall-clock histograms.
+
+    Thread-safe: the metrics HTTP server snapshots from its own thread
+    while the main thread records.  All operations take one short lock;
+    recording sites are per-batch/per-trial (never per simulated
+    cycle), so the lock is far off every hot path.
+    """
+
+    def __init__(self, enabled=True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._families = {}
+
+    def set_enabled(self, flag):
+        """Flip recording on or off (off = the zero-cost path)."""
+        self.enabled = bool(flag)
+
+    # -- handles -------------------------------------------------------
+
+    def _family(self, name, kind, help, bounds=DEFAULT_BUCKETS):
+        family = self._families.get(name)
+        if family is None:
+            if not _NAME_RE.match(name):
+                raise ValueError(f"invalid metric name {name!r}")
+            family = _Family(name, kind, help=help, bounds=bounds)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is a {family.kind}, not a {kind}")
+        else:
+            if help and not family.help:
+                family.help = help
+        return family
+
+    def counter(self, name, help="", **labels):
+        """The counter handle for ``name`` + ``labels`` (or a shared
+        null handle when disabled)."""
+        if not self.enabled:
+            return _NULL_METRIC
+        with self._lock:
+            return self._family(name, "counter", help).sample(
+                _label_key(labels))
+
+    def gauge(self, name, help="", **labels):
+        if not self.enabled:
+            return _NULL_METRIC
+        with self._lock:
+            return self._family(name, "gauge", help).sample(
+                _label_key(labels))
+
+    def histogram(self, name, help="", bounds=DEFAULT_BUCKETS,
+                  **labels):
+        if not self.enabled:
+            return _NULL_METRIC
+        with self._lock:
+            return self._family(name, "histogram", help,
+                                bounds=bounds).sample(_label_key(labels))
+
+    # -- recording -----------------------------------------------------
+
+    def inc(self, name, amount=1, help="", **labels):
+        """Add ``amount`` to counter ``name`` with ``labels``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._family(name, "counter", help).sample(
+                _label_key(labels)).inc(amount)
+
+    def set(self, name, value, help="", **labels):
+        """Set gauge ``name`` with ``labels`` to ``value``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._family(name, "gauge", help).sample(
+                _label_key(labels)).set(value)
+
+    def observe(self, name, value, help="", bounds=DEFAULT_BUCKETS,
+                **labels):
+        """Record ``value`` into histogram ``name`` with ``labels``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._family(name, "histogram", help, bounds=bounds).sample(
+                _label_key(labels)).observe(value)
+
+    def phase(self, layer, phase):
+        """Context manager timing one fleet phase into
+        :data:`PHASE_METRIC` — ``with REGISTRY.phase("engine.runner",
+        "probe"): ...``.  Disabled mode returns a shared no-op manager
+        without touching the clock."""
+        if not self.enabled:
+            return _NULL_PHASE
+        return _PhaseTimer(self.histogram(
+            PHASE_METRIC,
+            help="Wall-clock seconds per orchestration phase",
+            layer=layer, phase=phase))
+
+    # -- reading -------------------------------------------------------
+
+    def value(self, name, default=0, **labels):
+        """One sample's current value (tests and report rendering)."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return default
+            metric = family.samples.get(_label_key(labels))
+            return default if metric is None else metric.as_value()
+
+    def total(self, name):
+        """Sum of a counter family across every label set."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return 0
+            return sum(metric.as_value()
+                       for metric in family.samples.values())
+
+    # -- snapshots -----------------------------------------------------
+
+    def snapshot(self):
+        """Picklable, JSON-able, deterministic view of every family.
+
+        ``{name: {"kind": ..., "help": ..., "samples": [[labels,
+        value], ...]}}`` with names and label items sorted.  Histogram
+        values are their ``as_value`` dicts.
+        """
+        with self._lock:
+            out = {}
+            for name in sorted(self._families):
+                family = self._families[name]
+                out[name] = {
+                    "kind": family.kind,
+                    "help": family.help,
+                    "samples": [
+                        [[list(item) for item in key],
+                         family.samples[key].as_value()]
+                        for key in sorted(family.samples)],
+                }
+            return out
+
+    def merge(self, snapshot):
+        """Fold a :meth:`snapshot` (e.g. shipped from a pool worker)
+        into this registry; counters sum, gauges max, histograms add
+        per-bucket.  Returns ``self``.  Disabled registries ignore
+        merges, keeping the off mode observation-free."""
+        if not snapshot or not self.enabled:
+            return self
+        with self._lock:
+            for name, payload in snapshot.items():
+                bounds = DEFAULT_BUCKETS
+                if payload["kind"] == "histogram" and payload["samples"]:
+                    bounds = tuple(payload["samples"][0][1]["bounds"])
+                family = self._family(name, payload["kind"],
+                                      payload.get("help", ""),
+                                      bounds=bounds)
+                for key, value in payload["samples"]:
+                    key = tuple(tuple(item) for item in key)
+                    family.sample(key).merge_value(value)
+        return self
+
+    def reset(self):
+        """Drop every recorded sample (keeps the enabled flag)."""
+        with self._lock:
+            self._families.clear()
+
+    def drain(self):
+        """Snapshot then reset — the per-job shipping primitive pool
+        workers use, so each job's snapshot holds only its own delta
+        (never state forked in from the parent)."""
+        snap = self.snapshot()
+        self.reset()
+        return snap

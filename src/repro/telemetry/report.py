@@ -1,0 +1,169 @@
+"""One run report across all three observability layers.
+
+``python -m repro report`` answers "where did the run actually go?" in
+a single page by merging
+
+* the **fleet** view — a telemetry snapshot (wall-clock phase
+  profile, cache traffic, per-backend trial counts, worker liveness);
+* the **simulated** view — merged :class:`~repro.stats.SimStats`
+  records out of ``RunResult.metrics`` (simulated events: stalls,
+  hits, squashes);
+* the **throughput** view — the ``BENCH_PERF.json`` KIPS report, when
+  one exists.
+
+:func:`run_demo_fleet` gives the CLI something real to report on
+without arguments: it runs the Figure 5 amplified probes twice through
+:func:`~repro.engine.runner.run_batch` against a scratch cache (the
+second pass hits), so every phase, cache, and backend metric is
+populated by genuine engine traffic.
+"""
+
+import json
+
+from repro.telemetry.registry import PHASE_METRIC
+
+__all__ = [
+    "build_report", "load_perf", "phase_table", "render_report",
+    "run_demo_fleet",
+]
+
+
+def run_demo_fleet(registry=None, backend=None):
+    """Exercise the engine fleet; returns (telemetry snapshot, merged
+    simulated-metrics dict).
+
+    Two ``run_batch`` passes over the Figure 5 amplified probes against
+    one in-memory cache: the first pass misses and executes, the second
+    hits — so the snapshot carries every phase histogram, the cache
+    hit *and* miss counters, and per-backend trial counts, which is
+    exactly the surface ``/metrics`` and the report table render.
+    """
+    from repro.attacks.amplification import amplified_probe_spec
+    from repro.engine.cache import ResultCache
+    from repro.engine.runner import run_batch
+    from repro.stats import SimStats, merge_all
+    if registry is None:
+        from repro.telemetry import REGISTRY as registry
+    secret = 0x1234
+    specs = [
+        amplified_probe_spec(secret, secret, gadget=True,
+                             label="report_silent"),
+        amplified_probe_spec(secret, 0x4321, gadget=True,
+                             label="report_nonsilent"),
+        amplified_probe_spec(secret, secret, gadget=False,
+                             label="report_plain_silent"),
+        amplified_probe_spec(secret, 0x4321, gadget=False,
+                             label="report_plain_nonsilent"),
+    ]
+    cache = ResultCache()
+    batch_stats = SimStats()
+    results = run_batch(specs, cache=cache, batch_stats=batch_stats,
+                        backend=backend)
+    run_batch(specs, cache=cache, batch_stats=batch_stats,
+              backend=backend)
+    simulated = merge_all(result.metrics for result in results)
+    simulated.merge(batch_stats)
+    return registry.snapshot(), simulated.as_dict()
+
+
+def load_perf(path):
+    """The ``BENCH_PERF.json`` payload, or None when absent/unreadable."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def build_report(snapshot=None, simulated=None, perf=None):
+    """Assemble the merged run-report payload (JSON-able)."""
+    return {
+        "report": "repro run report",
+        "layers": {
+            "telemetry": "wall-clock fleet (this process)",
+            "simulated": "merged RunResult.metrics (simulated events)",
+            "bench_perf": "BENCH_PERF.json throughput (if present)",
+        },
+        "telemetry": snapshot or {},
+        "simulated": simulated or {},
+        "bench_perf": perf,
+    }
+
+
+def phase_table(snapshot):
+    """Rows ``(layer, phase, count, total_s, mean_ms)`` from a
+    snapshot's :data:`PHASE_METRIC` family, slowest first."""
+    family = (snapshot or {}).get(PHASE_METRIC)
+    if not family:
+        return []
+    rows = []
+    for key, value in family["samples"]:
+        labels = dict(tuple(item) for item in key)
+        count = value["count"]
+        total = value["total"]
+        rows.append((labels.get("layer", "?"), labels.get("phase", "?"),
+                     count, total,
+                     total / count * 1000.0 if count else 0.0))
+    return sorted(rows, key=lambda row: -row[3])
+
+
+def _render_fleet(snapshot, lines):
+    rows = phase_table(snapshot)
+    if rows:
+        lines.append("  phase profile (wall-clock):")
+        lines.append(f"    {'layer':22s} {'phase':10s} {'calls':>7s} "
+                     f"{'total s':>9s} {'mean ms':>9s}")
+        for layer, phase, count, total, mean_ms in rows:
+            lines.append(f"    {layer:22s} {phase:10s} {count:7d} "
+                         f"{total:9.3f} {mean_ms:9.3f}")
+    scalars = []
+    for name, payload in snapshot.items():
+        if payload["kind"] not in ("counter", "gauge"):
+            continue
+        for key, value in payload["samples"]:
+            labels = ",".join(f"{label}={text}"
+                              for label, text in
+                              (tuple(item) for item in key))
+            suffix = f"{{{labels}}}" if labels else ""
+            mark = "  (gauge)" if payload["kind"] == "gauge" else ""
+            scalars.append(f"    {name + suffix:56s} {value:>14}{mark}")
+    if scalars:
+        lines.append("  counters and gauges:")
+        lines.extend(scalars)
+    if not rows and not scalars:
+        lines.append("  (no fleet telemetry recorded)")
+
+
+def _render_perf(perf, lines):
+    workloads = (perf or {}).get("workloads")
+    if not workloads:
+        lines.append("  (no BENCH_PERF.json found — run "
+                     "`python -m repro bench`)")
+        return
+    from repro.analysis.throughput import render_table
+    lines.extend("  " + line for line in render_table(perf).splitlines())
+    backends = perf.get("backends") or {}
+    if "lockstep_vs_pool" in backends:
+        lines.append(f"  lockstep vs pool: "
+                     f"{backends['lockstep_vs_pool']:.2f}x "
+                     f"(identical: {backends.get('identical')})")
+
+
+def render_report(report):
+    """The human-readable single-page run report."""
+    from repro.stats import render_stats
+    lines = ["== run report =="]
+    lines.append("")
+    lines.append("-- fleet telemetry (wall-clock, this process) --")
+    _render_fleet(report.get("telemetry") or {}, lines)
+    lines.append("")
+    lines.append("-- simulated metrics (merged RunResult.metrics) --")
+    simulated = report.get("simulated") or {}
+    if simulated:
+        lines.append(render_stats(simulated, indent=""))
+    else:
+        lines.append("  (no simulated metrics in this report)")
+    lines.append("")
+    lines.append("-- simulator throughput (BENCH_PERF.json) --")
+    _render_perf(report.get("bench_perf"), lines)
+    return "\n".join(lines)

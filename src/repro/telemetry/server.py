@@ -1,0 +1,102 @@
+"""A stdlib HTTP endpoint over the process metrics registry.
+
+The first standing piece of the leakage-audit-as-a-service roadmap
+item: a :class:`http.server.ThreadingHTTPServer` exposing
+
+* ``GET /metrics`` — Prometheus text exposition of the registry (the
+  format any scraper ingests), rendered at request time, so a scrape
+  during a live ``run_batch`` sees the fleet mid-flight;
+* ``GET /healthz`` — a JSON liveness probe with the registry's family
+  and sample counts.
+
+The server holds no state of its own — it reads whatever registry it
+was given (the process-wide :data:`repro.telemetry.REGISTRY` by
+default) under the registry's own lock, so serving never blocks
+recording for longer than one snapshot.
+
+Use :func:`start_metrics_server` for the embedded form (daemon thread,
+ephemeral port — what the tests and the audit service will use) or
+``python -m repro serve-metrics`` for the foreground CLI form.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.telemetry.expo import CONTENT_TYPE, render_prometheus
+
+__all__ = ["DEFAULT_PORT", "MetricsServer", "start_metrics_server"]
+
+#: Default ``serve-metrics`` port (ephemeral ``port=0`` in tests).
+DEFAULT_PORT = 9844
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    server_version = "repro-telemetry"
+
+    def _send(self, status, content_type, body):
+        if isinstance(body, str):
+            body = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):
+        path = self.path.split("?", 1)[0]
+        registry = self.server.registry
+        if path == "/metrics":
+            self._send(200, CONTENT_TYPE, render_prometheus(registry))
+        elif path in ("/healthz", "/health"):
+            snapshot = registry.snapshot()
+            self._send(200, "application/json", json.dumps({
+                "status": "ok",
+                "telemetry_enabled": registry.enabled,
+                "families": len(snapshot),
+                "samples": sum(len(payload["samples"])
+                               for payload in snapshot.values()),
+            }, sort_keys=True))
+        else:
+            self._send(404, "application/json", json.dumps(
+                {"error": f"unknown path {path!r}",
+                 "paths": ["/metrics", "/healthz"]}))
+
+    def log_message(self, format, *args):
+        pass                    # requests are telemetry, not stdout noise
+
+
+class MetricsServer(ThreadingHTTPServer):
+    """The /metrics + /healthz endpoint bound to ``registry``."""
+
+    daemon_threads = True
+
+    def __init__(self, host="127.0.0.1", port=0, registry=None):
+        if registry is None:
+            from repro.telemetry import REGISTRY
+            registry = REGISTRY
+        self.registry = registry
+        super().__init__((host, port), _MetricsHandler)
+
+    @property
+    def port(self):
+        return self.server_address[1]
+
+    @property
+    def url(self):
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+
+def start_metrics_server(host="127.0.0.1", port=0, registry=None):
+    """Bind a :class:`MetricsServer` and serve it from a daemon thread.
+
+    Returns the server (``.url``/``.port`` give the bound address,
+    ``.shutdown()`` stops it).  ``port=0`` picks an ephemeral port.
+    """
+    server = MetricsServer(host=host, port=port, registry=registry)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-metrics", daemon=True)
+    thread.start()
+    server._thread = thread
+    return server

@@ -32,7 +32,7 @@ def test_urg_command(capsys):
 def test_command_registry_complete():
     assert set(COMMANDS) == {"tables", "urg", "fig6", "audit", "stats",
                              "trace", "bench", "lint", "synthesize",
-                             "backends"}
+                             "backends", "serve-metrics", "report"}
 
 
 def test_backends_command(capsys):
@@ -43,12 +43,15 @@ def test_backends_command(capsys):
 
 
 def test_global_backend_flag(capsys, monkeypatch):
+    import os
     from repro.engine import REPRO_BACKEND_ENV
     monkeypatch.delenv(REPRO_BACKEND_ENV, raising=False)
     assert main(["backends", "--backend", "lockstep"]) == 0
-    import os
     assert os.environ.get(REPRO_BACKEND_ENV) == "lockstep"
-    monkeypatch.delenv(REPRO_BACKEND_ENV, raising=False)
+    # Drop the value main() just exported directly — a second
+    # monkeypatch.delenv would record "lockstep" as the state to
+    # restore and re-export it at teardown, polluting later tests.
+    os.environ.pop(REPRO_BACKEND_ENV, None)
     assert main(["backends", "--backend", "warp-drive"]) == 1
     assert "unknown backend" in capsys.readouterr().out
 
@@ -125,6 +128,74 @@ def test_lint_command_rejects_bad_input(tmp_path, capsys):
     prog.write_text("    halt\n")
     assert main(["lint", str(prog), "--opts", "not-a-plugin"]) == 1
     assert "bad --opts" in capsys.readouterr().out
+
+
+def _clean_enabled_registry():
+    """Reset the process registry and force-enable recording, so the
+    CLI tests hold regardless of the ambient REPRO_TELEMETRY value.
+    Returns the enabled flag to restore."""
+    from repro import telemetry
+    telemetry.REGISTRY.reset()
+    saved = telemetry.REGISTRY.enabled
+    telemetry.REGISTRY.set_enabled(True)
+    return saved
+
+
+def _restore_registry(saved):
+    from repro import telemetry
+    telemetry.REGISTRY.set_enabled(saved)
+    telemetry.REGISTRY.reset()
+
+
+def test_serve_metrics_once(capsys):
+    saved = _clean_enabled_registry()
+    try:
+        assert main(["serve-metrics", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_backend_trials_total counter" in out
+        assert "repro_cache_hits_total" in out
+        assert 'repro_phase_seconds_bucket{layer="engine.runner"' in out
+    finally:
+        _restore_registry(saved)
+
+
+def test_serve_metrics_rejects_bad_flags(capsys):
+    assert main(["serve-metrics", "--port", "not-a-port",
+                 "--once"]) == 1
+    assert "usage" in capsys.readouterr().out
+    assert main(["serve-metrics", "--bogus"]) == 1
+    assert "usage" in capsys.readouterr().out
+
+
+def test_report_command(capsys):
+    saved = _clean_enabled_registry()
+    try:
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "== run report ==" in out
+        assert "phase profile" in out
+        assert "engine.runner" in out
+        assert "repro_cache_hits_total" in out
+        assert "simulated metrics" in out
+    finally:
+        _restore_registry(saved)
+
+
+def test_report_command_json_out(tmp_path, capsys):
+    import json
+    from repro.telemetry import PHASE_METRIC
+    saved = _clean_enabled_registry()
+    out_path = tmp_path / "report.json"
+    try:
+        assert main(["report", "--json", "--out", str(out_path),
+                     "--perf", str(tmp_path / "missing.json")]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["bench_perf"] is None
+        assert PHASE_METRIC in payload["telemetry"]
+        assert "repro_cache_misses_total" in payload["telemetry"]
+        assert payload["simulated"]
+    finally:
+        _restore_registry(saved)
 
 
 def test_trace_command(tmp_path, capsys):

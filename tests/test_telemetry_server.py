@@ -1,0 +1,100 @@
+"""The /metrics + /healthz HTTP endpoint over a live registry."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.telemetry import CONTENT_TYPE, MetricsRegistry
+from repro.telemetry.server import start_metrics_server
+
+
+@pytest.fixture
+def served():
+    """(registry, base-url) for a server on an ephemeral port."""
+    registry = MetricsRegistry()
+    server = start_metrics_server(port=0, registry=registry)
+    try:
+        yield registry, server.url
+    finally:
+        server.shutdown()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return (response.status, response.headers.get("Content-Type"),
+                response.read().decode("utf-8"))
+
+
+def test_metrics_serves_prometheus_text(served):
+    registry, url = served
+    registry.inc("repro_cache_hits_total", 2)
+    status, content_type, body = _get(url + "/metrics")
+    assert status == 200
+    assert content_type == CONTENT_TYPE
+    assert "# TYPE repro_cache_hits_total counter" in body
+    assert "repro_cache_hits_total 2" in body
+
+
+def test_metrics_sees_live_engine_traffic(served, monkeypatch):
+    """A scrape during real run_batch traffic shows the fleet metrics
+    the acceptance criterion names: cache hits/misses, per-backend
+    trial counters, and the phase wall-clock histograms."""
+    from tests.spec_catalog import attack_specs
+    from repro.engine import REPRO_BACKEND_ENV, ResultCache, run_batch
+    monkeypatch.delenv(REPRO_BACKEND_ENV, raising=False)
+    registry, url = served
+    import repro.telemetry as telemetry
+    saved = telemetry.REGISTRY
+    telemetry.REGISTRY = registry
+    try:
+        specs = list(attack_specs().values())[:3]
+        cache = ResultCache()
+        run_batch(specs, cache=cache)
+        run_batch(specs, cache=cache)
+    finally:
+        telemetry.REGISTRY = saved
+    _, _, body = _get(url + "/metrics")
+    assert "repro_cache_hits_total 3" in body
+    assert "repro_cache_misses_total 3" in body
+    assert 'repro_backend_trials_total{backend="serial"} 3' in body
+    assert 'repro_backend_batches_total{backend="serial"} 2' in body
+    assert ('repro_phase_seconds_bucket{layer="engine.runner",'
+            'phase="probe",le="+Inf"} 2') in body
+    assert 'repro_trial_seconds_count{backend="serial"} 3' in body
+
+
+def test_healthz_reports_registry_shape(served):
+    registry, url = served
+    registry.inc("repro_test_total", backend="a")
+    registry.inc("repro_test_total", backend="b")
+    status, content_type, body = _get(url + "/healthz")
+    assert status == 200
+    assert content_type == "application/json"
+    payload = json.loads(body)
+    assert payload["status"] == "ok"
+    assert payload["telemetry_enabled"] is True
+    assert payload["families"] == 1
+    assert payload["samples"] == 2
+    # /health is an alias.
+    assert json.loads(_get(url + "/health")[2]) == payload
+
+
+def test_unknown_path_is_a_json_404(served):
+    _, url = served
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(url + "/nope")
+    assert excinfo.value.code == 404
+    payload = json.loads(excinfo.value.read().decode("utf-8"))
+    assert payload["paths"] == ["/metrics", "/healthz"]
+
+
+def test_disabled_registry_serves_empty_exposition(served):
+    registry, url = served
+    registry.set_enabled(False)
+    registry.inc("repro_test_total")
+    _, _, body = _get(url + "/metrics")
+    assert body == "\n"
+    payload = json.loads(_get(url + "/healthz")[2])
+    assert payload["telemetry_enabled"] is False
+    assert payload["families"] == 0
