@@ -1,0 +1,99 @@
+"""Static-lint precision — false-positive rates and analysis cost.
+
+The precision harness (``python -m repro precision``) is the dual of
+the soundness gate: it classifies every static LEAKS flag over the
+bounded corpus by secret-pair differential trial.  This bench runs
+the full classification and checks the layer's contracts:
+
+* zero soundness escapes — every confirmed divergence was statically
+  flagged (by both the path-sensitive analysis and the sticky
+  baseline it over-approximates);
+* path sensitivity *strictly* reduces false positives on the corpus
+  (the gated public-tail cases are the separating instances);
+* the pure static pass stays cheap — post-dominator scoping and the
+  feasibility fixpoint must not make linting a bottleneck next to
+  the differential trials they are measured by.
+"""
+
+import time
+
+from conftest import emit, emit_json
+
+from repro.lint.checker import lint_program
+from repro.lint.precision import check_precision
+from repro.lint.progen import CaseGenerator
+
+BUDGET = 4
+SEED = 0
+STATIC_REPEATS = 50
+
+
+def run_precision():
+    start = time.perf_counter()
+    report = check_precision(budget=BUDGET, seed=SEED)
+    elapsed = time.perf_counter() - start
+    row = report.to_json_dict()
+    row.pop("outcomes")
+    row["elapsed_s"] = elapsed
+    row["trials"] = len(report.outcomes)
+    row["removed"] = (report.sticky_false_positives
+                      - report.false_positives)
+    return row
+
+
+def run_static_cost():
+    """Scoped vs sticky lint cost over one progen corpus."""
+    cases = CaseGenerator(seed=SEED).cases_for("silent-stores", BUDGET)
+    timings = {}
+    for path_sensitive in (True, False):
+        start = time.perf_counter()
+        for _ in range(STATIC_REPEATS):
+            for case in cases:
+                lint_program(case.program, opts=("silent-stores",),
+                             path_sensitive=path_sensitive)
+        timings[path_sensitive] = time.perf_counter() - start
+    lints = STATIC_REPEATS * len(cases)
+    return {
+        "lints": lints,
+        "scoped_s": timings[True],
+        "sticky_s": timings[False],
+        "scoped_us_per_lint": 1e6 * timings[True] / lints,
+        "overhead_x": timings[True] / max(timings[False], 1e-9),
+    }
+
+
+def test_lint_precision(once):
+    row = once(run_precision)
+    lines = [
+        f"lint precision: budget={row['budget']} seed={row['seed']} "
+        f"({row['trials']} trials, {row['elapsed_s']:.2f} s)",
+        f"  confirmed:          {row['confirmed']:4d}",
+        f"  FP path-sensitive:  {row['false_positives']:4d}",
+        f"  FP sticky baseline: {row['sticky_false_positives']:4d}",
+        f"  removed by scoping: {row['removed']:4d}",
+        f"  soundness escapes:  {row['missed']:4d}",
+    ]
+    emit("lint_precision", "\n".join(lines))
+    emit_json("lint_precision", row)
+
+    assert row["ok"]
+    assert row["missed"] == 0
+    assert row["false_positives"] < row["sticky_false_positives"]
+    # Interactive budget: the CI static-checks leg runs this on push.
+    assert row["elapsed_s"] < 120.0
+
+
+def test_static_analysis_cost(once):
+    row = once(run_static_cost)
+    emit("lint_precision_static_cost",
+         f"static lint cost over {row['lints']} lints:\n"
+         f"  path-sensitive: {row['scoped_s']:8.3f} s "
+         f"({row['scoped_us_per_lint']:8.1f} us/lint)\n"
+         f"  sticky:         {row['sticky_s']:8.3f} s\n"
+         f"  overhead:       {row['overhead_x']:8.2f}x")
+    emit_json("lint_precision_static_cost", row)
+
+    # Post-dominator scoping + the feasibility fixpoint may cost a
+    # constant factor over the sticky pass, but must stay the same
+    # order of magnitude — linting is the cheap half of the harness.
+    assert row["overhead_x"] < 25.0

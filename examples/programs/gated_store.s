@@ -1,0 +1,20 @@
+# A secret-gated store the sticky checker gets wrong.  The branch
+# compares the secret against itself — it is tainted, but both arms
+# reconverge immediately and the store after the join touches only
+# public values, so the silent-store MLD cannot observe the secret.
+# The path-blind (sticky) analysis poisons everything after the first
+# tainted branch and flags the store anyway; the post-dominator
+# analysis clears control taint at the join and proves the program
+# SAFE under the silent-stores contract:
+#   python -m repro lint examples/programs/gated_store.s --opts silent-stores
+
+.secret 0x140 +8           # the key word
+
+    li x1, 0x140
+    load x3, 0(x1)         # secret into x3
+    beq x3, x3, join       # tainted branch, arms reconverge at join
+    addi x9, x0, 1         # influence region: never reached
+join:
+    li x6, 9
+    store x6, 0x100(x0)    # public value over public memory
+    halt

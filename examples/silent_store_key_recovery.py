@@ -39,9 +39,9 @@ def main():
     print()
 
     print("=== Step 3: recover the eight 16-bit intermediates ===")
-    started = time.time()
+    started = time.perf_counter()
     key, tries = attack.recover_key(oracle="functional")
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     for slot, count in enumerate(tries):
         print(f"  slot {slot}: found after {count:6d} oracle queries")
     print(f"total queries: {sum(tries)} "

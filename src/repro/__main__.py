@@ -22,7 +22,16 @@ Commands
              [--out PATH]`` — taint from the program's ``.secret`` /
              ``.public`` directives, contracts from the named
              optimizations (default: every one with a contract);
-             exits 1 if any program leaks
+             ``--sticky`` selects the path-blind baseline analysis;
+             exits 1 if any program leaks, 2 on lint error/bad input
+``precision`` classify every static LEAKS verdict over the
+             progen/gated/example corpus by secret-pair differential
+             trial — confirmed vs false positive, path-sensitive vs
+             sticky side by side:
+             ``python -m repro precision [--opt a,b] [--budget N]
+             [--seed N] [--json] [--out PATH]
+             [--max-false-positives N]`` — exits 1 on any soundness
+             escape or when the false-positive ratchet is exceeded
 ``synthesize`` learn each optimization's leakage contract by
              differential secret-pair fuzzing and diff it against the
              declared LINT_CONTRACT:
@@ -247,30 +256,36 @@ def cmd_lint(*args):
     """Static MLD leakage check of ``.s`` programs.
 
     ``python -m repro lint prog.s [prog2.s ...] [--opts a,b] [--json]
-    [--out PATH]``.  Default contracts are every registered
+    [--out PATH] [--sticky]``.  Default contracts are every registered
     optimization that exports one; ``--opts`` narrows to a
-    comma-separated list of registry names.  ``--json`` prints (or with
+    comma-separated list of registry names.  ``--sticky`` disables the
+    post-dominator implicit-flow scoping (the path-blind baseline the
+    precision harness measures against).  ``--json`` prints (or with
     ``--out`` writes) the machine-readable report the CI job archives.
-    Returns 1 if any program has findings.
+    Exit codes: 0 clean, 1 LEAKS found, 2 lint error / bad input.
     """
     import json
     from repro.isa.assembler import AssemblyError
     from repro.isa.text import assemble_file
     from repro.lint import contracted_plugin_names, lint_program, \
         rows_for_names
+    usage = ("usage: python -m repro lint <prog.s> [--opts a,b] "
+             "[--json] [--out PATH] [--sticky]")
     args = list(args)
     as_json = "--json" in args
     if as_json:
         args.remove("--json")
+    path_sensitive = "--sticky" not in args
+    if not path_sensitive:
+        args.remove("--sticky")
     out = None
     if "--out" in args:
         flag = args.index("--out")
         try:
             out = args[flag + 1]
         except IndexError:
-            print("usage: python -m repro lint <prog.s> [--opts a,b] "
-                  "[--json] [--out PATH]")
-            return 1
+            print(usage)
+            return 2
         del args[flag:flag + 2]
     opts = contracted_plugin_names()
     if "--opts" in args:
@@ -279,28 +294,27 @@ def cmd_lint(*args):
             opts = tuple(name for name in args[flag + 1].split(",")
                          if name)
         except IndexError:
-            print("usage: python -m repro lint <prog.s> [--opts a,b] "
-                  "[--json] [--out PATH]")
-            return 1
+            print(usage)
+            return 2
         del args[flag:flag + 2]
     if not args:
-        print("usage: python -m repro lint <prog.s> [--opts a,b] "
-              "[--json] [--out PATH]")
-        return 1
+        print(usage)
+        return 2
     try:
         contracts = rows_for_names(opts)
     except Exception as error:
         print(f"lint: bad --opts: {error}")
-        return 1
+        return 2
     reports = []
     for path in args:
         try:
             program = assemble_file(path)
         except (OSError, AssemblyError) as error:
             print(f"lint: {error}")
-            return 1
+            return 2
         reports.append(lint_program(program, contracts=contracts,
-                                    program_name=path))
+                                    program_name=path,
+                                    path_sensitive=path_sensitive))
     payload = {"reports": [report.to_json_dict() for report in reports],
                "ok": all(report.ok for report in reports)}
     if as_json or out:
@@ -389,6 +403,89 @@ def cmd_synthesize(*args):
     if not as_json:
         print(render_report(results))
     return 0 if payload["ok"] else 1
+
+
+def cmd_precision(*args):
+    """Classify static LEAKS verdicts as confirmed or false positive.
+
+    ``python -m repro precision [--opt a,b] [--budget N] [--seed N]
+    [--json] [--out PATH] [--max-false-positives N]``.  Lints the
+    progen/gated/example corpus with both the path-sensitive analysis
+    and the sticky baseline, runs secret-pair differential trials for
+    every flag, and prints the per-plugin false-positive table (or the
+    JSON report CI archives).  Exit codes: 0 ok, 1 if any confirmed
+    divergence went unflagged (soundness escape) or the path-sensitive
+    false-positive count exceeds ``--max-false-positives`` (the CI
+    ratchet), 2 on bad usage.
+    """
+    import json
+    from repro.engine import ResultCache
+    from repro.lint import contracted_plugin_names
+    from repro.lint.precision import DEFAULT_BUDGET, check_precision
+    usage = ("usage: python -m repro precision [--opt a,b] "
+             "[--budget N] [--seed N] [--json] [--out PATH] "
+             "[--max-false-positives N]")
+    args = list(args)
+    as_json = "--json" in args
+    if as_json:
+        args.remove("--json")
+
+    def flag_value(name):
+        if name not in args:
+            return None
+        flag = args.index(name)
+        try:
+            value = args[flag + 1]
+        except IndexError:
+            raise SystemExit(usage)
+        del args[flag:flag + 2]
+        return value
+
+    out = flag_value("--out")
+    opts = flag_value("--opt")
+    budget = flag_value("--budget")
+    seed = flag_value("--seed")
+    max_fp = flag_value("--max-false-positives")
+    if args:
+        print(usage)
+        return 2
+    try:
+        budget = DEFAULT_BUDGET if budget is None else int(budget)
+        seed = 0 if seed is None else int(seed)
+        max_fp = None if max_fp is None else int(max_fp)
+    except ValueError:
+        print(usage)
+        return 2
+    names = None if opts is None \
+        else tuple(name for name in opts.split(",") if name)
+    if names is not None:
+        unknown = set(names) - set(contracted_plugin_names())
+        if unknown:
+            print(f"precision: no contract for {sorted(unknown)}; "
+                  f"known: {list(contracted_plugin_names())}")
+            return 2
+    report = check_precision(budget=budget, seed=seed, opts=names,
+                             cache=ResultCache())
+    if as_json or out:
+        text = json.dumps(report.to_json_dict(), indent=2,
+                          sort_keys=True)
+        if out:
+            with open(out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote precision report to {out}")
+        else:
+            print(text)
+    if not as_json:
+        print(report.render())
+    if not report.ok:
+        print(f"ERROR: {report.missed} confirmed divergence(s) "
+              "not statically flagged")
+        return 1
+    if max_fp is not None and report.false_positives > max_fp:
+        print(f"ERROR: {report.false_positives} false positives "
+              f"exceed the pinned ratchet of {max_fp}")
+        return 1
+    return 0
 
 
 def cmd_serve_metrics(*args):
@@ -507,7 +604,8 @@ def cmd_report(*args):
 COMMANDS = {"tables": cmd_tables, "urg": cmd_urg, "fig6": cmd_fig6,
             "audit": cmd_audit, "stats": cmd_stats, "trace": cmd_trace,
             "bench": cmd_bench, "lint": cmd_lint,
-            "synthesize": cmd_synthesize, "backends": cmd_backends,
+            "synthesize": cmd_synthesize, "precision": cmd_precision,
+            "backends": cmd_backends,
             "serve-metrics": cmd_serve_metrics, "report": cmd_report}
 
 

@@ -31,48 +31,72 @@ program, no matter the schedule.  This package decides that question:
   and diff it against the declared ``LINT_CONTRACT``, reporting
   learned-but-undeclared (soundness blind spot) and
   declared-but-never-witnessed (imprecision) gaps with minimized
-  witness programs.
+  witness programs, plus kwarg-conditional ``when`` clauses learned
+  by re-fuzzing under the descriptors' declared ablation domains;
+* :mod:`repro.lint.precision` — the precision harness (the dual of
+  soundness): classify every static LEAKS verdict over the corpus as
+  confirmed or false positive by differential trial, path-sensitive
+  and sticky analyses side by side.
 
-Surface: ``python -m repro lint <program.s> [--opts ...] [--json]``
-and ``python -m repro synthesize [--opt NAME] [--budget N] [--json]``.
+The taint analysis is *path-aware*: control taint raised at a
+secret-dependent branch is confined to the branch's post-dominator
+region (:mod:`repro.lint.cfg`), with statically-infeasible edges
+pruned by the constant lattice; ``path_sensitive=False`` selects the
+old sticky over-approximation as a measurable baseline.
+
+Surface: ``python -m repro lint <program.s> [--opts ...] [--json]``,
+``python -m repro synthesize [--opt NAME] [--budget N] [--json]``,
+and ``python -m repro precision [--budget N] [--json]``.
 """
 
-from repro.lint.cfg import BasicBlock, build_cfg, reaching_definitions
+from repro.lint.cfg import (
+    BasicBlock, build_cfg, immediate_postdominators,
+    postdominator_sets, reaching_definitions,
+)
 from repro.lint.checker import lint_program, lint_spec, \
     tainted_tap_pairs
 from repro.lint.contracts import (
-    ContractRow, KNOWN_TAPS, LintError, applicable_taps,
-    canonical_tap, contract_rows, contracted_plugin_names,
-    producing_ops, row_pairs, rows_for_names, rows_for_specs,
+    ContractRow, KNOWN_TAPS, LintError, WhenCandidate,
+    applicable_taps, canonical_tap, contract_defaults, contract_rows,
+    contracted_plugin_names, display_value, producing_ops, row_pairs,
+    rows_for_names, rows_for_specs, when_candidates, when_holds,
 )
 from repro.lint.perturb import (
     DEFAULT_PATTERNS, perturb_spec, replicate, secret_regions_of,
     secret_regs_of, secret_variants, xor_blob, xor_regs, xor_write,
 )
+from repro.lint.precision import (
+    PrecisionReport, TrialOutcome, check_precision, example_cases,
+)
 from repro.lint.progen import CaseGenerator, GeneratedCase, \
-    TRIGGER_TEMPLATES
+    TRIGGER_TEMPLATES, gated_case
 from repro.lint.report import Finding, LintReport
 from repro.lint.soundness import (
     SoundnessResult, check_soundness, divergent_plugins,
 )
 from repro.lint.synthesize import (
-    ContractGap, Observation, SynthesisResult, check_synthesis,
-    minimize_witness, render_report, report_json, synthesize_all,
+    ContractGap, LearnedRow, Observation, SynthesisResult,
+    check_synthesis, minimize_witness, render_report, report_json,
+    synthesize_all,
 )
 from repro.lint.taint import TaintAnalysis, analyze_taint
 
 __all__ = [
     "BasicBlock", "CaseGenerator", "ContractGap", "ContractRow",
     "DEFAULT_PATTERNS", "Finding", "GeneratedCase", "KNOWN_TAPS",
-    "LintError", "LintReport", "Observation", "SoundnessResult",
-    "SynthesisResult", "TRIGGER_TEMPLATES", "TaintAnalysis",
-    "analyze_taint", "applicable_taps", "build_cfg", "canonical_tap",
-    "check_soundness", "check_synthesis", "contract_rows",
-    "contracted_plugin_names", "divergent_plugins", "lint_program",
-    "lint_spec", "minimize_witness", "perturb_spec", "producing_ops",
-    "reaching_definitions", "render_report", "replicate",
-    "report_json", "row_pairs", "rows_for_names", "rows_for_specs",
-    "secret_regions_of", "secret_regs_of", "secret_variants",
-    "synthesize_all", "tainted_tap_pairs", "xor_blob", "xor_regs",
-    "xor_write",
+    "LearnedRow", "LintError", "LintReport", "Observation",
+    "PrecisionReport", "SoundnessResult", "SynthesisResult",
+    "TRIGGER_TEMPLATES", "TaintAnalysis", "TrialOutcome",
+    "WhenCandidate", "analyze_taint", "applicable_taps", "build_cfg",
+    "canonical_tap", "check_precision", "check_soundness",
+    "check_synthesis", "contract_defaults", "contract_rows",
+    "contracted_plugin_names", "display_value", "divergent_plugins",
+    "example_cases", "gated_case", "immediate_postdominators",
+    "lint_program", "lint_spec", "minimize_witness", "perturb_spec",
+    "postdominator_sets", "producing_ops", "reaching_definitions",
+    "render_report", "replicate", "report_json", "row_pairs",
+    "rows_for_names", "rows_for_specs", "secret_regions_of",
+    "secret_regs_of", "secret_variants", "synthesize_all",
+    "tainted_tap_pairs", "when_candidates", "when_holds", "xor_blob",
+    "xor_regs", "xor_write",
 ]

@@ -1,22 +1,38 @@
-"""Control-flow graph and reaching definitions over programs.
+"""Control-flow graph, post-dominators and reaching definitions.
 
 The machine is word-indexed at the instruction level (one pc per
 instruction), so the CFG works directly on instruction indices: no
 byte offsets, no delay slots.  ``len(program)`` is the single exit
 node — ``halt``, a fall-off-the-end, and a branch to the end all flow
 there (the assembler already bounds targets to ``0..len``).
+
+Post-dominators are what make the taint analysis *path*-aware: the
+immediate post-dominator of a branch is the join point where its two
+arms reconverge, so control taint raised at a secret-dependent branch
+can be confined to the region between the branch and its ipdom instead
+of poisoning the rest of the program (:mod:`repro.lint.taint`).  The
+computation accepts an optional *feasible* successor map so edges the
+constant lattice proves dead can be pruned — a superset of the feasible
+edges always yields a sound (later-or-equal) join point, which is what
+lets the taint fixpoint iterate pruning and post-dominators together.
 """
 
+from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 
+from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Op, is_branch, reads_rs1, writes_register
 
 #: Pseudo-pc of the "definition" every register has on entry (the
 #: initial register file / :class:`~repro.engine.specs.SimSpec` regs).
 ENTRY_DEF = -1
 
+#: pc → tuple of successor pcs (the exit node ``len(program)`` only
+#: ever appears as a target, never as a key).
+SuccMap = Mapping[int, tuple[int, ...]]
 
-def successors(program, pc):
+
+def successors(program: Sequence[Instruction], pc: int) -> tuple[int, ...]:
     """Static successor pcs of ``program[pc]`` (exit = ``len(program)``)."""
     inst = program[pc]
     op = inst.op
@@ -30,6 +46,11 @@ def successors(program, pc):
     return (pc + 1,)
 
 
+def static_successors(program: Sequence[Instruction]) -> dict[int, tuple[int, ...]]:
+    """The full static successor map — every edge the encoding allows."""
+    return {pc: successors(program, pc) for pc in range(len(program))}
+
+
 @dataclass
 class BasicBlock:
     """Maximal straight-line run ``[start, end)`` of instructions."""
@@ -39,11 +60,11 @@ class BasicBlock:
     succs: tuple = ()
     preds: tuple = field(default_factory=tuple)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(range(self.start, self.end))
 
 
-def build_cfg(program):
+def build_cfg(program: Sequence[Instruction]) -> tuple[list[BasicBlock], dict[int, int]]:
     """Partition ``program`` into basic blocks with edges.
 
     Returns ``(blocks, block_of)``: the block list in program order and
@@ -69,7 +90,8 @@ def build_cfg(program):
             block_of[pc] = index
     block_of[size] = len(blocks) - 1      # the zero-length exit block
     index_of = {block.start: index for index, block in enumerate(blocks)}
-    preds = {index: [] for index in range(len(blocks))}
+    preds: dict[int, list[int]] = {index: []
+                                   for index in range(len(blocks))}
     for index, block in enumerate(blocks):
         if block.start == block.end:        # exit block
             continue
@@ -84,7 +106,96 @@ def build_cfg(program):
     return blocks, block_of
 
 
-def reaching_definitions(program):
+# ----------------------------------------------------------------------
+# post-dominators
+# ----------------------------------------------------------------------
+
+def exit_reaching(size: int, succs: SuccMap) -> frozenset[int]:
+    """Pcs from which the exit node ``size`` is reachable over ``succs``.
+
+    A pc outside this set sits on an unconditional infinite loop (or is
+    cut off by pruned edges); post-dominance is undefined for it, and a
+    branch with such a pc on one arm must keep sticky control taint —
+    whether the *other* arm ever executes again is itself the secret.
+    """
+    preds: dict[int, list[int]] = {node: [] for node in range(size + 1)}
+    for pc in range(size):
+        for succ in succs.get(pc, ()):
+            preds[succ].append(pc)
+    reached = {size}
+    frontier = [size]
+    while frontier:
+        node = frontier.pop()
+        for pred in preds[node]:
+            if pred not in reached:
+                reached.add(pred)
+                frontier.append(pred)
+    return frozenset(reached)
+
+
+def postdominator_sets(program: Sequence[Instruction],
+                       succs: SuccMap | None = None,
+                       ) -> dict[int, frozenset[int]]:
+    """Per-pc post-dominator sets over the instruction-level CFG.
+
+    ``pdom[pc]`` contains every node (including ``pc`` itself) that
+    lies on *all* paths from ``pc`` to the exit node ``len(program)``.
+    Pass ``succs`` to compute over a pruned (feasible-edge) graph; the
+    default is the full static CFG.  A pc that cannot reach the exit
+    gets the singleton ``{pc}`` — post-dominance is undefined there,
+    and the singleton keeps any branch into such a region sticky
+    (its arms never produce a common post-dominator).
+    """
+    size = len(program)
+    if succs is None:
+        succs = static_successors(program)
+    can_exit = exit_reaching(size, succs)
+    universe = frozenset(range(size + 1))
+    pdom: dict[int, frozenset[int]] = {size: frozenset((size,))}
+    for pc in range(size):
+        pdom[pc] = universe if pc in can_exit else frozenset((pc,))
+    changed = True
+    while changed:
+        changed = False
+        for pc in reversed(range(size)):
+            if pc not in can_exit:
+                continue
+            meet: frozenset[int] | None = None
+            for succ in succs.get(pc, ()):
+                meet = pdom[succ] if meet is None else meet & pdom[succ]
+            new = frozenset((pc,)) if meet is None else meet | {pc}
+            if new != pdom[pc]:
+                pdom[pc] = new
+                changed = True
+    return pdom
+
+
+def immediate_postdominators(program: Sequence[Instruction],
+                             succs: SuccMap | None = None,
+                             ) -> dict[int, int | None]:
+    """Per-pc immediate post-dominator over the instruction CFG.
+
+    ``ipdom[pc]`` is the strict post-dominator of ``pc`` closest to it
+    — the join point where all paths out of ``pc`` reconverge — or
+    ``None`` when ``pc`` cannot reach the exit (no join exists; control
+    taint raised there must stay sticky).  The strict post-dominators
+    of a node form a chain towards the exit, so the immediate one is
+    the chain element with the largest post-dominator set.
+    """
+    size = len(program)
+    pdom = postdominator_sets(program, succs)
+    ipdom: dict[int, int | None] = {}
+    for pc in range(size):
+        strict = pdom[pc] - {pc}
+        if not strict:
+            ipdom[pc] = None
+            continue
+        ipdom[pc] = max(strict, key=lambda node: (len(pdom[node]), -node))
+    ipdom[size] = None
+    return ipdom
+
+
+def reaching_definitions(program: Sequence[Instruction]) -> dict[int, dict]:
     """Per-pc reaching definitions for every architectural register.
 
     Returns ``reach`` with ``reach[pc][reg]`` = frozenset of defining
@@ -95,13 +206,13 @@ def reaching_definitions(program):
     """
     size = len(program)
     entry = {reg: frozenset((ENTRY_DEF,)) for reg in range(32)}
-    reach = {pc: None for pc in range(size + 1)}
+    reach: dict[int, dict | None] = {pc: None for pc in range(size + 1)}
     reach[0] = dict(entry)
     worklist = [0]
     while worklist:
         pc = worklist.pop()
         state = reach[pc]
-        if pc >= size:
+        if pc >= size or state is None:
             continue
         inst = program[pc]
         out = state
@@ -122,13 +233,16 @@ def reaching_definitions(program):
                     changed = True
             if changed:
                 worklist.append(succ)
+    filled: dict[int, dict] = {}
     for pc in range(size + 1):          # unreachable code: entry defs
-        if reach[pc] is None:
-            reach[pc] = dict(entry)
-    return reach
+        state = reach[pc]
+        filled[pc] = dict(entry) if state is None else state
+    return filled
 
 
-def def_chain(program, reach, pc, reg, limit=8):
+def def_chain(program: Sequence[Instruction],
+              reach: Mapping[int, dict], pc: int,
+              reg: int, limit: int = 8) -> tuple[int, ...]:
     """Witness helper: one def-use chain ending at ``pc``'s use of ``reg``.
 
     Walks reaching definitions backwards (picking the highest defining

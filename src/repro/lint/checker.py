@@ -10,17 +10,21 @@ spec's :class:`~repro.engine.specs.TaintSpec`, and initial register
 constants come from the spec's ``regs``.
 """
 
+from collections.abc import Iterable, Mapping
+
 from repro.engine.specs import SimSpec, TaintSpec
+from repro.isa.assembler import Program
+from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Op, reads_rs1, reads_rs2, writes_register
 from repro.lint.cfg import def_chain, reaching_definitions
-from repro.lint.contracts import LintError, applicable_taps, \
-    rows_for_names, rows_for_specs
+from repro.lint.contracts import ContractRow, LintError, \
+    applicable_taps, rows_for_names, rows_for_specs
 from repro.lint.report import Finding, LintReport
-from repro.lint.taint import analyze_taint
+from repro.lint.taint import Origin, State, TaintAnalysis, analyze_taint
 from repro.isa.text import render_instruction
 
 
-def _frames_to_text(origin):
+def _frames_to_text(origin: Origin) -> tuple[str, ...]:
     frames = []
     for frame in origin:
         if isinstance(frame, tuple) and len(frame) == 2:
@@ -32,7 +36,8 @@ def _frames_to_text(origin):
     return tuple(frames)
 
 
-def _tap_taint(tap, inst, analysis, pc, state):
+def _tap_taint(tap: str, inst: Instruction, analysis: TaintAnalysis,
+               pc: int, state: State) -> tuple[bool, Origin]:
     """Resolve one contract tap to ``(tainted, origin)`` at ``pc``."""
     op = inst.op
     if tap == "rs1":
@@ -74,7 +79,11 @@ def _tap_taint(tap, inst, analysis, pc, state):
     raise LintError(f"unknown tap {tap!r}")
 
 
-def tainted_tap_pairs(program, taint=None, reg_consts=None):
+def tainted_tap_pairs(program: Program,
+                      taint: TaintSpec | None = None,
+                      reg_consts: Mapping[int, int] | None = None,
+                      path_sensitive: bool = True,
+                      ) -> frozenset[tuple[str, str]]:
     """The program's static leakage signature: every canonical
     (op-name, tap) pair through which a secret can reach an MLD.
 
@@ -89,14 +98,17 @@ def tainted_tap_pairs(program, taint=None, reg_consts=None):
     for any compiled row ``r``: the checker flags ``r`` on this
     program iff ``signature & row_pairs(r)`` is non-empty (given the
     program writes no produced results to x0, which the case generator
-    guarantees).
+    guarantees) — provided both run with the same ``path_sensitive``
+    setting, which is why the synthesizer and the checker share the
+    default.
     """
     taint = taint if taint is not None else TaintSpec()
     secret = tuple(program.secret_regions) + tuple(taint.secret)
     public = tuple(program.public_regions) + tuple(taint.public)
     analysis = analyze_taint(
         program, secret_regions=secret, public_regions=public,
-        secret_regs=taint.secret_regs, reg_consts=reg_consts)
+        secret_regs=taint.secret_regs, reg_consts=reg_consts,
+        path_sensitive=path_sensitive)
     pairs = set()
     for pc, inst in enumerate(program):
         state = analysis.state(pc)
@@ -112,8 +124,13 @@ def tainted_tap_pairs(program, taint=None, reg_consts=None):
     return frozenset(pairs)
 
 
-def lint_program(program, contracts=(), taint=None, opts=None,
-                 program_name="", reg_consts=None):
+def lint_program(program: Program,
+                 contracts: tuple[ContractRow, ...] = (),
+                 taint: TaintSpec | None = None,
+                 opts: Iterable[str] | None = None,
+                 program_name: str = "",
+                 reg_consts: Mapping[int, int] | None = None,
+                 path_sensitive: bool = True) -> LintReport:
     """Check ``program`` against contract rows; return a report.
 
     ``contracts`` is a tuple of compiled
@@ -132,7 +149,8 @@ def lint_program(program, contracts=(), taint=None, opts=None,
     public = tuple(program.public_regions) + tuple(taint.public)
     analysis = analyze_taint(
         program, secret_regions=secret, public_regions=public,
-        secret_regs=taint.secret_regs, reg_consts=reg_consts)
+        secret_regs=taint.secret_regs, reg_consts=reg_consts,
+        path_sensitive=path_sensitive)
     reach = reaching_definitions(program)
     labels_at = {}
     for name, pc in sorted(program.labels.items()):
@@ -196,7 +214,9 @@ def lint_program(program, contracts=(), taint=None, opts=None,
     return report
 
 
-def lint_spec(spec, opts=None, program_name=""):
+def lint_spec(spec: SimSpec, opts: Iterable[str] | None = None,
+              program_name: str = "",
+              path_sensitive: bool = True) -> LintReport:
     """Check a :class:`SimSpec` — the static mirror of running it.
 
     Contracts come from the spec's enabled plug-ins (or ``opts``
@@ -217,4 +237,4 @@ def lint_spec(spec, opts=None, program_name=""):
         spec.program, contracts=contracts,
         taint=spec.taint if spec.taint is not None else TaintSpec(),
         program_name=program_name or spec.label,
-        reg_consts=dict(spec.regs))
+        reg_consts=dict(spec.regs), path_sensitive=path_sensitive)

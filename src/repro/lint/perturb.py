@@ -26,6 +26,13 @@ Everything here is pure data transformation: no RNG, no wall clock,
 deterministic for a fixed spec + pattern tuple.
 """
 
+from collections.abc import Iterable, Sequence
+
+from repro.engine.specs import SimSpec
+
+#: One declared secret byte range, half-open: ``(start, end)``.
+Region = tuple[int, int]
+
 #: Byte patterns XORed over the secret bytes to build variants.
 #: 0xA5/0x5A flip mixed bit patterns, 0xFF flips everything; together
 #: with the unmodified baseline they exercise equality MLDs (silent
@@ -38,7 +45,7 @@ REG_WIDTH = 8
 _REG_MASK = (1 << (8 * REG_WIDTH)) - 1
 
 
-def replicate(pattern, width=REG_WIDTH):
+def replicate(pattern: int, width: int = REG_WIDTH) -> int:
     """The pattern byte replicated across ``width`` bytes.
 
     ``replicate(0xA5)`` is the full-register XOR mask; a zero pattern
@@ -51,7 +58,9 @@ def replicate(pattern, width=REG_WIDTH):
     return mask
 
 
-def xor_write(entry, regions, pattern):
+def xor_write(entry: tuple[int, int, int],
+              regions: Iterable[Region],
+              pattern: int) -> tuple[int, int, int]:
     """XOR ``pattern`` into the bytes of one ``(addr, value, width)``
     memory write that fall inside ``regions``."""
     addr, value, width = entry
@@ -63,7 +72,8 @@ def xor_write(entry, regions, pattern):
     return (addr, flipped, width)
 
 
-def xor_blob(entry, regions, pattern):
+def xor_blob(entry: tuple[int, bytes], regions: Iterable[Region],
+             pattern: int) -> tuple[int, bytes]:
     """XOR ``pattern`` into the bytes of one ``(addr, bytes)`` blob
     that fall inside ``regions``."""
     addr, data = entry
@@ -75,7 +85,9 @@ def xor_blob(entry, regions, pattern):
     return (addr, bytes(blob))
 
 
-def xor_regs(regs, secret_regs, pattern):
+def xor_regs(regs: Iterable[tuple[int, int]],
+             secret_regs: Iterable[int],
+             pattern: int) -> tuple[tuple[int, int], ...]:
     """XOR the replicated ``pattern`` into every ``(index, value)``
     register preload whose index is in ``secret_regs``."""
     if not secret_regs:
@@ -87,7 +99,7 @@ def xor_regs(regs, secret_regs, pattern):
                  for index, value in regs)
 
 
-def secret_regions_of(spec):
+def secret_regions_of(spec: SimSpec) -> tuple[Region, ...]:
     """The spec's effective secret byte ranges (taint + directives)."""
     regions = list(spec.program.secret_regions)
     if spec.taint is not None:
@@ -95,14 +107,17 @@ def secret_regions_of(spec):
     return tuple(sorted(set(regions)))
 
 
-def secret_regs_of(spec):
+def secret_regs_of(spec: SimSpec) -> tuple[int, ...]:
     """The spec's secret architectural registers (taint metadata)."""
     if spec.taint is None:
         return ()
     return tuple(sorted(set(spec.taint.secret_regs)))
 
 
-def perturb_spec(spec, pattern, regions=None, secret_regs=None):
+def perturb_spec(spec: SimSpec, pattern: int,
+                 regions: tuple[Region, ...] | None = None,
+                 secret_regs: tuple[int, ...] | None = None,
+                 ) -> SimSpec | None:
     """One secret-perturbed variant of ``spec``, or ``None``.
 
     XORs ``pattern`` over the secret bytes of the initial memory image
@@ -127,7 +142,9 @@ def perturb_spec(spec, pattern, regions=None, secret_regs=None):
         label=f"{spec.label or 'spec'}/secret^{pattern:#04x}")
 
 
-def secret_variants(spec, patterns=DEFAULT_PATTERNS):
+def secret_variants(spec: SimSpec,
+                    patterns: Sequence[int] = DEFAULT_PATTERNS,
+                    ) -> list[SimSpec]:
     """Baseline + secret-perturbed variants of ``spec``.
 
     Returns ``[spec, variant1, ...]``; with no secret bytes declared

@@ -34,7 +34,9 @@ mirrors that only under this invariant).
 """
 
 import random
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from typing import Any
 
 from repro.engine.specs import HierarchySpec, PluginSpec, SimSpec, \
     TaintSpec
@@ -70,7 +72,8 @@ class GeneratedCase:
     max_cycles: int = TRIAL_MAX_CYCLES
     note: str = ""
 
-    def spec(self, plugins=(), label="", seed=0):
+    def spec(self, plugins: Sequence[PluginSpec] = (),
+             label: str = "", seed: int = 0) -> SimSpec:
         """A runnable :class:`SimSpec` for this case.
 
         ``plugins`` is a tuple of :class:`PluginSpec`; the empty tuple
@@ -86,7 +89,8 @@ class GeneratedCase:
             max_cycles=self.max_cycles, seed=seed,
             label=label or self.name)
 
-    def secret_operands(self):
+    def secret_operands(self) -> tuple[tuple[tuple[int, int], ...],
+                                       tuple[int, ...]]:
         """Declared secret byte ranges + secret registers (for the
         generator's own invariant: every case declares at least one)."""
         regions = tuple(self.program.secret_regions)
@@ -97,8 +101,10 @@ class GeneratedCase:
         return regions, regs
 
 
-def _secret_reg_case(name, build, *, secret_reg, baseline, regs=(),
-                     note=""):
+def _secret_reg_case(name: str, build: Callable[[], Program], *,
+                     secret_reg: int, baseline: int,
+                     regs: Sequence[tuple[int, int]] = (),
+                     note: str = "") -> GeneratedCase:
     """A case whose secret lives in one preloaded register."""
     program = build()
     return GeneratedCase(
@@ -117,7 +123,7 @@ def _secret_reg_case(name, build, *, secret_reg, baseline, regs=(),
 # (no-plug-in) run must be secret-independent, so addresses touched by
 # demand accesses never depend on the secret value.
 
-def _t_silent_store_value(rng):
+def _t_silent_store_value(rng: random.Random) -> GeneratedCase:
     """Silent stores, ``store_value`` tap: store the secret over an
     equal public word — silent in the baseline, not in the variants."""
     value = rng.choice(_PUBLIC_CONSTS)
@@ -134,7 +140,7 @@ def _t_silent_store_value(rng):
         note="baseline secret equals the stored-over word")
 
 
-def _t_silent_store_old_value(rng):
+def _t_silent_store_old_value(rng: random.Random) -> GeneratedCase:
     """Silent stores, ``old_memory_value`` tap: store a public word
     over the secret — silent iff the secret already equals it."""
     value = rng.choice(_PUBLIC_CONSTS)
@@ -151,7 +157,7 @@ def _t_silent_store_old_value(rng):
         note="baseline secret equals the incoming store value")
 
 
-def _reuse_loop(op, secret_rs, const):
+def _reuse_loop(op: Op, secret_rs: str, const: int) -> Program:
     """Two trips over one static mul/div/rem pc: the first inserts
     ``(const, const)`` into the reuse table, the second looks up with
     the secret in ``secret_rs`` — a hit iff secret == const."""
@@ -171,8 +177,9 @@ def _reuse_loop(op, secret_rs, const):
     return asm.assemble()
 
 
-def _t_reuse(op, secret_rs):
-    def template(rng):
+def _t_reuse(op: Op, secret_rs: str,
+             ) -> Callable[[random.Random], GeneratedCase]:
+    def template(rng: random.Random) -> GeneratedCase:
         const = rng.choice(_PUBLIC_CONSTS)
         return _secret_reg_case(
             f"reuse/{op.value}-{secret_rs}",
@@ -182,8 +189,10 @@ def _t_reuse(op, secret_rs):
     return template
 
 
-def _t_compsimp_zero_mul(secret_rs):
-    def template(rng):
+def _t_compsimp_zero_mul(secret_rs: str,
+                         ) -> Callable[[random.Random],
+                                       GeneratedCase]:
+    def template(rng: random.Random) -> GeneratedCase:
         const = rng.choice(_PUBLIC_CONSTS)
         asm = Assembler()
         asm.li(5, const)
@@ -199,8 +208,9 @@ def _t_compsimp_zero_mul(secret_rs):
     return template
 
 
-def _t_compsimp_pow2(op):
-    def template(rng):
+def _t_compsimp_pow2(op: Op) -> Callable[[random.Random],
+                                         GeneratedCase]:
+    def template(rng: random.Random) -> GeneratedCase:
         dividend = rng.choice(_PUBLIC_CONSTS)
         asm = Assembler()
         asm.li(5, dividend)
@@ -214,7 +224,7 @@ def _t_compsimp_pow2(op):
     return template
 
 
-def _t_value_prediction(rng):
+def _t_value_prediction(rng: random.Random) -> GeneratedCase:
     """Train a load pc on a constant, then read the secret tail entry
     at the same pc — predicted correctly iff secret == the constant.
 
@@ -247,7 +257,7 @@ def _t_value_prediction(rng):
         note="baseline tail entry matches the trained prediction")
 
 
-def _t_rfc_duplicate(rng):
+def _t_rfc_duplicate(rng: random.Random) -> GeneratedCase:
     """Register-file compression: produce a public 0/1, then produce
     the secret — compressible (zero-one *and* duplicate-window) iff
     the baseline secret equals it."""
@@ -263,14 +273,14 @@ def _t_rfc_duplicate(rng):
         note="baseline secret result is a compressible duplicate")
 
 
-def _t_packing(op):
+def _t_packing(op: Op) -> Callable[[random.Random], GeneratedCase]:
     """Operand packing fires only when the ALU ports are oversubscribed
     — the overflow op issues anyway iff it can share a slot with an
     already-issued narrow pair.  A burst of simultaneously-ready adds
     (all waiting on one LI) exhausts any port width; whether the
     secret-operand op packs decides both the pack stats and the issue
     schedule."""
-    def template(rng):
+    def template(rng: random.Random) -> GeneratedCase:
         narrow = rng.choice(_PUBLIC_CONSTS)
         asm = Assembler()
         asm.li(5, narrow)
@@ -285,7 +295,7 @@ def _t_packing(op):
     return template
 
 
-def _t_early_termination(rng):
+def _t_early_termination(rng: random.Random) -> GeneratedCase:
     """Early-terminating multiplier: rs2 significance decides latency
     — one significant byte in the baseline, eight in the variants."""
     const = rng.choice(_PUBLIC_CONSTS)
@@ -312,7 +322,7 @@ _DMP_W = 0xA000
 _DMP_PERM = (3, 1, 9, 0, 5, 2, 8, 6, 4, 7)
 
 
-def _t_dmp_pointer_chase(rng):
+def _t_dmp_pointer_chase(rng: random.Random) -> GeneratedCase:
     """Indirect memory prefetcher: walk ``*(*Z[i])`` far enough to
     train the stride and both links, stop short of the secret pointer
     slot, then time a demand probe of the *baseline* secret's target —
@@ -380,7 +390,7 @@ _GENERIC_ALU = (Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SLL,
                 Op.SRL, Op.MUL, Op.ADDI, Op.XORI, Op.ANDI)
 
 
-def random_case(rng, index=0):
+def random_case(rng: random.Random, index: int = 0) -> GeneratedCase:
     """A generic straight-line program over a secret word and public
     scratch: random ALU traffic (never to x0, never dividing), loads
     and stores at *constant* addresses so the control machine stays
@@ -421,6 +431,43 @@ def random_case(rng, index=0):
         note="unbiased straight-line traffic over one secret word")
 
 
+def gated_case(rng: random.Random, index: int = 0) -> GeneratedCase:
+    """Secret-gated public tail: the precision harness's key shape.
+
+    A branch on the (tainted) secret whose arms reconverge at the next
+    label — the branch compares the secret register against *itself*,
+    so it is always taken and the two secret variants execute
+    identically — followed by an all-public tail touching every
+    trigger shape (load, silent store, mul, div, add).  The sticky
+    analysis poisons the whole tail through the implicit-flow rule;
+    the post-dominator analysis clears control taint at the join, so
+    only the secret load itself can be flagged.  Dynamically nothing
+    value-equality- or width-triggered in the tail can diverge, which
+    makes every tail flag a measurable false positive.
+    """
+    const = rng.choice(_PUBLIC_CONSTS)
+    asm = Assembler()
+    asm.secret(SECRET_ADDR, SECRET_ADDR + 8)
+    asm.load(1, 0, SECRET_ADDR)          # x1 <- secret
+    asm.beq(1, 1, f"join{index}")        # tainted branch, always taken
+    asm.addi(9, 0, 1)                    # influence region (dead)
+    asm.label(f"join{index}")
+    asm.li(5, const)
+    asm.load(2, 0, SCRATCH_ADDR)         # public load
+    asm.store(5, 0, SCRATCH_ADDR + 8)    # silent in every variant
+    asm.mul(3, 5, 5)
+    asm._rr(Op.DIV, 4, 5, 5)
+    asm._rr(Op.ADD, 7, 5, 5)
+    asm.halt()
+    return GeneratedCase(
+        name=f"gated/public-tail-{index}",
+        program=asm.assemble(),
+        mem_writes=((SECRET_ADDR, rng.getrandbits(32), 8),
+                    (SCRATCH_ADDR, const, 8),
+                    (SCRATCH_ADDR + 8, const, 8)),
+        note="tainted branch reconverges before an all-public tail")
+
+
 class CaseGenerator:
     """Deterministic case source: seed + plug-in name → cases.
 
@@ -430,20 +477,21 @@ class CaseGenerator:
     instead of repeating.
     """
 
-    def __init__(self, seed=0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = seed
 
-    def rng_for(self, plugin):
+    def rng_for(self, plugin: str) -> random.Random:
         return random.Random(f"progen/{self.seed}/{plugin}")
 
-    def cases_for(self, plugin, budget):
+    def cases_for(self, plugin: str,
+                  budget: int) -> tuple[GeneratedCase, ...]:
         if plugin not in TRIGGER_TEMPLATES:
             raise KeyError(f"no trigger templates for {plugin!r}; "
                            f"known: {sorted(TRIGGER_TEMPLATES)}")
         templates = TRIGGER_TEMPLATES[plugin]
         rng = self.rng_for(plugin)
         period = len(templates) + 1     # one generic case per pass
-        cases = []
+        cases: list[GeneratedCase] = []
         for cursor in range(budget):
             slot = cursor % period
             if slot == len(templates):
@@ -454,7 +502,7 @@ class CaseGenerator:
         return tuple(cases)
 
 
-def _renamed(case, name):
+def _renamed(case: GeneratedCase, name: str) -> GeneratedCase:
     return GeneratedCase(
         name=name, program=case.program, mem_writes=case.mem_writes,
         mem_blobs=case.mem_blobs, regs=case.regs, taint=case.taint,
@@ -462,7 +510,7 @@ def _renamed(case, name):
         note=case.note)
 
 
-def plugin_spec_for(plugin):
+def plugin_spec_for(plugin: str) -> PluginSpec:
     """Default-constructed :class:`PluginSpec` for a registry name."""
     return PluginSpec.of(plugin)
 
@@ -473,18 +521,18 @@ def plugin_spec_for(plugin):
 # Imported lazily: the synthesize CLI runs in runtime-only
 # environments (CI static-checks) where hypothesis is absent.
 
-def _st():
+def _st() -> Any:
     from hypothesis import strategies as st
     return st
 
 
-def regions(max_regions=3):
+def regions(max_regions: int = 3) -> Any:
     """Strategy: up to ``max_regions`` random byte ranges."""
     st = _st()
 
     @st.composite
-    def _regions(draw):
-        result = []
+    def _regions(draw: Any) -> tuple[tuple[int, int], ...]:
+        result: list[tuple[int, int]] = []
         for _ in range(draw(st.integers(0, max_regions))):
             start = draw(st.integers(0, 1 << 20))
             result.append((start, start + draw(st.integers(1, 64))))
@@ -493,7 +541,7 @@ def regions(max_regions=3):
     return _regions()
 
 
-def programs(with_regions=False):
+def programs(with_regions: bool = False) -> Any:
     """Strategy: random valid programs (any op, resolved branch
     targets, optional ``.secret``/``.public`` directives)."""
     st = _st()
@@ -504,7 +552,7 @@ def programs(with_regions=False):
     imms = st.integers(-(1 << 32), (1 << 32) - 1)
 
     @st.composite
-    def _programs(draw):
+    def _programs(draw: Any) -> Program:
         length = draw(st.integers(min_value=1, max_value=24))
         instructions = []
         for pc in range(length):
@@ -527,7 +575,7 @@ def programs(with_regions=False):
     return _programs()
 
 
-def canonical_programs():
+def canonical_programs() -> Any:
     """Strategy: programs the text form can express — fields an op
     does not use sit at their defaults (the wire form keeps every
     field, the source form only the meaningful ones)."""
@@ -538,7 +586,7 @@ def canonical_programs():
     )
 
     @st.composite
-    def _canonical(draw):
+    def _canonical(draw: Any) -> Program:
         program = draw(programs(with_regions=True))
         canonical = []
         for inst in program.instructions:
@@ -560,14 +608,14 @@ def canonical_programs():
     return _canonical()
 
 
-def generated_cases():
+def generated_cases() -> Any:
     """Strategy: every case the seeded generator can emit — drawn as
     (plug-in, seed, budget slot), so property tests cover exactly the
     distribution the synthesizer fuzzes with."""
     st = _st()
 
     @st.composite
-    def _cases(draw):
+    def _cases(draw: Any) -> GeneratedCase:
         plugin = draw(st.sampled_from(sorted(TRIGGER_TEMPLATES)))
         seed = draw(st.integers(0, 1 << 16))
         budget = draw(st.integers(1, 8))

@@ -2,6 +2,7 @@
 
 import json
 from dataclasses import dataclass, field
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -18,10 +19,10 @@ class Finding:
     detail: str = ""
 
     @property
-    def verdict(self):
+    def verdict(self) -> str:
         return f"LEAKS({self.plugin}, {self.mld})"
 
-    def to_json_dict(self):
+    def to_json_dict(self) -> dict[str, Any]:
         return {
             "pc": self.pc, "op": self.op, "text": self.text,
             "plugin": self.plugin, "mld": self.mld,
@@ -43,17 +44,17 @@ class LintReport:
     unreachable: tuple = ()     # statically dead pcs (never flagged)
 
     @property
-    def ok(self):
+    def ok(self) -> bool:
         return not self.findings
 
-    def flagged_pcs(self, plugin=None):
+    def flagged_pcs(self, plugin: str | None = None) -> list[int]:
         return sorted({finding.pc for finding in self.findings
                        if plugin is None or finding.plugin == plugin})
 
-    def leaking_plugins(self):
+    def leaking_plugins(self) -> list[str]:
         return sorted({finding.plugin for finding in self.findings})
 
-    def verdict(self, pc):
+    def verdict(self, pc: int) -> str:
         """The per-instruction verdict string for ``pc``."""
         hits = [finding for finding in self.findings
                 if finding.pc == pc]
@@ -61,7 +62,7 @@ class LintReport:
             return "SAFE"
         return "; ".join(finding.verdict for finding in hits)
 
-    def to_json_dict(self):
+    def to_json_dict(self) -> dict[str, Any]:
         return {
             "program": self.program_name,
             "contracts": list(self.contracts),
@@ -78,10 +79,10 @@ class LintReport:
             "unreachable": list(self.unreachable),
         }
 
-    def to_json(self, **kwargs):
+    def to_json(self, **kwargs: Any) -> str:
         return json.dumps(self.to_json_dict(), sort_keys=True, **kwargs)
 
-    def render(self):
+    def render(self) -> str:
         """Terminal listing: one verdict per static instruction."""
         lines = [f"lint: {self.program_name or '<program>'}  "
                  f"[contracts: {', '.join(self.contracts) or 'none'}]"]
@@ -89,7 +90,7 @@ class LintReport:
             lines.append(f"  .secret {start:#x}..{end:#x}")
         for start, end in self.public_regions:
             lines.append(f"  .public {start:#x}..{end:#x}")
-        by_pc = {}
+        by_pc: dict[int, list[Finding]] = {}
         for finding in self.findings:
             by_pc.setdefault(finding.pc, []).append(finding)
         for pc, text in enumerate(self.instructions):

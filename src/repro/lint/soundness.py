@@ -23,9 +23,14 @@ checker being *allowed* to over-approximate (flagging is permitted;
 missing is not).
 """
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro import telemetry
+from repro.engine.cache import ResultCache
+from repro.engine.session import RunResult
+from repro.engine.specs import SimSpec
+from repro.lint.report import LintReport
 from repro.engine.runner import run_batch
 from repro.lint.checker import lint_spec
 from repro.lint.perturb import (
@@ -38,7 +43,8 @@ __all__ = [
 ]
 
 
-def divergent_plugins(result_a, result_b, enabled=()):
+def divergent_plugins(result_a: RunResult, result_b: RunResult,
+                      enabled: Iterable[str] = ()) -> set[str]:
     """Plug-in names whose dynamic behaviour differs between two runs.
 
     Per-plug-in observation stats are the MLD outcome counters the
@@ -71,17 +77,21 @@ class SoundnessResult:
     details: list = field(default_factory=list)
 
     @property
-    def ok(self):
+    def ok(self) -> bool:
         return not self.unflagged
 
     @property
-    def vacuous(self):
+    def vacuous(self) -> bool:
         """True when no variant diverged (nothing was demonstrable)."""
         return not self.divergent
 
 
-def check_soundness(spec, patterns=DEFAULT_PATTERNS, workers=1,
-                    cache=None, report=None, backend=None):
+def check_soundness(spec: SimSpec,
+                    patterns: Sequence[int] = DEFAULT_PATTERNS,
+                    workers: int = 1,
+                    cache: ResultCache | None = None,
+                    report: LintReport | None = None,
+                    backend: object = None) -> SoundnessResult:
     """Differential no-false-negatives check for one spec.
 
     Runs the secret-pair variants through the engine, diffs every
@@ -110,8 +120,8 @@ def check_soundness(spec, patterns=DEFAULT_PATTERNS, workers=1,
                             backend=backend)
     baseline, rest = results[0], results[1:]
     enabled = tuple(plugin.name for plugin in spec.plugins)
-    divergent = set()
-    details = []
+    divergent: set[str] = set()
+    details: list[tuple[str, list[str]]] = []
     for variant_spec, result in zip(variants[1:], rest):
         delta = divergent_plugins(baseline, result, enabled=enabled)
         if delta:

@@ -26,13 +26,34 @@ Generalization
     the union of signatures over divergent observations, intersected
     against the declared pair set.
 
+``when``-clause learning
+    Divergent, explained observations are then re-fuzzed under every
+    ablated construction the descriptor's ``"domains"`` declare
+    (:func:`repro.lint.contracts.when_candidates`): a kwarg condition
+    whose ablation *kills* the divergence is learned as a minimal
+    ``when`` clause for the signature.  A divergence that *persists*
+    under an ablation must still be covered by a declared row that is
+    selected under the ablated construction — otherwise the declared
+    contract is conditional on something reality is not, which is a
+    soundness gap carrying a runnable minimized witness under the
+    ablated construction.
+
 Diff
     * **learned-but-undeclared** — a divergent observation whose
       signature shares *no* pair with the declared contract: the
       checker could never have flagged this program, so the soundness
       harness has a blind spot.  Each such gap carries a
       delta-minimized witness program (+ a runnable spec) that still
-      reproduces the divergence with a clean control.
+      reproduces the divergence with a clean control.  Declared rows
+      are filtered by their ``when`` conditions against the *active*
+      construction first, so a declaration weakened to a condition
+      that does not hold surfaces here, with a witness.
+    * **when-undeclared** — the persists-under-ablation case above:
+      fails the run like an undeclared pair.
+    * **when-loose** — a condition was learned necessary, but the
+      covering declared row fires unconditionally: not unsound, but
+      the lint layer over-flags constructions that cannot leak.
+      Advisory, like unwitnessed rows.
     * **declared-but-never-witnessed** — a declared row none of whose
       pairs intersects any divergent observation at this budget: not
       unsound, but unexercised (the lint layer may over-flag).
@@ -46,33 +67,40 @@ results — hence learned contracts and witnesses — are bitwise
 identical across backends.
 """
 
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass
 
 from repro import telemetry
 from repro.engine.runner import run_batch
-from repro.engine.specs import PluginSpec
+from repro.engine.specs import PluginSpec, SimSpec
 from repro.isa.assembler import Program
 from repro.isa.opcodes import Op
 from repro.isa.text import render_source
 from repro.lint.checker import tainted_tap_pairs
-from repro.lint.contracts import contract_rows, \
-    contracted_plugin_names, row_pairs
+from repro.lint.contracts import ContractRow, LintError, WhenCandidate, \
+    contract_defaults, contract_rows, contracted_plugin_names, \
+    display_value, row_pairs, when_candidates, when_holds
 from repro.lint.perturb import DEFAULT_PATTERNS, secret_variants
 from repro.lint.progen import CaseGenerator, GeneratedCase
 from repro.lint.soundness import divergent_plugins
+from repro.pipeline.cpu import SimulationError
 
 #: Cases generated per plug-in when no budget is given — enough for
 #: every trigger template to appear at least once plus generic fuzz.
 DEFAULT_BUDGET = 10
 
+#: A batch runner: specs in, results in the same order out.
+Runner = Callable[[Sequence[SimSpec]], Sequence]
 
-def _control_diverged(baseline, result):
+
+def _control_diverged(baseline: object, result: object) -> bool:
     """Secret-visible divergence of the *plug-in-free* machine."""
     return baseline.cycles != result.cycles \
         or baseline.observations != result.observations
 
 
-def _plugin_diverged(baseline, results, plugin):
+def _plugin_diverged(baseline: object, results: Iterable,
+                     plugin: str) -> bool:
     """Whether any variant moved the plug-in's MLD observably."""
     for result in results:
         if plugin in divergent_plugins(baseline, result,
@@ -92,7 +120,7 @@ class Observation:
     signature: tuple            # sorted (op, tap) pairs
     note: str = ""
 
-    def to_json_dict(self):
+    def to_json_dict(self) -> dict:
         return {"case": self.case, "divergent": self.divergent,
                 "baseline_divergent": self.baseline_divergent,
                 "explained": self.explained,
@@ -104,20 +132,43 @@ class Observation:
 class ContractGap:
     """One learned-vs-declared discrepancy."""
 
-    kind: str                   # "undeclared" | "unwitnessed"
-    plugin: str
+    kind: str       # "undeclared" | "unwitnessed" | "when_undeclared"
+    plugin: str     # | "when_loose"
     pairs: tuple                # sorted (op, tap) pairs
     case: str = ""              # originating case (undeclared gaps)
     detail: str = ""
     witness_source: str = ""    # minimized witness program (.s text)
     witness_spec: str = ""      # runnable SimSpec JSON (baseline)
 
-    def to_json_dict(self):
+    def to_json_dict(self) -> dict:
         return {"kind": self.kind, "plugin": self.plugin,
                 "pairs": [list(pair) for pair in self.pairs],
                 "case": self.case, "detail": self.detail,
                 "witness_source": self.witness_source,
                 "witness_spec": self.witness_spec}
+
+
+@dataclass(frozen=True)
+class LearnedRow:
+    """A signature plus the kwarg conditions learned necessary for it.
+
+    The dynamic dual of a declared conditional row: ``pairs`` leak
+    only while every ``when`` condition holds of the construction —
+    each was verified by an ablation run where dropping exactly that
+    condition's support killed the divergence.
+    """
+
+    plugin: str
+    pairs: tuple                # sorted (op, tap) pairs (∩ declared)
+    when: tuple                 # sorted (kwarg, value) conditions
+    cases: tuple = ()           # contributing case names
+
+    def to_json_dict(self) -> dict:
+        return {"plugin": self.plugin,
+                "pairs": [list(pair) for pair in self.pairs],
+                "when": [[kwarg, display_value(value)]
+                         for kwarg, value in self.when],
+                "cases": list(self.cases)}
 
 
 @dataclass
@@ -134,20 +185,25 @@ class SynthesisResult:
     unwitnessed: tuple = ()     # ContractGap (precision gaps)
     observations: tuple = ()
     discarded: int = 0          # control-divergent cases dropped
+    learned_rows: tuple = ()    # LearnedRow (kwarg-conditional)
+    when_gaps: tuple = ()       # ContractGap kind="when_undeclared"
+    when_loose: tuple = ()      # ContractGap kind="when_loose"
 
     @property
-    def ok(self):
-        """No learned-but-undeclared clause — the declared contract
-        explains every divergence the fuzzer found."""
-        return not self.undeclared
+    def ok(self) -> bool:
+        """No learned-but-undeclared clause and no condition the
+        declared contract hangs on that reality ignores — the
+        declaration explains every divergence the fuzzer found,
+        under the declared construction and under every ablation."""
+        return not self.undeclared and not self.when_gaps
 
     @property
-    def vacuous(self):
+    def vacuous(self) -> bool:
         """True when no case diverged (nothing was demonstrable)."""
         return not any(obs.divergent and not obs.baseline_divergent
                        for obs in self.observations)
 
-    def to_json_dict(self):
+    def to_json_dict(self) -> dict:
         return {
             "plugin": self.plugin, "budget": self.budget,
             "seed": self.seed, "ok": self.ok, "vacuous": self.vacuous,
@@ -161,6 +217,12 @@ class SynthesisResult:
             "observations": [obs.to_json_dict()
                              for obs in self.observations],
             "discarded": self.discarded,
+            "learned_rows": [row.to_json_dict()
+                             for row in self.learned_rows],
+            "when_gaps": [gap.to_json_dict()
+                          for gap in self.when_gaps],
+            "when_loose": [gap.to_json_dict()
+                           for gap in self.when_loose],
         }
 
 
@@ -168,7 +230,7 @@ class SynthesisResult:
 # witness minimization
 # ----------------------------------------------------------------------
 
-def _without_instruction(program, index):
+def _without_instruction(program: Program, index: int) -> Program:
     """``program`` with instruction ``index`` deleted: pcs renumbered,
     branch targets shifted across the gap (a branch *to* the deleted
     instruction lands on its successor)."""
@@ -188,7 +250,8 @@ def _without_instruction(program, index):
                    public_regions=program.public_regions)
 
 
-def _case_with_program(case, program):
+def _case_with_program(case: GeneratedCase,
+                       program: Program) -> GeneratedCase:
     return GeneratedCase(
         name=case.name, program=program, mem_writes=case.mem_writes,
         mem_blobs=case.mem_blobs, regs=case.regs, taint=case.taint,
@@ -196,7 +259,8 @@ def _case_with_program(case, program):
         note=case.note)
 
 
-def _case_cohorts(case, plugin_spec, patterns):
+def _case_cohorts(case: GeneratedCase, plugin_spec: PluginSpec,
+                  patterns: tuple) -> tuple[list, list]:
     """(control variants, plug-in variants) for one case."""
     control = secret_variants(
         case.spec(plugins=(), label=f"{case.name}/control"), patterns)
@@ -205,10 +269,17 @@ def _case_cohorts(case, plugin_spec, patterns):
     return control, cohort
 
 
-def _reproduces(case, plugin_spec, patterns, runner):
-    """Divergent under the plug-in AND clean under the control."""
+def _reproduces(case: GeneratedCase, plugin_spec: PluginSpec,
+                patterns: tuple, runner: Runner) -> bool:
+    """Divergent under the plug-in AND clean under the control.
+
+    A deletion candidate that no longer halts (deleted loop counter)
+    simply fails to reproduce — it is rejected, not an error."""
     control, cohort = _case_cohorts(case, plugin_spec, patterns)
-    results = runner(control + cohort)
+    try:
+        results = runner(control + cohort)
+    except SimulationError:
+        return False
     control_res = results[:len(control)]
     cohort_res = results[len(control):]
     if any(_control_diverged(control_res[0], result)
@@ -218,8 +289,9 @@ def _reproduces(case, plugin_spec, patterns, runner):
                             plugin_spec.name)
 
 
-def minimize_witness(case, plugin_spec, patterns=DEFAULT_PATTERNS,
-                     runner=None):
+def minimize_witness(case: GeneratedCase, plugin_spec: PluginSpec,
+                     patterns: tuple = DEFAULT_PATTERNS,
+                     runner: Runner | None = None) -> GeneratedCase:
     """Delta-minimize a divergent case: greedily delete instructions
     while the plug-in cohort still diverges and the control stays
     clean.  HALT is never deleted (termination stays structural, not
@@ -250,28 +322,196 @@ def minimize_witness(case, plugin_spec, patterns=DEFAULT_PATTERNS,
 
 
 # ----------------------------------------------------------------------
+# when-clause learning
+# ----------------------------------------------------------------------
+
+def _ablated_plugin_spec(plugin: str,
+                         candidate: WhenCandidate,
+                         ) -> PluginSpec | None:
+    """The plug-in spec for an ablated construction, or ``None`` when
+    the construction is invalid (e.g. an op-set kwarg ablated empty —
+    the plug-in cannot be built, so the axis is trivially a
+    condition)."""
+    try:
+        spec = PluginSpec.of(plugin, **candidate.construction())
+        spec.build()
+        return spec
+    except (ValueError, TypeError, LintError):
+        return None
+
+
+def _rows_under(plugin: str, candidate: WhenCandidate,
+                declared_rows: tuple[ContractRow, ...] | None,
+                defaults: Mapping) -> tuple[ContractRow, ...]:
+    """The declared rows that apply under ``candidate``'s ablated
+    construction — recompiled from the descriptor, or (for the
+    mutation hook's direct rows) re-filtered by their ``when``."""
+    construction = candidate.construction()
+    if declared_rows is None:
+        try:
+            return contract_rows(PluginSpec.of(plugin, **construction))
+        except LintError:
+            return ()
+    return tuple(row for row in declared_rows
+                 if when_holds(row.when, construction, defaults,
+                               plugin))
+
+
+def _learn_when(plugin: str, plugin_spec: PluginSpec,
+                study: dict[frozenset, GeneratedCase],
+                declared_rows: tuple[ContractRow, ...] | None,
+                active_rows: tuple[ContractRow, ...],
+                declared: frozenset, patterns: tuple, runner: Runner,
+                minimize: bool,
+                ) -> tuple[tuple, tuple, tuple]:
+    """Ablation study over explained divergent signatures.
+
+    Returns ``(learned_rows, when_gaps, when_loose)`` — see the module
+    docstring.  One cohort runs per (ablation axis × distinct
+    signature); everything is batched through one ``runner`` call.
+    """
+    tel = telemetry.REGISTRY
+    candidates = when_candidates(plugin_spec)
+    if not candidates or not study:
+        return (), (), ()
+    defaults = contract_defaults(plugin)
+    ordered = sorted(study.items(),
+                     key=lambda item: tuple(sorted(item[0])))
+    jobs = []
+    conditions: dict[frozenset, list] = {}
+    for candidate in candidates:
+        ablated_spec = _ablated_plugin_spec(plugin, candidate)
+        if ablated_spec is None:
+            # Unbuildable ablation: the plug-in cannot exist without
+            # this clause, so it is necessary for every signature.
+            for sig, _ in ordered:
+                conditions.setdefault(sig, []).append(
+                    candidate.condition)
+            continue
+        for sig, case in ordered:
+            label = f"{case.name}/when/{candidate.kwarg}"
+            cohort = secret_variants(
+                case.spec(plugins=(ablated_spec,), label=label),
+                patterns)
+            jobs.append((candidate, ablated_spec, sig, case, cohort))
+    gaps: list[ContractGap] = []
+    if jobs:
+        with tel.phase("lint.synthesize", "ablate"):
+            results = runner([spec for *_, cohort in jobs
+                              for spec in cohort])
+        tel.inc("repro_synthesis_ablations_total", len(jobs),
+                help="Ablated re-fuzz cohorts run by when-clause "
+                     "synthesis", plugin=plugin)
+        cursor = 0
+        for candidate, ablated_spec, sig, case, cohort in jobs:
+            cohort_res = results[cursor:cursor + len(cohort)]
+            cursor += len(cohort)
+            if not _plugin_diverged(cohort_res[0], cohort_res[1:],
+                                    plugin):
+                conditions.setdefault(sig, []).append(
+                    candidate.condition)
+                continue
+            # The leak persists without this clause's support: some
+            # declared row must still apply under the ablation.
+            ablated_rows = _rows_under(plugin, candidate,
+                                       declared_rows, defaults)
+            covered = frozenset()
+            for row in ablated_rows:
+                covered |= row_pairs(row)
+            if sig & covered:
+                continue
+            witness = minimize_witness(
+                case, ablated_spec, patterns=patterns,
+                runner=runner) if minimize else case
+            gaps.append(ContractGap(
+                kind="when_undeclared", plugin=plugin,
+                pairs=tuple(sorted(sig)), case=case.name,
+                detail=(f"still diverges under "
+                        f"{candidate.describe()} but no declared row "
+                        f"applies to that construction"),
+                witness_source=render_source(witness.program),
+                witness_spec=witness.spec(
+                    plugins=(ablated_spec,),
+                    label=f"{case.name}/when-witness").to_json()))
+    # Aggregate learned conditional rows + flag loose declared rows.
+    merged: dict[tuple, LearnedRow] = {}
+    loose: list[ContractGap] = []
+    loose_seen = set()
+    for sig, case in ordered:
+        conds = tuple(sorted(
+            set(conditions.get(sig, ())),
+            key=lambda cond: (cond[0], display_value(cond[1]))))
+        if not conds:
+            continue
+        pairs = tuple(sorted(sig & declared))
+        key = (pairs, conds)
+        if key in merged:
+            merged[key] = LearnedRow(
+                plugin=plugin, pairs=pairs, when=conds,
+                cases=merged[key].cases + (case.name,))
+        else:
+            merged[key] = LearnedRow(plugin=plugin, pairs=pairs,
+                                     when=conds, cases=(case.name,))
+        covering = [row for row in active_rows
+                    if row_pairs(row) & sig]
+        for kwarg, value in conds:
+            for row in covering:
+                if kwarg in dict(row.when) or row.ops_kwarg == kwarg:
+                    continue
+                loose_key = (kwarg, tuple(sorted(row_pairs(row))))
+                if loose_key in loose_seen:
+                    continue
+                loose_seen.add(loose_key)
+                loose.append(ContractGap(
+                    kind="when_loose", plugin=plugin,
+                    pairs=tuple(sorted(row_pairs(row) & sig)),
+                    case=case.name,
+                    detail=(f"row fires unconditionally but the "
+                            f"observed leak needs "
+                            f"{kwarg}={display_value(value)}")))
+    return tuple(merged.values()), tuple(gaps), tuple(loose)
+
+
+# ----------------------------------------------------------------------
 # the synthesis pass
 # ----------------------------------------------------------------------
 
-def check_synthesis(plugin, budget=DEFAULT_BUDGET, seed=0,
-                    patterns=DEFAULT_PATTERNS, workers=1, cache=None,
-                    backend=None, declared_rows=None, minimize=True):
+def check_synthesis(plugin: str, budget: int = DEFAULT_BUDGET,
+                    seed: int = 0,
+                    patterns: tuple = DEFAULT_PATTERNS,
+                    workers: int = 1, cache: object = None,
+                    backend: str | None = None,
+                    declared_rows: tuple[ContractRow, ...]
+                    | None = None,
+                    minimize: bool = True,
+                    learn_when: bool = True) -> SynthesisResult:
     """Differential contract synthesis for one plug-in.
 
     Generates ``budget`` cases, runs control + plug-in secret-pair
     cohorts through the engine in one batch (the lockstep backend's
     native shape), abstracts every attributable divergence to its
     static leakage signature, and diffs learned vs declared pairs.
+    Explained divergences are then re-fuzzed under the descriptor's
+    ``"domains"`` ablations to learn minimal ``when`` conditions
+    (``learn_when=False`` skips that study).
 
     ``declared_rows`` substitutes the compiled contract rows — the
     mutation hook the golden suite uses to prove the differ catches a
-    deliberately weakened declaration.  ``minimize=False`` skips
-    witness minimization (faster, e.g. for CI smoke budgets).
+    deliberately weakened declaration.  Rows whose ``when`` conditions
+    do not hold under the plug-in's *active* construction are dropped
+    before diffing, exactly as descriptor compilation would drop them.
+    ``minimize=False`` skips witness minimization (faster, e.g. for CI
+    smoke budgets).
     """
     tel = telemetry.REGISTRY
     plugin_spec = PluginSpec.of(plugin)
+    defaults = contract_defaults(plugin)
+    active_kwargs = dict(defaults)
+    active_kwargs.update(dict(plugin_spec.kwargs))
     rows = contract_rows(plugin_spec) if declared_rows is None \
-        else tuple(declared_rows)
+        else tuple(row for row in declared_rows
+                   if when_holds(row.when, active_kwargs, defaults,
+                                 plugin))
     declared = frozenset()
     for row in rows:
         declared |= row_pairs(row)
@@ -288,13 +528,14 @@ def check_synthesis(plugin, budget=DEFAULT_BUDGET, seed=0,
         results = run_batch(fleet, workers=workers, cache=cache,
                             backend=backend)
 
-    def runner(specs):
+    def runner(specs: Sequence[SimSpec]) -> Sequence:
         return run_batch(specs, workers=workers, cache=cache,
                          backend=backend)
 
     observations = []
     witnessed = set()
     undeclared = []
+    study: dict[frozenset, GeneratedCase] = {}
     discarded = 0
     cursor = 0
     for case, control, cohort in batches:
@@ -325,6 +566,7 @@ def check_synthesis(plugin, budget=DEFAULT_BUDGET, seed=0,
                      "synthesis", plugin=plugin)
         if explained:
             witnessed |= signature & declared
+            study.setdefault(signature, case)
             continue
         # Learned-but-undeclared: the checker could never flag this.
         witness = minimize_witness(case, plugin_spec,
@@ -342,6 +584,13 @@ def check_synthesis(plugin, budget=DEFAULT_BUDGET, seed=0,
                 plugins=(plugin_spec,),
                 label=f"{case.name}/witness").to_json()))
 
+    learned_rows: tuple = ()
+    when_gaps: tuple = ()
+    when_loose: tuple = ()
+    if learn_when:
+        learned_rows, when_gaps, when_loose = _learn_when(
+            plugin, plugin_spec, study, declared_rows, rows, declared,
+            patterns, runner, minimize)
     unwitnessed = tuple(
         ContractGap(kind="unwitnessed", plugin=plugin,
                     pairs=tuple(sorted(row_pairs(row))),
@@ -356,12 +605,18 @@ def check_synthesis(plugin, budget=DEFAULT_BUDGET, seed=0,
         learned=tuple(sorted(learned)),
         witnessed=tuple(sorted(witnessed)),
         undeclared=tuple(undeclared), unwitnessed=unwitnessed,
-        observations=tuple(observations), discarded=discarded)
+        observations=tuple(observations), discarded=discarded,
+        learned_rows=learned_rows, when_gaps=when_gaps,
+        when_loose=when_loose)
 
 
-def synthesize_all(opts=None, budget=DEFAULT_BUDGET, seed=0,
-                   patterns=DEFAULT_PATTERNS, workers=1, cache=None,
-                   backend=None, minimize=True):
+def synthesize_all(opts: Iterable[str] | None = None,
+                   budget: int = DEFAULT_BUDGET, seed: int = 0,
+                   patterns: tuple = DEFAULT_PATTERNS,
+                   workers: int = 1, cache: object = None,
+                   backend: str | None = None, minimize: bool = True,
+                   learn_when: bool = True,
+                   ) -> dict[str, SynthesisResult]:
     """Contract synthesis for every contracted plug-in (or ``opts``).
 
     Returns ``{plugin: SynthesisResult}`` in sorted name order.
@@ -371,14 +626,17 @@ def synthesize_all(opts=None, budget=DEFAULT_BUDGET, seed=0,
     return {name: check_synthesis(
         name, budget=budget, seed=seed, patterns=patterns,
         workers=workers, cache=cache, backend=backend,
-        minimize=minimize) for name in sorted(names)}
+        minimize=minimize, learn_when=learn_when)
+        for name in sorted(names)}
 
 
 # ----------------------------------------------------------------------
 # reporting
 # ----------------------------------------------------------------------
 
-def report_json(results, budget=None, seed=None):
+def report_json(results: Mapping[str, SynthesisResult],
+                budget: int | None = None,
+                seed: int | None = None) -> dict:
     """Machine-readable report over ``{plugin: SynthesisResult}``."""
     payload = {
         "plugins": {name: result.to_json_dict()
@@ -392,11 +650,11 @@ def report_json(results, budget=None, seed=None):
     return payload
 
 
-def render_report(results):
+def render_report(results: Mapping[str, SynthesisResult]) -> str:
     """The learned-vs-declared status table for a result mapping."""
     header = (f"{'optimization':30s} {'declared':>8s} {'learned':>8s} "
               f"{'witnessed':>9s} {'gaps':>5s} {'unwit.':>6s} "
-              f"{'verdict':>8s}")
+              f"{'when':>5s} {'verdict':>8s}")
     lines = [header, "-" * len(header)]
     for name, result in sorted(results.items()):
         verdict = "SOUND" if result.ok else "GAP"
@@ -405,14 +663,27 @@ def render_report(results):
         lines.append(
             f"{name:30s} {len(result.declared):>8d} "
             f"{len(result.learned):>8d} {len(result.witnessed):>9d} "
-            f"{len(result.undeclared):>5d} "
-            f"{len(result.unwitnessed):>6d} {verdict:>8s}")
+            f"{len(result.undeclared) + len(result.when_gaps):>5d} "
+            f"{len(result.unwitnessed):>6d} "
+            f"{len(result.learned_rows):>5d} {verdict:>8s}")
+    for name, result in sorted(results.items()):
+        for row in result.learned_rows:
+            conds = ", ".join(f"{kwarg}={display_value(value)}"
+                              for kwarg, value in row.when)
+            lines.append(f"  when {name}: {list(row.pairs)} "
+                         f"only while {conds}")
+        for gap in result.when_loose:
+            lines.append(f"  loose {name}: {gap.detail}")
     gaps = [(name, gap) for name, result in sorted(results.items())
-            for gap in result.undeclared]
+            for gap in result.undeclared + result.when_gaps]
     for name, gap in gaps:
         lines.append("")
-        lines.append(f"LEARNED-BUT-UNDECLARED {name} "
+        label = "LEARNED-BUT-UNDECLARED" if gap.kind == "undeclared" \
+            else "WHEN-UNDECLARED"
+        lines.append(f"{label} {name} "
                      f"(case {gap.case}): pairs {list(gap.pairs)}")
+        if gap.detail:
+            lines.append(f"  {gap.detail}")
         lines.append("minimized witness:")
         lines.extend("    " + line
                      for line in gap.witness_source.splitlines())

@@ -12,28 +12,50 @@ The abstract state tracks, per program point:
   :class:`~repro.engine.specs.TaintSpec` (with ``.public`` carved
   out), plus a weak-update record of constant-address stores and two
   escape flags for stores through unknown addresses.
-* **control** — a sticky flag set when execution passes a branch whose
-  condition is tainted: from then on, *which* instructions execute is
-  itself a secret, so every subsequently produced value (and every MLD
-  tap) is treated as tainted.  This is the classic implicit-flow
-  over-approximation; it is what keeps the checker sound without a
-  post-dominator analysis.
+* **control** — the set of *open* tainted branches: branches whose
+  condition was tainted and whose influence region (branch →
+  immediate post-dominator) the current program point still sits in.
+  While the set is non-empty, *which* instructions execute is itself
+  a secret, so every produced value (and every MLD tap) is treated as
+  tainted.  Each branch is dropped from the set on the edge into its
+  immediate post-dominator — the join point where both arms have
+  reconverged.  That is sound because every value *written* inside
+  the region was tainted on the way, so abstract values that could
+  disagree at the join are already tainted; agreeing values never
+  depended on the branch.  A branch with no post-dominator (an arm
+  that cannot reach the exit) stays open forever — the sticky
+  fallback.  ``path_sensitive=False`` keeps every branch open
+  forever, which *is* the classic sticky implicit-flow
+  over-approximation; it is retained as the measurable baseline for
+  :mod:`repro.lint.precision`.
+
+Statically infeasible edges are pruned with the constant lattice:
+when both branch operands are exact untainted constants the fixpoint
+follows only the real successor (via the simulator's own
+:func:`~repro.isa.semantics.branch_taken`), the feasible successor
+map shrinks, and the post-dominators are recomputed over the pruned
+graph — iterated until the feasible map stops changing.  Computing
+post-dominators over a *superset* of the feasible edges only ever
+yields a later join point, so each round of the iteration is sound.
 
 The fixpoint is a join-monotone worklist at instruction granularity.
 ``const`` flattens to ``None`` on conflict and a per-pc widening
-threshold drops constants on pathological programs, so the lattice has
-finite height and the loop always terminates.
+threshold drops constants on pathological programs, so the lattice
+has finite height and the loop always terminates.
 """
 
-from dataclasses import dataclass
+from collections.abc import Iterable, Mapping, Sequence
 
+from repro.isa.instruction import Instruction
 from repro.isa.opcodes import (
     Op, is_branch, reads_rs1, reads_rs2, writes_register,
 )
 from repro.isa.semantics import (
     alu_result, branch_taken, effective_address,
 )
-from repro.lint.cfg import successors
+from repro.lint.cfg import (
+    immediate_postdominators, static_successors, successors,
+)
 
 #: Witness chains are capped: deep provenance reads poorly and the
 #: fixpoint only needs *a* path, not all of them.
@@ -41,6 +63,9 @@ MAX_ORIGIN_FRAMES = 8
 
 #: After this many joins at one pc, constants are widened away there.
 WIDEN_AFTER = 32
+
+#: A provenance chain: ``(pc, "what happened")`` frames, oldest first.
+Origin = tuple[tuple[int, str], ...]
 
 
 class AV:
@@ -54,24 +79,25 @@ class AV:
 
     __slots__ = ("tainted", "const", "origin")
 
-    def __init__(self, tainted=False, const=None, origin=()):
+    def __init__(self, tainted: bool = False, const: int | None = None,
+                 origin: Origin = ()) -> None:
         self.tainted = tainted
         self.const = const
         self.origin = origin if tainted else ()
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         return (isinstance(other, AV) and self.tainted == other.tainted
                 and self.const == other.const)
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash((self.tainted, self.const))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         flag = "T" if self.tainted else "-"
         const = "?" if self.const is None else hex(self.const)
         return f"AV({flag},{const})"
 
-    def widened(self):
+    def widened(self) -> "AV":
         return self if self.const is None else \
             AV(self.tainted, None, self.origin)
 
@@ -80,7 +106,7 @@ UNTAINTED = AV(False, None)
 ZERO = AV(False, 0)
 
 
-def _join_av(a, b):
+def _join_av(a: AV, b: AV) -> AV:
     if a == b:
         return a if a.origin or not b.origin else b
     tainted = a.tainted or b.tainted
@@ -89,13 +115,15 @@ def _join_av(a, b):
     return AV(tainted, const, origin)
 
 
-def _extend(origin, frame):
+def _extend(origin: Origin, frame: tuple[int, str]) -> Origin:
     if len(origin) >= MAX_ORIGIN_FRAMES:
         return origin
     return origin + (frame,)
 
 
-def _subtract_intervals(regions, carve):
+def _subtract_intervals(regions: Iterable[tuple[int, int]],
+                        carve: Iterable[tuple[int, int]],
+                        ) -> tuple[tuple[int, int], ...]:
     """Subtract ``carve`` intervals from ``regions`` (all end-exclusive)."""
     result = list(regions)
     for cstart, cend in carve:
@@ -112,7 +140,8 @@ def _subtract_intervals(regions, carve):
     return tuple(sorted(result))
 
 
-def _overlaps(regions, start, end):
+def _overlaps(regions: Iterable[tuple[int, int]], start: int,
+              end: int) -> bool:
     return any(rstart < end and start < rend for rstart, rend in regions)
 
 
@@ -127,30 +156,32 @@ class MemState:
     #: pathological programs; never reached by the attack gadgets).
     MAX_TRACKED_STORES = 256
 
-    def __init__(self, secret_regions=(), stores=None,
-                 unknown_store=False, unknown_tainted_store=False):
+    def __init__(self, secret_regions: Iterable[tuple[int, int]] = (),
+                 stores: Mapping[tuple[int, int], AV] | None = None,
+                 unknown_store: bool = False,
+                 unknown_tainted_store: bool = False) -> None:
         self.secret_regions = tuple(secret_regions)
         self.stores = dict(stores or {})    # (addr, width) -> AV
         self.unknown_store = unknown_store
         self.unknown_tainted_store = unknown_tainted_store
 
-    def key(self):
+    def key(self) -> tuple:
         return (self.secret_regions,
                 tuple(sorted((addr, width, av.tainted, av.const)
                              for (addr, width), av in
                              self.stores.items())),
                 self.unknown_store, self.unknown_tainted_store)
 
-    def copy(self):
+    def copy(self) -> "MemState":
         return MemState(self.secret_regions, self.stores,
                         self.unknown_store, self.unknown_tainted_store)
 
-    def any_secret(self):
+    def any_secret(self) -> bool:
         """Is *any* abstract memory location possibly tainted?"""
         return (bool(self.secret_regions) or self.unknown_tainted_store
                 or any(av.tainted for av in self.stores.values()))
 
-    def taint_at(self, addr, width):
+    def taint_at(self, addr: int | None, width: int) -> bool:
         """May ``[addr, addr+width)`` hold secret data?  ``addr=None``
         means the address is unknown — any tainted location answers."""
         if addr is None:
@@ -163,7 +194,7 @@ class MemState:
         return any(av.tainted and saddr < end and addr < saddr + swidth
                    for (saddr, swidth), av in self.stores.items())
 
-    def origin_at(self, addr, width):
+    def origin_at(self, addr: int | None, width: int) -> str:
         """A witness frame for :meth:`taint_at` (best effort)."""
         if addr is not None:
             end = addr + width
@@ -172,7 +203,7 @@ class MemState:
                     return f".secret {rstart:#x}..{rend:#x}"
             for (saddr, swidth), av in sorted(self.stores.items()):
                 if av.tainted and saddr < end and addr < saddr + swidth:
-                    return (av.origin[-1] if av.origin
+                    return (av.origin[-1][1] if av.origin
                             else f"tainted store @ {saddr:#x}")
         if self.unknown_tainted_store:
             return "tainted store to unknown address"
@@ -182,7 +213,8 @@ class MemState:
             return f"unknown address may alias .secret {regions}"
         return "tainted store to unknown address"
 
-    def record_store(self, addr, width, av):
+    def record_store(self, addr: int | None, width: int,
+                     av: AV) -> None:
         if addr is None or len(self.stores) >= self.MAX_TRACKED_STORES:
             self.unknown_store = True
             if av.tainted:
@@ -192,7 +224,7 @@ class MemState:
         self.stores[(addr, width)] = av if existing is None \
             else _join_av(existing, av)
 
-    def join(self, other):
+    def join(self, other: "MemState") -> "MemState":
         if self.key() == other.key():
             return self
         secret = tuple(sorted(set(self.secret_regions)
@@ -208,45 +240,76 @@ class MemState:
 
 
 class State:
-    """One program point's abstract state."""
+    """One program point's abstract state.
 
-    __slots__ = ("regs", "mem", "control", "control_origin")
+    ``control`` is the frozenset of open tainted-branch pcs (empty =
+    no implicit flow in scope; truthiness therefore matches the old
+    sticky-bool reading).  ``control_origins`` maps each open branch
+    to its provenance chain; like ``AV.origin`` it is excluded from
+    :meth:`key` so witness bookkeeping can never affect the fixpoint.
+    Both are treated as immutable — never mutated in place.
+    """
 
-    def __init__(self, regs, mem, control=False, control_origin=()):
+    __slots__ = ("regs", "mem", "control", "control_origins")
+
+    def __init__(self, regs: tuple[AV, ...], mem: MemState,
+                 control: frozenset[int] = frozenset(),
+                 control_origins: Mapping[int, Origin] | None = None,
+                 ) -> None:
         self.regs = regs                  # tuple of 32 AVs, x0 pinned
         self.mem = mem
-        self.control = control
-        self.control_origin = control_origin if control else ()
+        self.control = frozenset(control)
+        self.control_origins = dict(control_origins or {})
 
-    def key(self):
+    @property
+    def control_origin(self) -> Origin:
+        """Provenance of the oldest open tainted branch (for witnesses)."""
+        if not self.control:
+            return ()
+        return self.control_origins.get(min(self.control), ())
+
+    def key(self) -> tuple:
         return (tuple((av.tainted, av.const) for av in self.regs),
-                self.mem.key(), self.control)
+                self.mem.key(), tuple(sorted(self.control)))
 
-    def reg(self, index):
+    def reg(self, index: int) -> AV:
         return self.regs[index]
 
-    def with_reg(self, index, av):
+    def with_reg(self, index: int, av: AV) -> "State":
         if index == 0:
             return self
         regs = list(self.regs)
         regs[index] = av
         return State(tuple(regs), self.mem, self.control,
-                     self.control_origin)
+                     self.control_origins)
 
-    def join(self, other):
+    def without_branches(self, closed: frozenset[int]) -> "State":
+        """Drop branches whose influence region ends here."""
+        remaining = self.control - closed
+        if remaining == self.control:
+            return self
+        origins = {pc: origin
+                   for pc, origin in self.control_origins.items()
+                   if pc in remaining}
+        return State(self.regs, self.mem, remaining, origins)
+
+    def join(self, other: "State") -> "State":
         regs = tuple(_join_av(a, b)
                      for a, b in zip(self.regs, other.regs))
+        origins = dict(other.control_origins)
+        origins.update(self.control_origins)
         return State(regs, self.mem.join(other.mem),
-                     self.control or other.control,
-                     self.control_origin or other.control_origin)
+                     self.control | other.control, origins)
 
-    def widened(self):
+    def widened(self) -> "State":
         return State(tuple(av.widened() for av in self.regs),
-                     self.mem, self.control, self.control_origin)
+                     self.mem, self.control, self.control_origins)
 
 
-def _initial_state(secret_regions, public_regions, secret_regs,
-                   reg_consts):
+def _initial_state(secret_regions: Iterable[tuple[int, int]],
+                   public_regions: Iterable[tuple[int, int]],
+                   secret_regs: set[int],
+                   reg_consts: dict[int, int]) -> State:
     regs = []
     for index in range(32):
         if index == 0:
@@ -263,22 +326,30 @@ def _initial_state(secret_regions, public_regions, secret_regs,
 class TaintAnalysis:
     """Fixpoint result: per-pc in-states plus query helpers."""
 
-    def __init__(self, program, states, exit_state):
+    def __init__(self, program: Sequence[Instruction],
+                 states: dict[int, State],
+                 exit_state: State | None,
+                 ipdom: Mapping[int, int | None] | None = None,
+                 feasible: Mapping[int, tuple[int, ...]] | None = None,
+                 path_sensitive: bool = False) -> None:
         self.program = program
-        self.states = states              # pc -> State (None: unreachable)
+        self.states = states              # pc -> State (absent: unreachable)
         self.exit_state = exit_state
+        self.ipdom = dict(ipdom or {})
+        self.feasible = dict(feasible or {})
+        self.path_sensitive = path_sensitive
 
-    def state(self, pc):
+    def state(self, pc: int) -> State | None:
         return self.states.get(pc)
 
-    def reachable(self, pc):
+    def reachable(self, pc: int) -> bool:
         return self.states.get(pc) is not None
 
-    def reg_taint(self, pc, reg):
+    def reg_taint(self, pc: int, reg: int) -> bool:
         state = self.states.get(pc)
         return bool(state and state.reg(reg).tainted)
 
-    def resolve_address(self, pc):
+    def resolve_address(self, pc: int) -> int | None:
         """Constant effective address of the memory op at ``pc``."""
         state = self.states.get(pc)
         if state is None:
@@ -289,7 +360,7 @@ class TaintAnalysis:
             return None
         return effective_address(base, inst.imm)
 
-    def result_av(self, pc):
+    def result_av(self, pc: int) -> AV:
         """Abstract value produced by the instruction at ``pc``."""
         state = self.states.get(pc)
         if state is None:
@@ -297,7 +368,7 @@ class TaintAnalysis:
         return _produced_value(self.program[pc], state, pc)
 
 
-def _produced_value(inst, state, pc):
+def _produced_value(inst: Instruction, state: State, pc: int) -> AV:
     """The AV an instruction writes to ``rd`` (loads, ALU, rdcycle)."""
     op = inst.op
     if op is Op.LOAD:
@@ -307,7 +378,7 @@ def _produced_value(inst, state, pc):
             addr = effective_address(base, inst.imm)
         addr_av = state.reg(inst.rs1)
         tainted = state.mem.taint_at(addr, inst.width) or addr_av.tainted
-        origin = ()
+        origin: Origin = ()
         if tainted:
             if addr_av.tainted:
                 origin = _extend(addr_av.origin,
@@ -339,8 +410,12 @@ def _produced_value(inst, state, pc):
     return AV(tainted, const, origin)
 
 
-def analyze_taint(program, secret_regions=(), public_regions=(),
-                  secret_regs=(), reg_consts=None):
+def analyze_taint(program: Sequence[Instruction],
+                  secret_regions: Iterable[tuple[int, int]] = (),
+                  public_regions: Iterable[tuple[int, int]] = (),
+                  secret_regs: Iterable[int] = (),
+                  reg_consts: Mapping[int, int] | None = None,
+                  path_sensitive: bool = True) -> TaintAnalysis:
     """Run the abstract interpretation to fixpoint.
 
     ``secret_regions`` / ``public_regions`` are merged with the
@@ -348,19 +423,87 @@ def analyze_taint(program, secret_regions=(), public_regions=(),
     ``secret_regs`` marks initially tainted registers and
     ``reg_consts`` optionally pins known initial register constants
     (from :class:`~repro.engine.specs.SimSpec` ``regs``).
+
+    With ``path_sensitive`` (the default) control taint is scoped to
+    each tainted branch's post-dominator region and infeasible edges
+    are pruned; pruning can tighten the post-dominators, so the two
+    are iterated until the feasible successor map reaches a fixpoint.
+    ``path_sensitive=False`` reproduces the sticky-flag baseline:
+    control taint, once raised, never clears.
     """
-    size = len(program)
-    init = _initial_state(secret_regions, public_regions,
+    init = _initial_state(tuple(secret_regions), tuple(public_regions),
                           set(secret_regs), dict(reg_consts or {}))
-    states = {0: init} if size else {}
-    exit_states = [init] if not size else []
+    size = len(program)
+    if not size:
+        return TaintAnalysis(program, {}, init,
+                             path_sensitive=path_sensitive)
+    if not path_sensitive:
+        states, exit_state = _fixpoint(program, init, None)
+        return TaintAnalysis(program, states, exit_state,
+                             feasible=_feasible_map(program, states),
+                             path_sensitive=False)
+    feasible = static_successors(program)
+    seen_maps = {_map_key(feasible)}
+    ipdom = immediate_postdominators(program, feasible)
+    while True:
+        states, exit_state = _fixpoint(program, init, ipdom)
+        observed = _feasible_map(program, states)
+        key = _map_key(observed)
+        if key in seen_maps:
+            break
+        seen_maps.add(key)
+        feasible = observed
+        ipdom = immediate_postdominators(program, feasible)
+    return TaintAnalysis(program, states, exit_state, ipdom=ipdom,
+                         feasible=observed, path_sensitive=True)
+
+
+def _map_key(succs: Mapping[int, tuple[int, ...]]) -> tuple:
+    return tuple(sorted((pc, tuple(sorted(out)))
+                        for pc, out in succs.items()))
+
+
+def _feasible_map(program: Sequence[Instruction], states: Mapping[int, State],
+                  ) -> dict[int, tuple[int, ...]]:
+    """Successor edges actually followed at the fixpoint.
+
+    Unreachable pcs get no out-edges, and exactly-folded branches keep
+    only their real successor — this is the pruned graph the next
+    post-dominator round runs on.
+    """
+    feasible: dict[int, tuple[int, ...]] = {}
+    for pc in range(len(program)):
+        state = states.get(pc)
+        if state is None:
+            feasible[pc] = ()
+            continue
+        size = len(program)
+        edges = _transfer(program[pc], state, pc, size)
+        feasible[pc] = tuple(sorted({succ for succ, _ in edges}))
+    return feasible
+
+
+def _fixpoint(program: Sequence[Instruction], init: State,
+              ipdom: Mapping[int, int | None] | None,
+              ) -> tuple[dict[int, State], State | None]:
+    """One worklist run.  ``ipdom=None`` means sticky control taint;
+    otherwise each open branch is closed on the edge into its
+    immediate post-dominator."""
+    size = len(program)
+    states = {0: init}
+    exit_states: list[State] = []
     visits = {pc: 0 for pc in range(size)}
-    worklist = [0] if size else []
+    worklist = [0]
     while worklist:
         pc = worklist.pop()
         state = states[pc]
         inst = program[pc]
         for succ, out in _transfer(inst, state, pc, size):
+            if ipdom is not None and out.control:
+                closed = frozenset(branch for branch in out.control
+                                   if ipdom.get(branch) == succ)
+                if closed:
+                    out = out.without_branches(closed)
             if succ >= size:
                 exit_states.append(out)
                 continue
@@ -380,10 +523,11 @@ def analyze_taint(program, secret_regions=(), public_regions=(),
     for state in exit_states:
         exit_state = state if exit_state is None \
             else exit_state.join(state)
-    return TaintAnalysis(program, states, exit_state)
+    return states, exit_state
 
 
-def _transfer(inst, state, pc, size):
+def _transfer(inst: Instruction, state: State, pc: int,
+              size: int) -> tuple[tuple[int, State], ...]:
     """Successor states of executing ``inst`` in ``state``."""
     op = inst.op
     if op is Op.HALT:
@@ -397,8 +541,10 @@ def _transfer(inst, state, pc, size):
             origin = _extend(a_av.origin or b_av.origin,
                              (pc, f"branch {op.value} on tainted "
                                   f"condition"))
-            out = State(state.regs, state.mem, True,
-                        state.control_origin or origin)
+            origins = dict(state.control_origins)
+            origins.setdefault(pc, origin)
+            out = State(state.regs, state.mem,
+                        state.control | {pc}, origins)
         if a_av.const is not None and b_av.const is not None \
                 and not (a_av.tainted or b_av.tainted):
             # Exact fold: only the real successor is reachable.
@@ -428,7 +574,7 @@ def _transfer(inst, state, pc, size):
             # memory contents secret-dependent (which word changed?).
             mem.unknown_tainted_store = True
         out = State(state.regs, mem, state.control,
-                    state.control_origin)
+                    state.control_origins)
         return ((pc + 1, out),)
     if op in (Op.FENCE, Op.NOP):
         return ((pc + 1, state),)
@@ -440,3 +586,10 @@ def _transfer(inst, state, pc, size):
                                (pc, "written under tainted control")))
         return ((pc + 1, state.with_reg(inst.rd, value)),)
     return ((pc + 1, state),)
+
+
+__all__ = [
+    "AV", "MAX_ORIGIN_FRAMES", "MemState", "Origin", "State",
+    "TaintAnalysis", "UNTAINTED", "WIDEN_AFTER", "ZERO",
+    "analyze_taint", "successors",
+]

@@ -49,6 +49,10 @@ class ComputationReusePlugin(OptimizationPlugin):
                        "was seen before"},
         ),
         "defaults": {"variant": "sv", "ops": DEFAULT_REUSABLE_OPS},
+        # Ablation axes for when-clause synthesis: the sn variant keys
+        # the table on value *versions*, so operand-value leaks must
+        # die under it — that is what makes the sv condition minimal.
+        "domains": {"variant": ("sv", "sn")},
     }
 
     def __init__(self, variant="sv", ops=DEFAULT_REUSABLE_OPS,

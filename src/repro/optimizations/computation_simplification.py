@@ -124,6 +124,12 @@ class ComputationSimplificationPlugin(OptimizationPlugin):
              "detail": "zero operand bypasses the adder"},
         ),
         "defaults": {"rules": DEFAULT_RULES},
+        # Every configured rule is an ablation axis: dropping a rule
+        # from the construction must kill exactly the leaks its row
+        # declares, which is how the per-rule when clauses are learned.
+        "domains": {"rules": ("zero_skip_mul", "one_skip_mul",
+                              "pow2_div", "zero_over_anything_div",
+                              "trivial_bitwise", "trivial_add")},
     }
 
     def __init__(self, rules=DEFAULT_RULES, trivial_latency=TRIVIAL_LATENCY):

@@ -100,6 +100,10 @@ class IndirectMemoryPrefetcher(OptimizationPlugin):
              "detail": "loaded values are dereferenced as prefetch "
                        "pointers"},
         ),
+        "defaults": {"levels": 3},
+        # A two-level prefetcher still dereferences loaded values, so
+        # the contract must hold under the levels ablation too.
+        "domains": {"levels": (2, 3)},
     }
 
     def __init__(self, levels=3, delta=4, stride_threshold=2,

@@ -52,6 +52,10 @@ class OperandPackingPlugin(OptimizationPlugin):
              "detail": "two ALU ops share one slot iff all their "
                        "operands are narrow"},
         ),
+        "defaults": {"narrow_bits": NARROW_BITS},
+        # Widening the narrowness threshold changes *which* values
+        # pack, never *whether* operand values decide it.
+        "domains": {"narrow_bits": (NARROW_BITS, 32)},
     }
 
     def __init__(self, narrow_bits=NARROW_BITS):
@@ -97,6 +101,10 @@ class EarlyTerminatingMultiplierPlugin(OptimizationPlugin):
              "detail": "multiply latency tracks the significant bytes "
                        "of rs2"},
         ),
+        "defaults": {"digit_bytes": 2},
+        # Coarser digits quantize the latency staircase without making
+        # it value-independent.
+        "domains": {"digit_bytes": (2, 4)},
     }
 
     def __init__(self, digit_bytes=2):

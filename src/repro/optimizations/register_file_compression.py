@@ -48,6 +48,10 @@ class RegisterFileCompressionPlugin(OptimizationPlugin):
              "detail": "physical-register credit depends on the "
                        "produced register value"},
         ),
+        "defaults": {"variant": "any"},
+        # Both variants grant credit on value equality — the row is
+        # declared unconditional, and the zero-one ablation checks it.
+        "domains": {"variant": ("any", "zero-one")},
     }
 
     def __init__(self, variant="any", pool_size=16, window=48):

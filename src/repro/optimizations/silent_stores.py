@@ -44,6 +44,11 @@ class SilentStorePlugin(OptimizationPlugin):
              "detail": "store is elided iff the stored value equals "
                        "the old memory value"},
         ),
+        "defaults": {"ss_load_allocates": False},
+        # The silence MLD does not depend on how the SS-Load fills the
+        # cache; the synthesizer verifies this by re-fuzzing with the
+        # flag flipped and expecting the leak to persist.
+        "domains": {"ss_load_allocates": (False, True)},
     }
 
     #: ``end_of_cycle`` retries the port steal (and ages the Case C

@@ -50,6 +50,9 @@ class ValuePredictionPlugin(OptimizationPlugin):
                        "value differs from the prediction"},
         ),
         "defaults": {"ops": (Op.LOAD,)},
+        # Dropping LOAD from the predicted op set must kill the leak:
+        # the row is structurally conditional on the ops kwarg.
+        "domains": {"ops": (Op.LOAD,)},
     }
 
     def __init__(self, ops=(Op.LOAD,), threshold=2, max_confidence=7,

@@ -32,7 +32,8 @@ def test_urg_command(capsys):
 def test_command_registry_complete():
     assert set(COMMANDS) == {"tables", "urg", "fig6", "audit", "stats",
                              "trace", "bench", "lint", "synthesize",
-                             "backends", "serve-metrics", "report"}
+                             "precision", "backends", "serve-metrics",
+                             "report"}
 
 
 def test_backends_command(capsys):
@@ -120,14 +121,69 @@ def test_lint_command_json_out(tmp_path, capsys):
 
 
 def test_lint_command_rejects_bad_input(tmp_path, capsys):
-    assert main(["lint"]) == 1
+    # Bad input is exit 2 — distinct from "LEAKS found" (exit 1).
+    assert main(["lint"]) == 2
     assert "usage" in capsys.readouterr().out
-    assert main(["lint", str(tmp_path / "missing.s")]) == 1
+    assert main(["lint", str(tmp_path / "missing.s")]) == 2
     assert "lint:" in capsys.readouterr().out
     prog = tmp_path / "ok.s"
     prog.write_text("    halt\n")
-    assert main(["lint", str(prog), "--opts", "not-a-plugin"]) == 1
+    assert main(["lint", str(prog), "--opts", "not-a-plugin"]) == 2
     assert "bad --opts" in capsys.readouterr().out
+    bad = tmp_path / "bad.s"
+    bad.write_text("    frobnicate x1, x2\n")
+    assert main(["lint", str(bad)]) == 2
+    assert "lint:" in capsys.readouterr().out
+
+
+def test_lint_command_sticky_flag_restores_baseline(tmp_path, capsys):
+    """A branch-gated but dynamically silent store: SAFE under the
+    path-sensitive default, LEAKS under ``--sticky``."""
+    prog = tmp_path / "gated.s"
+    prog.write_text(
+        ".secret 0x140 +8\n"
+        "    li x1, 0x140\n"
+        "    load x3, 0(x1)\n"
+        "    beq x3, x3, join\n"
+        "    addi x9, x0, 1\n"
+        "join:\n"
+        "    li x6, 9\n"
+        "    store x6, 0x100(x0)\n"
+        "    halt\n")
+    args = ["lint", str(prog), "--opts", "silent-stores"]
+    assert main(args) == 0
+    assert "=> CLEAN" in capsys.readouterr().out
+    assert main(args + ["--sticky"]) == 1
+    out = capsys.readouterr().out
+    assert "LEAKS(silent-stores" in out
+
+
+def test_precision_command_smoke(tmp_path, capsys):
+    import json
+    out_path = tmp_path / "precision.json"
+    assert main(["precision", "--budget", "1", "--json",
+                 "--out", str(out_path)]) == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["ok"] is True            # no soundness escapes
+    assert payload["outcomes"]
+    assert payload["false_positives"] <= \
+        payload["sticky_false_positives"]
+    for row in payload["plugins"].values():
+        assert {"trials", "confirmed", "false_positives"} <= set(row)
+
+
+def test_precision_command_rejects_bad_input(capsys):
+    assert main(["precision", "--budget", "zero"]) == 2
+    assert "usage" in capsys.readouterr().out
+    assert main(["precision", "--opt", "not-a-plugin"]) == 2
+    assert "no contract" in capsys.readouterr().out
+
+
+def test_precision_command_ratchet(capsys):
+    assert main(["precision", "--budget", "1",
+                 "--max-false-positives", "0"]) == 1
+    out = capsys.readouterr().out
+    assert "exceed the pinned ratchet" in out
 
 
 def _clean_enabled_registry():

@@ -75,6 +75,31 @@ def test_ss_probe_golden_verdicts():
     assert report.verdict(6) == "SAFE"
 
 
+def test_gated_store_safe_under_path_sensitive_analysis():
+    """The acceptance example for post-dominator scoping: a store in
+    the public tail of a tainted-but-always-taken branch.  The sticky
+    baseline poisons everything after the branch forever; the
+    path-sensitive default clears control taint at the join and proves
+    the program SAFE."""
+    report = lint_example("gated_store.s", opts=("silent-stores",))
+    assert report.ok
+    assert all(report.verdict(pc) == "SAFE"
+               for pc in range(len(report.instructions)))
+
+
+def test_gated_store_sticky_baseline_false_positive():
+    program = assemble_file(os.path.join(PROGRAMS, "gated_store.s"))
+    report = lint_program(program, opts=("silent-stores",),
+                          program_name="gated_store.s",
+                          path_sensitive=False)
+    assert not report.ok
+    assert report.leaking_plugins() == ["silent-stores"]
+    assert report.flagged_pcs() == [5]              # the public store
+    (finding,) = report.findings
+    assert finding.taps == ("store_value",)
+    assert any("tainted control" in step for step in finding.witness)
+
+
 def test_cli_json_report_matches_library_verdicts(tmp_path, capsys):
     out_path = tmp_path / "lint-report.json"
     rc = main(["lint",
@@ -98,7 +123,7 @@ def test_cli_json_report_matches_library_verdicts(tmp_path, capsys):
 
 
 @pytest.mark.parametrize("name", ["leaky_window.s", "ct_checksum.s",
-                                  "ss_probe.s"])
+                                  "ss_probe.s", "gated_store.s"])
 def test_example_programs_roundtrip(name):
     from repro.isa.text import assemble_source, render_source
     program = assemble_file(os.path.join(PROGRAMS, name))

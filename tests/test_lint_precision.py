@@ -1,0 +1,129 @@
+"""The precision harness (lint/precision.py) — the dual of soundness.
+
+Soundness asks "was every dynamic divergence statically flagged?";
+precision asks "was every static flag dynamically confirmed?".  These
+tests pin the two properties the harness exists to measure:
+
+* **no soundness escapes** — a confirmed divergence that the checker
+  did not flag would be a lint bug, so ``missed`` must be zero for
+  both the path-sensitive analysis and the sticky baseline;
+* **path-sensitivity strictly helps** — on a corpus that includes the
+  gated (tainted-but-always-taken branch) cases, the path-sensitive
+  analysis must produce strictly fewer false positives than the
+  sticky baseline while confirming exactly the same true positives.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.lint.precision import (
+    PrecisionReport, check_precision, example_cases,
+)
+from repro.lint.progen import gated_case
+
+BUDGET = 2
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def report():
+    return check_precision(budget=BUDGET, seed=SEED)
+
+
+def test_no_soundness_escapes(report):
+    assert report.ok
+    assert report.missed == 0
+    # The sticky baseline over-approximates the scoped analysis, so
+    # anything the scoped analysis flags the baseline flags too.
+    for out in report.outcomes:
+        if out.flagged:
+            assert out.sticky_flagged, (out.case, out.plugin)
+
+
+def test_path_sensitivity_strictly_reduces_false_positives(report):
+    assert report.false_positives < report.sticky_false_positives
+    # ... without losing a single confirmed divergence: every
+    # confirmed trial is flagged by both analyses (missed == 0 above
+    # covers the scoped side; sticky follows by over-approximation).
+    assert report.confirmed > 0
+
+
+def test_gated_cases_are_the_separating_corpus(report):
+    """The sticky-only false positives come from the gated cases: a
+    tainted always-taken branch whose public tail the baseline poisons
+    forever but the scoped analysis clears at the join."""
+    separating = [out for out in report.outcomes
+                  if out.sticky_false_positive
+                  and not out.false_positive]
+    assert separating
+    assert all(out.case.startswith("gated/") or out.source == "example"
+               for out in separating)
+
+
+def test_example_program_outcome_present(report):
+    gated = [out for out in report.outcomes
+             if out.source == "example"
+             and "gated_store" in out.case]
+    assert gated
+    # The control-flow false positive: sticky flags the public store
+    # after the tainted branch; the scoped analysis proves it SAFE.
+    (ss,) = [out for out in gated if out.plugin == "silent-stores"]
+    assert ss.sticky_flagged and not ss.flagged
+    assert ss.sticky_false_positive and not ss.false_positive
+
+
+def test_per_plugin_table_is_consistent(report):
+    table = report.per_plugin()
+    assert sum(row["trials"] for row in table.values()) == \
+        len(report.outcomes)
+    assert sum(row["false_positives"] for row in table.values()) == \
+        report.false_positives
+    assert all(row["missed"] == 0 for row in table.values())
+
+
+def test_report_json_roundtrip(report):
+    payload = report.to_json_dict()
+    json.dumps(payload)
+    assert payload["budget"] == BUDGET
+    assert payload["ok"] is True
+    assert payload["false_positives"] == report.false_positives
+    assert len(payload["outcomes"]) == len(report.outcomes)
+    rendered = report.render()
+    assert "sticky false positives" in rendered
+    assert "soundness escapes: 0" in rendered
+
+
+def test_determinism(report):
+    again = check_precision(budget=BUDGET, seed=SEED)
+    assert [out.__dict__ for out in again.outcomes] == \
+        [out.__dict__ for out in report.outcomes]
+
+
+def test_gated_case_shape():
+    import random
+    case = gated_case(random.Random("precision/test"), index=3)
+    assert case.name == "gated/public-tail-3"
+    ops = [inst.op.value for inst in case.program]
+    assert "beq" in ops and "store" in ops
+    assert case.program.secret_regions
+    # The branch compares a register against itself: always taken,
+    # so the two secret variants execute identical paths.
+    branch = next(inst for inst in case.program
+                  if inst.op.value == "beq")
+    assert branch.rs1 == branch.rs2
+
+
+def test_example_cases_cover_shipped_programs():
+    cases = example_cases(seed=SEED)
+    names = {os.path.basename(case.name) for case in cases}
+    assert {"gated_store.s", "ss_probe.s", "leaky_window.s"} <= names
+    for case in cases:
+        assert case.program.secret_regions or True  # assembles at all
+
+
+def test_empty_report_is_ok():
+    empty = PrecisionReport(budget=0, seed=0)
+    assert empty.ok and empty.false_positives == 0
+    assert empty.per_plugin() == {}

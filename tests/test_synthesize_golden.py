@@ -137,3 +137,107 @@ def test_gap_witness_spec_reproduces_the_divergence(weakened_result):
         diverged |= divergent_plugins(results[0], result,
                                       enabled=("silent-stores",))
     assert diverged == {"silent-stores"}
+
+
+# ----------------------------------------------------------------------
+# when-clause synthesis: learned kwarg conditions and their mutations
+# ----------------------------------------------------------------------
+
+WHEN_BUDGET = 8
+
+#: Pinned learned ``when`` rows at (GOLDEN_SEED, WHEN_BUDGET): every
+#: computation-reuse divergence dies when the plug-in is rebuilt with
+#: ``variant="sn"``, so the learned condition is ``variant=sv``.
+GOLDEN_WHEN_ROWS = (
+    ((("div", "rs2"),), (("variant", "sv"),)),
+    ((("mul", "rs1"),), (("variant", "sv"),)),
+    ((("mul", "rs2"),), (("variant", "sv"),)),
+    ((("rem", "rs1"),), (("variant", "sv"),)),
+)
+
+
+def test_learned_when_rows_are_pinned():
+    result = check_synthesis("computation-reuse", budget=WHEN_BUDGET,
+                             seed=GOLDEN_SEED)
+    assert result.ok
+    assert tuple((row.pairs, row.when)
+                 for row in result.learned_rows) == GOLDEN_WHEN_ROWS
+    # Every learned condition matches the declared row's when clause.
+    assert result.when_gaps == ()
+    assert result.when_loose == ()
+    for row in result.learned_rows:
+        assert row.cases                # each condition has a witness
+
+
+def test_when_rows_serialize(capsys):
+    from repro.lint.synthesize import render_report
+    results = {"computation-reuse": check_synthesis(
+        "computation-reuse", budget=WHEN_BUDGET, seed=GOLDEN_SEED)}
+    payload = report_json(results, budget=WHEN_BUDGET,
+                          seed=GOLDEN_SEED)
+    json.dumps(payload)
+    rows = payload["plugins"]["computation-reuse"]["learned_rows"]
+    assert rows and all(row["when"] == [["variant", "sv"]]
+                        for row in rows)
+    text = render_report(results)
+    assert "only while variant=sv" in text
+
+
+#: The mutation: the true condition is ``variant=sv`` but the
+#: declared contract claims the row only fires under ``variant=sn``.
+#: ``when_holds`` deselects the row under the active (sv)
+#: construction, so every reuse divergence becomes an ordinary
+#: learned-but-undeclared gap — the CI leg fails with a witness.
+WEAKENED_WHEN_REUSE = (ContractRow(
+    plugin="computation-reuse", mld="reuse_hit",
+    ops=frozenset({Op.MUL, Op.DIV, Op.REM}), taps=("rs1", "rs2"),
+    when=(("variant", "sn"),), ops_kwarg="ops"),)
+
+
+@pytest.fixture(scope="module")
+def weakened_when_result():
+    return check_synthesis("computation-reuse", budget=6,
+                           seed=GOLDEN_SEED,
+                           declared_rows=WEAKENED_WHEN_REUSE)
+
+
+def test_weakened_when_clause_is_flagged(weakened_when_result):
+    assert weakened_when_result.ok is False
+    assert weakened_when_result.undeclared
+    gap = weakened_when_result.undeclared[0]
+    assert gap.kind == "undeclared"
+    assert gap.plugin == "computation-reuse"
+    assert ("mul", "rs1") in gap.pairs
+
+
+def test_weakened_when_witness_runs(weakened_when_result):
+    gap = weakened_when_result.undeclared[0]
+    witness = assemble_source(gap.witness_source)
+    assert witness[-1].op is Op.HALT
+    spec = SimSpec.from_json(gap.witness_spec)
+    assert [plugin.name for plugin in spec.plugins] == \
+        ["computation-reuse"]
+    variants = secret_variants(spec)
+    results = run_batch(variants)
+    diverged = set()
+    for result in results[1:]:
+        diverged |= divergent_plugins(results[0], result,
+                                      enabled=("computation-reuse",))
+    assert diverged == {"computation-reuse"}
+
+
+def test_dropped_when_clause_raises_loose_advisory():
+    """A row that fires unconditionally where the learned condition is
+    kwarg-dependent is imprecise, not unsound — advisory only."""
+    unconditional = (ContractRow(
+        plugin="computation-reuse", mld="reuse_hit",
+        ops=frozenset({Op.MUL, Op.DIV, Op.REM}), taps=("rs1", "rs2"),
+        ops_kwarg="ops"),)
+    result = check_synthesis("computation-reuse", budget=6,
+                             seed=GOLDEN_SEED,
+                             declared_rows=unconditional)
+    assert result.ok                    # sound: no gap, no when_gap
+    assert result.when_gaps == ()
+    (loose,) = result.when_loose
+    assert loose.kind == "when_loose"
+    assert "variant=sv" in loose.detail

@@ -31,6 +31,40 @@ def test_core_packages_are_clean(tool, capsys):
     assert "0 violation(s)" in out
 
 
+def test_default_roots_include_benchmarks_and_examples(tool, capsys):
+    """The no-argument run must cover benchmarks/ and examples/ too —
+    more files than the four core packages alone."""
+    assert tool.main([]) == 0
+    default_count = int(capsys.readouterr().out.split()[1])
+    repo = os.path.normpath(os.path.join(os.path.dirname(TOOL),
+                                         os.pardir))
+    core = [os.path.join(repo, "src", "repro", package)
+            for package in tool.CORE_PACKAGES]
+    assert tool.main(core) == 0
+    core_count = int(capsys.readouterr().out.split()[1])
+    assert default_count > core_count
+    extras = [os.path.join(repo, extra) for extra in tool.EXTRA_ROOTS]
+    assert all(os.path.isdir(extra) for extra in extras)
+    assert tool.main(core + extras) == 0
+    assert int(capsys.readouterr().out.split()[1]) == default_count
+
+
+def test_extra_roots_catch_violations(tool, tmp_path, monkeypatch,
+                                      capsys):
+    """A wall-clock read under an extra root fails the default run."""
+    repo = tmp_path
+    (repo / "tools").mkdir()
+    for package in tool.CORE_PACKAGES:
+        (repo / "src" / "repro" / package).mkdir(parents=True)
+    (repo / "benchmarks").mkdir()
+    (repo / "benchmarks" / "bench_bad.py").write_text(
+        "import time\nx = time.time()\n")
+    monkeypatch.setattr(tool.os.path, "abspath",
+                        lambda _: str(repo / "tools" / "x.py"))
+    assert tool.main([]) == 1
+    assert "time.time" in capsys.readouterr().out
+
+
 @pytest.mark.parametrize("source,needle", [
     ("import time\nx = time.time()\n", "time.time"),
     ("import time as t\nx = t.time_ns()\n", "time.time_ns"),

@@ -25,7 +25,10 @@ grep-able audit trail.  Usage::
 
     python tools/lint_determinism.py [path ...]
 
-Paths default to the four core packages; exits 1 on any violation.
+Paths default to the four core packages plus the ``benchmarks/`` and
+``examples/`` trees (their programs feed golden-pinned results, so a
+stray wall-clock read there regresses determinism just as silently);
+exits 1 on any violation.
 """
 
 import ast
@@ -33,6 +36,8 @@ import os
 import sys
 
 CORE_PACKAGES = ("pipeline", "memory", "optimizations", "engine")
+#: Repo-root trees scanned by default alongside the core packages.
+EXTRA_ROOTS = ("benchmarks", "examples")
 MARKER = "det-lint: allow"
 
 BANNED_TIME = {"time", "time_ns"}
@@ -139,10 +144,14 @@ def iter_files(paths):
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else list(argv)
     if not argv:
-        root = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                            os.pardir, "src", "repro")
+        repo = os.path.normpath(os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), os.pardir))
+        root = os.path.join(repo, "src", "repro")
         argv = [os.path.normpath(os.path.join(root, package))
                 for package in CORE_PACKAGES]
+        argv += [path for path in
+                 (os.path.join(repo, extra) for extra in EXTRA_ROOTS)
+                 if os.path.isdir(path)]
     violations = []
     checked = 0
     for path in iter_files(argv):
